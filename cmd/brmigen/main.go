@@ -1,0 +1,57 @@
+// Command brmigen generates typed batch interfaces and RMI client stubs
+// from Go remote interface declarations — the equivalent of the paper's
+// "rmic -batch" tool (§4).
+//
+// Usage:
+//
+//	brmigen -in ./path/to/pkg [-out brmi_gen.go] [-prefix name] [-all]
+//
+// Interfaces annotated with a "//brmi:remote" comment are roots; interfaces
+// they reference are generated transitively. For each remote interface X the
+// tool emits XStub (typed RMI stub), BX (batch interface), and CX (cursor
+// interface), plus the registration glue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/codegen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "brmigen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("brmigen", flag.ContinueOnError)
+	in := fs.String("in", ".", "directory of the package declaring remote interfaces")
+	out := fs.String("out", "", "output file (default <in>/brmi_gen.go)")
+	prefix := fs.String("prefix", "", "interface registration prefix (default package name)")
+	pkgName := fs.String("pkg", "", "output package name (default source package name)")
+	module := fs.String("module", "repro", "module path providing the BRMI runtime packages")
+	all := fs.Bool("all", false, "generate for all interfaces, not only //brmi:remote ones")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	output := *out
+	if output == "" {
+		output = filepath.Join(*in, "brmi_gen.go")
+	}
+	opts := codegen.Options{
+		All:        *all,
+		Prefix:     *prefix,
+		PkgName:    *pkgName,
+		ModulePath: *module,
+	}
+	if err := codegen.GenerateToFile(*in, output, opts); err != nil {
+		return err
+	}
+	fmt.Printf("brmigen: wrote %s\n", output)
+	return nil
+}

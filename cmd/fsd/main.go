@@ -1,0 +1,202 @@
+// Command fsd runs the remote file server over real TCP — the deployment
+// shape of the paper's Remote File Server case study (§5.1): a daemon
+// exporting a directory plus a client mode that lists it via plain RMI or
+// via one BRMI batch.
+//
+// Server:
+//
+//	fsd -serve -addr 127.0.0.1:7099 [-files 10] [-bytes 102400]
+//
+// Client:
+//
+//	fsd -addr 127.0.0.1:7099              # BRMI: one round trip
+//	fsd -addr 127.0.0.1:7099 -rmi         # plain RMI: 1+4n round trips
+//	fsd -addr 127.0.0.1:7099 -delete-days 4   # chained-batch deletion
+//
+// The -addr must be the externally dialable address: it travels inside
+// remote references.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/examples/fileserver/remotefs"
+	"repro/internal/core"
+	"repro/internal/registry"
+	"repro/internal/rmi"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	serve := flag.Bool("serve", false, "run the server daemon")
+	addr := flag.String("addr", "127.0.0.1:7099", "TCP address to serve on / connect to")
+	files := flag.Int("files", 10, "server: number of files")
+	bytes := flag.Int("bytes", 100<<10, "server: total bytes across files")
+	useRMI := flag.Bool("rmi", false, "client: use plain RMI instead of one batch")
+	deleteDays := flag.Int("delete-days", 0, "client: delete files older than N days after the first (chained batch)")
+	flag.Parse()
+
+	var err error
+	if *serve {
+		err = runServer(*addr, *files, *bytes)
+	} else {
+		err = runClient(*addr, *useRMI, *deleteDays)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsd:", err)
+		os.Exit(1)
+	}
+}
+
+func runServer(addr string, files, totalBytes int) error {
+	server := rmi.NewPeer(transport.TCPNetwork{})
+	if err := server.Serve(addr); err != nil {
+		return err
+	}
+	defer server.Close()
+	exec, err := core.Install(server)
+	if err != nil {
+		return err
+	}
+	defer exec.Stop()
+	if _, err := registry.Start(server); err != nil {
+		return err
+	}
+	dir := remotefs.NewMemDirectory(files, totalBytes, time.Now().AddDate(0, 0, -files))
+	ref, err := server.Export(dir, remotefs.DirectoryIfaceName)
+	if err != nil {
+		return err
+	}
+	if err := registry.Bind(context.Background(), server, addr, "root", ref); err != nil {
+		return err
+	}
+	fmt.Printf("fsd: serving %d files (%d bytes) at %s; ctrl-c to stop\n", files, totalBytes, addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("fsd: shutting down")
+	return nil
+}
+
+func runClient(addr string, useRMI bool, deleteDays int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	client := rmi.NewPeer(transport.TCPNetwork{})
+	defer client.Close()
+
+	ref, err := registry.Lookup(ctx, client, addr, "root")
+	if err != nil {
+		return fmt.Errorf("lookup (is the server running at %s?): %w", addr, err)
+	}
+
+	if deleteDays > 0 {
+		return deleteOld(ctx, client, ref, deleteDays)
+	}
+
+	start := time.Now()
+	before := client.CallCount()
+	if useRMI {
+		dir := remotefs.NewDirectoryStub(client.Deref(ref))
+		listed, err := dir.ListFiles()
+		if err != nil {
+			return err
+		}
+		for _, f := range listed {
+			if err := printFileRMI(f); err != nil {
+				return err
+			}
+		}
+	} else {
+		bdir, _ := remotefs.NewBatchDirectory(client, ref)
+		cursor := bdir.ListFiles()
+		name := cursor.GetName()
+		modified := cursor.LastModified()
+		length := cursor.Length()
+		if err := bdir.Flush(ctx); err != nil {
+			return err
+		}
+		for cursor.Next() {
+			n, err := name.Get()
+			if err != nil {
+				return err
+			}
+			m, err := modified.Get()
+			if err != nil {
+				return err
+			}
+			l, err := length.Get()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: lastModified=%s; length=%d\n", n, m.Format("2006-01-02"), l)
+		}
+	}
+	fmt.Printf("%d round trips, %v\n", client.CallCount()-before, time.Since(start).Round(time.Microsecond))
+	return nil
+}
+
+func printFileRMI(f remotefs.File) error {
+	n, err := f.GetName()
+	if err != nil {
+		return err
+	}
+	m, err := f.LastModified()
+	if err != nil {
+		return err
+	}
+	l, err := f.Length()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: lastModified=%s; length=%d\n", n, m.Format("2006-01-02"), l)
+	return nil
+}
+
+func deleteOld(ctx context.Context, client *rmi.Peer, ref wire.Ref, days int) error {
+	bdir, _ := remotefs.NewBatchDirectory(client, ref)
+	cursor := bdir.ListFiles()
+	name := cursor.GetName()
+	modified := cursor.LastModified()
+	if err := bdir.FlushAndContinue(ctx); err != nil {
+		return err
+	}
+	var cutoff time.Time
+	first := true
+	deleted := 0
+	for cursor.Next() {
+		n, err := name.Get()
+		if err != nil {
+			return err
+		}
+		m, err := modified.Get()
+		if err != nil {
+			return err
+		}
+		if first {
+			cutoff = m.AddDate(0, 0, days)
+			first = false
+		}
+		if m.Before(cutoff) {
+			fmt.Printf("deleting %s (%s)\n", n, m.Format("2006-01-02"))
+			_ = cursor.Delete()
+			deleted++
+		}
+	}
+	count := bdir.Count()
+	if err := bdir.Flush(ctx); err != nil {
+		return err
+	}
+	left, err := count.Get()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deleted %d, %d remain (2 round trips)\n", deleted, left)
+	return nil
+}

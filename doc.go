@@ -1,0 +1,27 @@
+// Package repro is a from-scratch Go reproduction of "Explicit Batching for
+// Distributed Objects" (Tilevich & Cook, ICDCS 2009): BRMI — explicit
+// batching of remote method invocations — together with every substrate the
+// paper depends on (an RMI-like distributed object runtime, serialization,
+// transport, naming, distributed GC, and a latency/bandwidth-simulated
+// network standing in for the paper's two physical testbeds).
+//
+// Layout:
+//
+//   - internal/core      BRMI: batches, futures, cursors, policies, chaining
+//   - internal/rmi       distributed object runtime (the "Java RMI" role)
+//   - internal/wire      value serialization and remote references
+//   - internal/transport framed, multiplexed request/response transport
+//   - internal/netsim    simulated LAN and wireless links
+//   - internal/registry  naming service (the "RMI Registry" role)
+//   - internal/dgc       lease-based distributed garbage collection
+//   - internal/codegen   "rmic -batch" equivalent (typed stubs; cmd/brmigen)
+//   - internal/bench     harness regenerating the paper's Figures 5-13
+//   - cmd/benchfig       prints every figure's series; cmd/brmigen generates
+//   - examples/          runnable applications (quickstart, file server,
+//     bank, translator, chained batches)
+//
+// The benchmarks in bench_test.go reproduce each figure as a testing.B
+// benchmark; `go run ./cmd/benchfig -all` prints the full evaluation.
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results against the paper.
+package repro

@@ -1,0 +1,62 @@
+package credit
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCreateAndFind(t *testing.T) {
+	m := NewManager()
+	card, err := m.CreateAccount("alice", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := m.FindCreditAccount("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found != card {
+		t.Fatal("find returned a different card object")
+	}
+}
+
+func TestFindUnknown(t *testing.T) {
+	m := NewManager()
+	_, err := m.FindCreditAccount("nobody")
+	var nf *AccountNotFoundError
+	if !errors.As(err, &nf) || nf.Customer != "nobody" {
+		t.Fatalf("got %v, want AccountNotFoundError{nobody}", err)
+	}
+}
+
+func TestPurchasesReduceCreditLine(t *testing.T) {
+	m := NewManager()
+	card, _ := m.CreateAccount("bob", 100)
+	if err := card.MakePurchase(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := card.MakePurchase(60); err != nil {
+		t.Fatal(err)
+	}
+	line, err := card.GetCreditLine()
+	if err != nil || line != 0 {
+		t.Fatalf("line %v %v", line, err)
+	}
+}
+
+func TestOverdraftRejected(t *testing.T) {
+	m := NewManager()
+	card, _ := m.CreateAccount("carol", 50)
+	err := card.MakePurchase(51)
+	var ic *InsufficientCreditError
+	if !errors.As(err, &ic) {
+		t.Fatalf("got %v, want InsufficientCreditError", err)
+	}
+	if ic.Requested != 51 || ic.Available != 50 {
+		t.Fatalf("got %+v", ic)
+	}
+	// The failed purchase must not change the balance.
+	if line, _ := card.GetCreditLine(); line != 50 {
+		t.Fatalf("line %v after rejected purchase", line)
+	}
+}

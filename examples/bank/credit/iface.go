@@ -1,0 +1,28 @@
+// Package credit declares the remote interfaces of the paper's Bank case
+// study (§5.1): a credit-card management system whose account lookup and
+// purchases batch into a single round trip under BRMI. brmi_gen.go is
+// generated:
+//
+//	go run ./cmd/brmigen -in examples/bank/credit
+package credit
+
+// CreditManager creates and looks up credit card accounts.
+//
+//brmi:remote
+type CreditManager interface {
+	// CreateAccount opens an account with a credit limit.
+	CreateAccount(customer string, limit float64) (CreditCard, error)
+	// FindCreditAccount resolves a customer's account; it fails with
+	// *AccountNotFoundError for unknown customers.
+	FindCreditAccount(customer string) (CreditCard, error)
+}
+
+// CreditCard makes purchases and tracks the remaining balance; included
+// transitively by the generator.
+type CreditCard interface {
+	// GetCreditLine returns the remaining credit.
+	GetCreditLine() (float64, error)
+	// MakePurchase charges the card; it fails with
+	// *InsufficientCreditError when the credit line is exceeded.
+	MakePurchase(amount float64) error
+}

@@ -1,0 +1,103 @@
+package credit
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+// AccountNotFoundError reports an unknown customer. Exception policies
+// match it by its registered wire name, AccountNotFoundErrName.
+type AccountNotFoundError struct {
+	Customer string
+}
+
+func (e *AccountNotFoundError) Error() string {
+	return "credit: no account for " + e.Customer
+}
+
+// InsufficientCreditError reports a purchase beyond the credit line.
+type InsufficientCreditError struct {
+	Requested, Available float64
+}
+
+func (e *InsufficientCreditError) Error() string {
+	return fmt.Sprintf("credit: purchase of %.2f exceeds credit line %.2f", e.Requested, e.Available)
+}
+
+// Wire names of the error types, used in exception-policy rules.
+const (
+	AccountNotFoundErrName    = "credit.AccountNotFound"
+	InsufficientCreditErrName = "credit.InsufficientCredit"
+)
+
+// Card is the server-side CreditCard.
+type Card struct {
+	rmi.RemoteBase
+	mu       sync.Mutex
+	customer string
+	line     float64
+}
+
+var _ CreditCard = (*Card)(nil)
+
+// GetCreditLine implements CreditCard.
+func (c *Card) GetCreditLine() (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.line, nil
+}
+
+// MakePurchase implements CreditCard.
+func (c *Card) MakePurchase(amount float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if amount > c.line {
+		return &InsufficientCreditError{Requested: amount, Available: c.line}
+	}
+	c.line -= amount
+	return nil
+}
+
+// Manager is the server-side CreditManager: the bank.
+type Manager struct {
+	rmi.RemoteBase
+	mu       sync.Mutex
+	accounts map[string]*Card
+}
+
+var _ CreditManager = (*Manager)(nil)
+
+// NewManager creates an empty bank.
+func NewManager() *Manager {
+	return &Manager{accounts: make(map[string]*Card)}
+}
+
+// CreateAccount implements CreditManager.
+func (m *Manager) CreateAccount(customer string, limit float64) (CreditCard, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	card := &Card{customer: customer, line: limit}
+	m.accounts[customer] = card
+	return card, nil
+}
+
+// FindCreditAccount implements CreditManager.
+func (m *Manager) FindCreditAccount(customer string) (CreditCard, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	card, ok := m.accounts[customer]
+	if !ok {
+		return nil, &AccountNotFoundError{Customer: customer}
+	}
+	return card, nil
+}
+
+func init() {
+	wire.MustRegisterError(AccountNotFoundErrName, &AccountNotFoundError{})
+	wire.MustRegisterError(InsufficientCreditErrName, &InsufficientCreditError{})
+	RegisterCreditManagerImpl(&Manager{})
+	RegisterCreditCardImpl(&Card{})
+}

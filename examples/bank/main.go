@@ -1,0 +1,136 @@
+// Bank: the paper's credit-card case study (§5.1), demonstrating custom
+// exception policies.
+//
+// The account lookup and the purchases batch into a single round trip. If
+// the lookup throws, the batch must stop — purchases on a missing account
+// are meaningless — so the client attaches a CustomPolicy that Breaks on
+// AccountNotFound from FindCreditAccount and Continues otherwise (the
+// paper's exact policy). A second run shows the failure path: the policy
+// stops the batch and every dependent future rethrows the lookup error.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/examples/bank/credit"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/rmi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bank:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	network := netsim.New(netsim.LAN)
+	defer network.Close()
+	server := rmi.NewPeer(network)
+	if err := server.Serve("bank"); err != nil {
+		return err
+	}
+	defer server.Close()
+	exec, err := core.Install(server)
+	if err != nil {
+		return err
+	}
+	defer exec.Stop()
+	if _, err := registry.Start(server); err != nil {
+		return err
+	}
+
+	bank := credit.NewManager()
+	if _, err := bank.CreateAccount("alice", 1000); err != nil {
+		return err
+	}
+	ref, err := server.Export(bank, credit.CreditManagerIfaceName)
+	if err != nil {
+		return err
+	}
+	if err := registry.Bind(ctx, server, "bank", "manager", ref); err != nil {
+		return err
+	}
+
+	client := rmi.NewPeer(network)
+	defer client.Close()
+	managerRef, err := registry.Lookup(ctx, client, "bank", "manager")
+	if err != nil {
+		return err
+	}
+
+	// The paper's policy: break the batch when the account lookup fails,
+	// continue past anything else (§5.1).
+	policy := core.CustomPolicy().
+		SetDefaultAction(core.ActionContinue).
+		SetAction(credit.AccountNotFoundErrName, "FindCreditAccount", 0, core.ActionBreak)
+
+	// --- happy path: lookup + 2 purchases + credit line, one round trip ----
+	before, start := client.CallCount(), time.Now()
+	manager, batch := credit.NewBatchCreditManager(client, managerRef, core.WithPolicy(policy))
+	account := manager.FindCreditAccount("alice")
+	p1 := account.MakePurchase(123.00)
+	p2 := account.MakePurchase(456.00)
+	creditLine := account.GetCreditLine()
+	if err := batch.Flush(ctx); err != nil {
+		return err
+	}
+	for i, p := range []*core.Future{p1, p2} {
+		if err := p.Err(); err != nil {
+			return fmt.Errorf("purchase %d: %w", i+1, err)
+		}
+	}
+	line, err := creditLine.Get()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice: 2 purchases accepted, credit line now %.2f (%d round trips, %v)\n",
+		line, client.CallCount()-before, time.Since(start).Round(time.Microsecond))
+
+	// --- failure path: unknown account breaks the batch ---------------------
+	manager2, batch2 := credit.NewBatchCreditManager(client, managerRef, core.WithPolicy(policy))
+	ghost := manager2.FindCreditAccount("mallory")
+	gp := ghost.MakePurchase(9999)
+	gline := ghost.GetCreditLine()
+	if err := batch2.Flush(ctx); err != nil {
+		return err
+	}
+	var notFound *credit.AccountNotFoundError
+	if err := gp.Err(); errors.As(err, &notFound) {
+		fmt.Printf("mallory: purchase blocked, batch broken by lookup error: %v\n", err)
+	} else {
+		return fmt.Errorf("expected AccountNotFoundError, got %v", gp.Err())
+	}
+	if _, err := gline.Get(); !errors.As(err, &notFound) {
+		return fmt.Errorf("credit line future should rethrow lookup error, got %v", err)
+	}
+
+	// --- overdraft: default Continue lets later purchases proceed -----------
+	manager3, batch3 := credit.NewBatchCreditManager(client, managerRef, core.WithPolicy(policy))
+	acct := manager3.FindCreditAccount("alice")
+	big := acct.MakePurchase(100_000) // exceeds the line: InsufficientCredit
+	small := acct.MakePurchase(10)    // policy continues: still executes
+	if err := batch3.Flush(ctx); err != nil {
+		return err
+	}
+	var insufficient *credit.InsufficientCreditError
+	if err := big.Err(); errors.As(err, &insufficient) {
+		fmt.Printf("alice: big purchase rejected (%v)\n", err)
+	}
+	if err := small.Err(); err != nil {
+		return fmt.Errorf("small purchase should survive the continue policy: %w", err)
+	}
+	fmt.Println("alice: small purchase after the rejected one still went through (ContinuePolicy)")
+	return nil
+}

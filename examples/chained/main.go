@@ -1,0 +1,121 @@
+// Chained: chained batches and cursors (§3.5) — delete every file older
+// than a cutoff date in exactly two round trips, no matter how many files
+// the directory holds.
+//
+// The first batch lists the files with a cursor and fetches each date; the
+// client then decides which files to delete (a client-side decision the
+// server cannot make without mobile code) and records the deletions against
+// the cursor's current elements, which the retained server session still
+// addresses. The second flush executes them.
+//
+//	go run ./examples/chained [-files 8] [-cutoff-days 4]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/examples/fileserver/remotefs"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/rmi"
+)
+
+func main() {
+	files := flag.Int("files", 8, "number of files on the server")
+	cutoffDays := flag.Int("cutoff-days", 4, "delete files older than this many days after the first")
+	flag.Parse()
+	if err := run(*files, *cutoffDays); err != nil {
+		fmt.Fprintln(os.Stderr, "chained:", err)
+		os.Exit(1)
+	}
+}
+
+func run(files, cutoffDays int) error {
+	ctx := context.Background()
+	start := time.Date(2009, 6, 22, 0, 0, 0, 0, time.UTC)
+	cutoff := start.AddDate(0, 0, cutoffDays)
+
+	network := netsim.New(netsim.LAN)
+	defer network.Close()
+	server := rmi.NewPeer(network)
+	if err := server.Serve("fs"); err != nil {
+		return err
+	}
+	defer server.Close()
+	exec, err := core.Install(server)
+	if err != nil {
+		return err
+	}
+	defer exec.Stop()
+	if _, err := registry.Start(server); err != nil {
+		return err
+	}
+	dir := remotefs.NewMemDirectory(files, files*512, start)
+	dirRef, err := server.Export(dir, remotefs.DirectoryIfaceName)
+	if err != nil {
+		return err
+	}
+	if err := registry.Bind(ctx, server, "fs", "root", dirRef); err != nil {
+		return err
+	}
+
+	client := rmi.NewPeer(network)
+	defer client.Close()
+	ref, err := registry.Lookup(ctx, client, "fs", "root")
+	if err != nil {
+		return err
+	}
+
+	before := client.CallCount()
+	bDir, _ := remotefs.NewBatchDirectory(client, ref)
+
+	// First batch: list the files and fetch every date (§3.5's example).
+	cursor := bDir.ListFiles()
+	name := cursor.GetName()
+	date := cursor.LastModified()
+	if err := bDir.FlushAndContinue(ctx); err != nil {
+		return err
+	}
+
+	// Client-side decision; deletions recorded against the cursor's
+	// current element join the second, chained batch.
+	deleted := 0
+	for cursor.Next() {
+		n, err := name.Get()
+		if err != nil {
+			return err
+		}
+		d, err := date.Get()
+		if err != nil {
+			return err
+		}
+		if d.Before(cutoff) {
+			fmt.Printf("deleting %s (modified %s)\n", n, d.Format("2006-01-02"))
+			_ = cursor.Delete()
+			deleted++
+		} else {
+			fmt.Printf("keeping  %s (modified %s)\n", n, d.Format("2006-01-02"))
+		}
+	}
+
+	// Second batch: the deletions, plus a count to confirm, in one flush.
+	count := bDir.Count()
+	if err := bDir.Flush(ctx); err != nil {
+		return err
+	}
+	remaining, err := count.Get()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deleted %d of %d files, %d remain — %d round trips total\n",
+		deleted, files, remaining, client.CallCount()-before)
+	if remaining != files-deleted {
+		return fmt.Errorf("server reports %d files, expected %d", remaining, files-deleted)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+// Fileserver: the paper's Remote File Server case study (§5.1) with
+// generated typed batch interfaces.
+//
+// The server holds n in-memory files; the client prints the listing the
+// paper's code prints (name, isDirectory, lastModified, length). Plain RMI
+// needs 1 + 4n round trips; BRMI does the whole listing — including file
+// contents — in one round trip using a CFile cursor over ListFiles.
+//
+//	go run ./examples/fileserver [-files 10] [-bytes 102400] [-network lan|wireless|instant]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/examples/fileserver/remotefs"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/rmi"
+)
+
+func main() {
+	files := flag.Int("files", 10, "number of files on the server")
+	bytes := flag.Int("bytes", 100<<10, "total bytes across all files")
+	network := flag.String("network", "lan", "link profile: lan, wireless, instant")
+	flag.Parse()
+	if err := run(*files, *bytes, *network); err != nil {
+		fmt.Fprintln(os.Stderr, "fileserver:", err)
+		os.Exit(1)
+	}
+}
+
+func profileByName(name string) (netsim.Profile, error) {
+	switch name {
+	case "lan":
+		return netsim.LAN, nil
+	case "wireless":
+		return netsim.Wireless, nil
+	case "instant":
+		return netsim.Instant, nil
+	default:
+		return netsim.Profile{}, fmt.Errorf("unknown network %q", name)
+	}
+}
+
+func run(files, totalBytes int, networkName string) error {
+	ctx := context.Background()
+	profile, err := profileByName(networkName)
+	if err != nil {
+		return err
+	}
+
+	// Server: an in-memory directory, batch-callable.
+	network := netsim.New(profile)
+	defer network.Close()
+	server := rmi.NewPeer(network)
+	if err := server.Serve("fs"); err != nil {
+		return err
+	}
+	defer server.Close()
+	exec, err := core.Install(server)
+	if err != nil {
+		return err
+	}
+	defer exec.Stop()
+	if _, err := registry.Start(server); err != nil {
+		return err
+	}
+	dir := remotefs.NewMemDirectory(files, totalBytes, time.Date(2009, 6, 22, 0, 0, 0, 0, time.UTC))
+	dirRef, err := server.Export(dir, remotefs.DirectoryIfaceName)
+	if err != nil {
+		return err
+	}
+	if err := registry.Bind(ctx, server, "fs", "root", dirRef); err != nil {
+		return err
+	}
+
+	client := rmi.NewPeer(network)
+	defer client.Close()
+	ref, err := registry.Lookup(ctx, client, "fs", "root")
+	if err != nil {
+		return err
+	}
+
+	// --- plain RMI: 1 + 4n round trips (paper §5.1) --------------------------
+	before, start := client.CallCount(), time.Now()
+	dirStub := remotefs.NewDirectoryStub(client.Deref(ref))
+	remoteFiles, err := dirStub.ListFiles()
+	if err != nil {
+		return err
+	}
+	for _, f := range remoteFiles {
+		name, err := f.GetName()
+		if err != nil {
+			return err
+		}
+		isDir, err := f.IsDirectory()
+		if err != nil {
+			return err
+		}
+		modified, err := f.LastModified()
+		if err != nil {
+			return err
+		}
+		length, err := f.Length()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: isDirectory=%v; lastModified=%s; length=%d\n",
+			name, isDir, modified.Format("2006-01-02"), length)
+	}
+	fmt.Printf("RMI : %d files in %d round trips, %v\n\n",
+		len(remoteFiles), client.CallCount()-before, time.Since(start).Round(time.Microsecond))
+
+	// --- BRMI: one round trip with a cursor (§3.4, §5.1) ----------------------
+	before, start = client.CallCount(), time.Now()
+	bDir, _ := remotefs.NewBatchDirectory(client, ref)
+	cursor := bDir.ListFiles()
+	fName := cursor.GetName()
+	fIsDir := cursor.IsDirectory()
+	fModified := cursor.LastModified()
+	fLength := cursor.Length()
+	fContents := cursor.Contents()
+	if err := bDir.Flush(ctx); err != nil {
+		return err
+	}
+	var transferred int64
+	for cursor.Next() {
+		name, err := fName.Get()
+		if err != nil {
+			return err
+		}
+		isDir, err := fIsDir.Get()
+		if err != nil {
+			return err
+		}
+		modified, err := fModified.Get()
+		if err != nil {
+			return err
+		}
+		length, err := fLength.Get()
+		if err != nil {
+			return err
+		}
+		body, err := fContents.Get()
+		if err != nil {
+			return err
+		}
+		transferred += int64(len(body))
+		fmt.Printf("%s: isDirectory=%v; lastModified=%s; length=%d\n",
+			name, isDir, modified.Format("2006-01-02"), length)
+	}
+	n, err := cursor.Len()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("BRMI: %d files (+%d content bytes) in %d round trips, %v\n",
+		n, transferred, client.CallCount()-before, time.Since(start).Round(time.Microsecond))
+	return nil
+}

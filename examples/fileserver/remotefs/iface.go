@@ -1,0 +1,39 @@
+// Package remotefs declares the remote file-server interfaces of the
+// paper's Remote File Server case study (§5.1) and running example (§3.1),
+// implements them in memory, and carries the brmigen-generated typed batch
+// interfaces (brmi_gen.go) used by the fileserver and chained examples.
+//
+// Regenerate with:
+//
+//	go run ./cmd/brmigen -in examples/fileserver/remotefs
+package remotefs
+
+import "time"
+
+// Directory is a remote directory of files.
+//
+//brmi:remote
+type Directory interface {
+	// GetFile resolves a file by name.
+	GetFile(name string) (File, error)
+	// ListFiles returns every file in the directory.
+	ListFiles() ([]File, error)
+	// Count returns the number of files.
+	Count() (int, error)
+}
+
+// File is one remote file; included transitively by the generator.
+type File interface {
+	// GetName returns the file name.
+	GetName() (string, error)
+	// IsDirectory reports whether the entry is a directory.
+	IsDirectory() (bool, error)
+	// LastModified returns the modification time.
+	LastModified() (time.Time, error)
+	// Length returns the content size in bytes.
+	Length() (int64, error)
+	// Contents returns the file body.
+	Contents() ([]byte, error)
+	// Delete removes the file from its directory.
+	Delete() error
+}

@@ -1,0 +1,142 @@
+package remotefs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+// NotFoundError reports a missing file.
+type NotFoundError struct {
+	Name string
+}
+
+func (e *NotFoundError) Error() string { return "remotefs: no such file: " + e.Name }
+
+// MemFile is an in-memory File implementation (the paper's server loads all
+// files into memory to keep disk access out of the measurements, §5.4).
+type MemFile struct {
+	rmi.RemoteBase
+	dir      *MemDirectory
+	name     string
+	modified time.Time
+	body     []byte
+}
+
+var _ File = (*MemFile)(nil)
+
+// GetName implements File.
+func (f *MemFile) GetName() (string, error) { return f.name, nil }
+
+// IsDirectory implements File; MemFiles are always plain files.
+func (f *MemFile) IsDirectory() (bool, error) { return false, nil }
+
+// LastModified implements File.
+func (f *MemFile) LastModified() (time.Time, error) { return f.modified, nil }
+
+// Length implements File.
+func (f *MemFile) Length() (int64, error) { return int64(len(f.body)), nil }
+
+// Contents implements File.
+func (f *MemFile) Contents() ([]byte, error) {
+	out := make([]byte, len(f.body))
+	copy(out, f.body)
+	return out, nil
+}
+
+// Delete implements File.
+func (f *MemFile) Delete() error {
+	f.dir.remove(f.name)
+	return nil
+}
+
+// MemDirectory is an in-memory Directory implementation.
+type MemDirectory struct {
+	rmi.RemoteBase
+	mu    sync.Mutex
+	files []*MemFile
+}
+
+var _ Directory = (*MemDirectory)(nil)
+
+// NewMemDirectory creates a directory with n files whose sizes sum to
+// totalBytes, timestamped a day apart starting at start.
+func NewMemDirectory(n, totalBytes int, start time.Time) *MemDirectory {
+	d := &MemDirectory{}
+	if n <= 0 {
+		return d
+	}
+	per := totalBytes / n
+	for i := 0; i < n; i++ {
+		body := make([]byte, per)
+		for j := range body {
+			body[j] = byte('a' + (i+j)%26)
+		}
+		d.files = append(d.files, &MemFile{
+			dir:      d,
+			name:     fmt.Sprintf("file-%02d.txt", i),
+			modified: start.AddDate(0, 0, i),
+			body:     body,
+		})
+	}
+	return d
+}
+
+// Add appends a file.
+func (d *MemDirectory) Add(name string, modified time.Time, body []byte) *MemFile {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := &MemFile{dir: d, name: name, modified: modified, body: body}
+	d.files = append(d.files, f)
+	return f
+}
+
+// GetFile implements Directory.
+func (d *MemDirectory) GetFile(name string) (File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, f := range d.files {
+		if f.name == name {
+			return f, nil
+		}
+	}
+	return nil, &NotFoundError{Name: name}
+}
+
+// ListFiles implements Directory.
+func (d *MemDirectory) ListFiles() ([]File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]File, len(d.files))
+	for i, f := range d.files {
+		out[i] = f
+	}
+	return out, nil
+}
+
+// Count implements Directory.
+func (d *MemDirectory) Count() (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.files), nil
+}
+
+func (d *MemDirectory) remove(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, f := range d.files {
+		if f.name == name {
+			d.files = append(d.files[:i], d.files[i+1:]...)
+			return
+		}
+	}
+}
+
+func init() {
+	wire.MustRegisterError("remotefs.NotFound", &NotFoundError{})
+	RegisterDirectoryImpl(&MemDirectory{})
+	RegisterFileImpl(&MemFile{})
+}

@@ -1,0 +1,115 @@
+package remotefs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func start() time.Time { return time.Date(2009, 6, 22, 0, 0, 0, 0, time.UTC) }
+
+func TestNewMemDirectoryLayout(t *testing.T) {
+	d := NewMemDirectory(4, 4000, start())
+	files, err := d.ListFiles()
+	if err != nil || len(files) != 4 {
+		t.Fatalf("list: %v %d", err, len(files))
+	}
+	var total int64
+	for i, f := range files {
+		name, _ := f.GetName()
+		if name == "" {
+			t.Errorf("file %d has empty name", i)
+		}
+		isDir, _ := f.IsDirectory()
+		if isDir {
+			t.Errorf("file %d claims to be a directory", i)
+		}
+		n, _ := f.Length()
+		total += n
+		m, _ := f.LastModified()
+		want := start().AddDate(0, 0, i)
+		if !m.Equal(want) {
+			t.Errorf("file %d modified %v, want %v", i, m, want)
+		}
+	}
+	if total != 4000 {
+		t.Errorf("total bytes %d, want 4000", total)
+	}
+	if n, _ := d.Count(); n != 4 {
+		t.Errorf("count %d", n)
+	}
+}
+
+func TestNewMemDirectoryEmpty(t *testing.T) {
+	d := NewMemDirectory(0, 100, start())
+	if n, _ := d.Count(); n != 0 {
+		t.Fatalf("count %d", n)
+	}
+	files, err := d.ListFiles()
+	if err != nil || len(files) != 0 {
+		t.Fatalf("list: %v %d", err, len(files))
+	}
+}
+
+func TestGetFileAndNotFound(t *testing.T) {
+	d := NewMemDirectory(2, 200, start())
+	f, err := d.GetFile("file-01.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name, _ := f.GetName(); name != "file-01.txt" {
+		t.Fatalf("name %q", name)
+	}
+	_, err = d.GetFile("nope")
+	var nf *NotFoundError
+	if !errors.As(err, &nf) || nf.Name != "nope" {
+		t.Fatalf("got %v, want NotFoundError{nope}", err)
+	}
+}
+
+func TestDeleteRemovesFromDirectory(t *testing.T) {
+	d := NewMemDirectory(3, 300, start())
+	f, err := d.GetFile("file-01.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := d.Count(); n != 2 {
+		t.Fatalf("count after delete %d", n)
+	}
+	if _, err := d.GetFile("file-01.txt"); err == nil {
+		t.Fatal("deleted file still resolvable")
+	}
+	// Deleting twice is a no-op at the directory level.
+	if err := f.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := d.Count(); n != 2 {
+		t.Fatalf("double delete changed count: %d", n)
+	}
+}
+
+func TestContentsIsACopy(t *testing.T) {
+	d := NewMemDirectory(1, 64, start())
+	f, _ := d.GetFile("file-00.txt")
+	body1, _ := f.Contents()
+	body1[0] = 0xFF
+	body2, _ := f.Contents()
+	if body2[0] == 0xFF {
+		t.Fatal("Contents exposes internal buffer")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	d := NewMemDirectory(0, 0, start())
+	d.Add("manual.txt", start(), []byte("hello"))
+	f, err := d.GetFile("manual.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := f.Length(); n != 5 {
+		t.Fatalf("length %d", n)
+	}
+}

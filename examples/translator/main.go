@@ -1,0 +1,126 @@
+// Translator: the paper's translation-service case study (§5.1).
+//
+// The service translates one Word per request and was "built to handle one
+// translation request at a time". BRMI batches any number of requests —
+// chosen at runtime from the command line — into one round trip, with no
+// change to the server design: the client builds a dynamic slice of
+// futures, exactly as the paper's code does with its Future<Word>[] array.
+//
+//	go run ./examples/translator hello world paper batch
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+// Word is the request/response value object, passed by copy (it does not
+// embed rmi.RemoteBase), like the paper's serializable Word class.
+type Word struct {
+	Text     string
+	Language string
+}
+
+// translator is the server: a tiny English-to-Latin dictionary.
+type translator struct {
+	rmi.RemoteBase
+	dict map[string]string
+}
+
+// Translate handles exactly one word per call, like the original service.
+func (t *translator) Translate(w Word) (Word, error) {
+	translated, ok := t.dict[strings.ToLower(w.Text)]
+	if !ok {
+		return Word{}, &wire.RemoteError{TypeName: "translator.Unknown", Message: "no translation for " + w.Text}
+	}
+	return Word{Text: translated, Language: "la"}, nil
+}
+
+func init() {
+	wire.MustRegister("translator.Word", Word{})
+}
+
+func main() {
+	words := os.Args[1:]
+	if len(words) == 0 {
+		words = []string{"hello", "world", "file", "batch", "future"}
+	}
+	if err := run(words); err != nil {
+		fmt.Fprintln(os.Stderr, "translator:", err)
+		os.Exit(1)
+	}
+}
+
+func run(words []string) error {
+	ctx := context.Background()
+
+	network := netsim.New(netsim.LAN)
+	defer network.Close()
+	server := rmi.NewPeer(network)
+	if err := server.Serve("translator"); err != nil {
+		return err
+	}
+	defer server.Close()
+	exec, err := core.Install(server)
+	if err != nil {
+		return err
+	}
+	defer exec.Stop()
+	if _, err := registry.Start(server); err != nil {
+		return err
+	}
+
+	svc := &translator{dict: map[string]string{
+		"hello": "salve", "world": "mundus", "file": "scapus",
+		"batch": "acervus", "future": "futurum", "paper": "charta",
+	}}
+	ref, err := server.Export(svc, "translator.Translator")
+	if err != nil {
+		return err
+	}
+	if err := registry.Bind(ctx, server, "translator", "svc", ref); err != nil {
+		return err
+	}
+
+	client := rmi.NewPeer(network)
+	defer client.Close()
+	svcRef, err := registry.Lookup(ctx, client, "translator", "svc")
+	if err != nil {
+		return err
+	}
+
+	// The size and composition of the batch is decided at runtime (§5.1):
+	// one recorded call per input word, one flush for all of them. An
+	// unknown word must not spoil the other translations, so the batch
+	// continues past exceptions (§3.3).
+	before, start := client.CallCount(), time.Now()
+	batch := core.New(client, svcRef, core.WithPolicy(core.ContinuePolicy()))
+	root := batch.Root()
+	responses := make([]core.TypedFuture[Word], len(words))
+	for i, w := range words {
+		responses[i] = core.Typed[Word](root.Call("Translate", Word{Text: w, Language: "en"}))
+	}
+	if err := root.Flush(ctx); err != nil {
+		return err
+	}
+	for i, f := range responses {
+		w, err := f.Get()
+		if err != nil {
+			fmt.Printf("result %d: %q -> error: %v\n", i, words[i], err)
+			continue
+		}
+		fmt.Printf("result %d: %q -> %q (%s)\n", i, words[i], w.Text, w.Language)
+	}
+	fmt.Printf("%d translations in %d round trip(s), %v\n",
+		len(words), client.CallCount()-before, time.Since(start).Round(time.Microsecond))
+	return nil
+}

@@ -1,0 +1,466 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/codegen/fstest"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+// Config parameterizes a figure run.
+type Config struct {
+	// Profile is the simulated link (possibly scaled; see netsim.Profile).
+	Profile netsim.Profile
+	// Warmup and Reps control the measurement loop per x-position.
+	Warmup, Reps int
+	// ServerOpts configure the serving peer (used by ablations).
+	ServerOpts []rmi.Option
+}
+
+// Variant is one measured implementation of a workload at a given x
+// (typically "RMI" vs "BRMI").
+type Variant struct {
+	Name string
+	Op   func() error
+}
+
+// Setup builds the variants of one workload at parameter x inside env.
+type Setup func(env *Env, x int) ([]Variant, error)
+
+// runFigure measures each variant at each x-position, building the table.
+// The environment is fresh per x so auto-export and DGC state cannot leak
+// across points.
+func runFigure(cfg Config, fig, title, xlabel string, xs []int, setup Setup) (*Table, error) {
+	table := &Table{Fig: fig, Title: title, XLabel: xlabel, Profile: cfg.Profile.Name}
+	for _, x := range xs {
+		env, err := NewEnv(cfg.Profile, WithServerOptions(cfg.ServerOpts...))
+		if err != nil {
+			return nil, err
+		}
+		variants, err := setup(env, x)
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		if table.Columns == nil {
+			for _, v := range variants {
+				table.Columns = append(table.Columns, v.Name)
+			}
+		}
+		row := Row{X: x}
+		for _, v := range variants {
+			// One uncounted run to measure round trips.
+			before := env.Client.CallCount()
+			if err := v.Op(); err != nil {
+				env.Close()
+				return nil, fmt.Errorf("%s x=%d %s: %w", fig, x, v.Name, err)
+			}
+			calls := env.Client.CallCount() - before
+			stats, err := Measure(cfg.Warmup, cfg.Reps, v.Op)
+			if err != nil {
+				env.Close()
+				return nil, fmt.Errorf("%s x=%d %s: %w", fig, x, v.Name, err)
+			}
+			row.Cells = append(row.Cells, Cell{S: stats, Calls: calls})
+		}
+		table.Rows = append(table.Rows, row)
+		env.Close()
+	}
+	return table, nil
+}
+
+// --- Figures 5-6: no-op -------------------------------------------------------
+
+// NoopSetup builds the no-op workload: n do-nothing calls, RMI one round
+// trip each vs BRMI a single batch (§5.3).
+func NoopSetup(env *Env, n int) ([]Variant, error) {
+	ref, err := env.Export(&NoopService{}, "bench.Noop")
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	rmiOp := func() error {
+		for i := 0; i < n; i++ {
+			if _, err := env.Client.Call(ctx, ref, "Noop"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	brmiOp := func() error {
+		b := core.New(env.Client, ref)
+		root := b.Root()
+		futures := make([]*core.Future, n)
+		for i := 0; i < n; i++ {
+			futures[i] = root.Call("Noop")
+		}
+		if err := b.Flush(ctx); err != nil {
+			return err
+		}
+		for _, f := range futures {
+			if err := f.Err(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return []Variant{{"RMI", rmiOp}, {"BRMI", brmiOp}}, nil
+}
+
+// RunNoop reproduces Figures 5 (LAN) / 6 (wireless).
+func RunNoop(cfg Config, calls []int) (*Table, error) {
+	return runFigure(cfg, figName(cfg, 5, 6), "No-op", "method calls", calls, NoopSetup)
+}
+
+// --- Figures 7-9: linked list traversal ----------------------------------------
+
+// ListSetup builds the linked-list traversal workload: follow n Next
+// references then read the value. The RMI version marshals a remote object
+// per step; BRMI keeps the chain server-side (§5.3).
+func ListSetup(env *Env, n int) ([]Variant, error) {
+	ref, err := env.Export(BuildList(n+2), "bench.ListNode")
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	rmiOp := func() error { return rmiTraverse(ctx, env.Client, ref, n) }
+	brmiOp := func() error {
+		b := core.New(env.Client, ref)
+		cur := b.Root()
+		for i := 0; i < n; i++ {
+			cur = cur.CallBatch("Next")
+		}
+		v := cur.Call("GetValue")
+		if err := b.Flush(ctx); err != nil {
+			return err
+		}
+		return expectValue(v, n)
+	}
+	return []Variant{{"RMI", rmiOp}, {"BRMI", brmiOp}}, nil
+}
+
+// ListNoBatchSetup is the Figure 9 variant: BRMI flushes after every call
+// (batches of size one). Both sides pay one round trip per step; BRMI still
+// wins because replies carry sequence numbers instead of marshalled remote
+// objects (§5.3).
+func ListNoBatchSetup(env *Env, n int) ([]Variant, error) {
+	ref, err := env.Export(BuildList(n+2), "bench.ListNode")
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	rmiOp := func() error { return rmiTraverse(ctx, env.Client, ref, n) }
+	brmiOp := func() error {
+		b := core.New(env.Client, ref)
+		cur := b.Root()
+		for i := 0; i < n; i++ {
+			cur = cur.CallBatch("Next")
+			if err := b.FlushAndContinue(ctx); err != nil {
+				return err
+			}
+		}
+		v := cur.Call("GetValue")
+		if err := b.Flush(ctx); err != nil {
+			return err
+		}
+		return expectValue(v, n)
+	}
+	return []Variant{{"RMI", rmiOp}, {"BRMI", brmiOp}}, nil
+}
+
+func expectValue(f *core.Future, want int) error {
+	got, err := core.Typed[int](f).Get()
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("traversed to %d, want %d", got, want)
+	}
+	return nil
+}
+
+func rmiTraverse(ctx context.Context, client *rmi.Peer, ref wire.Ref, n int) error {
+	cur := ref
+	for i := 0; i < n; i++ {
+		res, err := client.Call(ctx, cur, "Next")
+		if err != nil {
+			return err
+		}
+		holder, ok := res[0].(rmi.RefHolder)
+		if !ok {
+			return fmt.Errorf("Next returned %T", res[0])
+		}
+		cur = holder.Ref()
+	}
+	res, err := client.Call(ctx, cur, "GetValue")
+	if err != nil {
+		return err
+	}
+	if got := res[0].(int64); got != int64(n) {
+		return fmt.Errorf("traversed to %d, want %d", got, n)
+	}
+	return nil
+}
+
+// RunList reproduces Figures 7 (LAN) / 8 (wireless).
+func RunList(cfg Config, lengths []int) (*Table, error) {
+	return runFigure(cfg, figName(cfg, 7, 8), "Linked list traversal", "traversals", lengths, ListSetup)
+}
+
+// RunListNoBatch reproduces Figure 9.
+func RunListNoBatch(cfg Config, lengths []int) (*Table, error) {
+	return runFigure(cfg, "Fig. 9", "Linked list traversal, batches of size 1", "traversals", lengths, ListNoBatchSetup)
+}
+
+// --- Figures 10-11: remote simulation ------------------------------------------
+
+// SimulationReps is how many balance calls each simulation step performs.
+// The paper does not publish its value; 2 makes the loopback-vs-local
+// difference clearly visible at every step count.
+const SimulationReps = 2
+
+// SimulationSetup builds the remote-simulation workload: flush after every
+// PerformSimulationStep (batch of one), so the entire BRMI advantage comes
+// from preserved reference identity (§4.4).
+func SimulationSetup(env *Env, n int) ([]Variant, error) {
+	sim := &Simulation{}
+	ref, err := env.Export(sim, "bench.Simulation")
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	rmiOp := func() error {
+		res, err := env.Client.Call(ctx, ref, "CreateBalancer")
+		if err != nil {
+			return err
+		}
+		bal := res[0].(rmi.RefHolder)
+		for i := 0; i < n; i++ {
+			if _, err := env.Client.Call(ctx, ref, "PerformSimulationStep", SimulationReps, bal); err != nil {
+				return err
+			}
+		}
+		_, err = env.Client.Call(ctx, ref, "GetSimulationResults")
+		return err
+	}
+	brmiOp := func() error {
+		b := core.New(env.Client, ref)
+		root := b.Root()
+		bal := root.CallBatch("CreateBalancer")
+		if err := b.FlushAndContinue(ctx); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			root.Call("PerformSimulationStep", SimulationReps, bal)
+			if err := b.FlushAndContinue(ctx); err != nil {
+				return err
+			}
+		}
+		res := root.Call("GetSimulationResults")
+		if err := b.Flush(ctx); err != nil {
+			return err
+		}
+		return res.Err()
+	}
+	return []Variant{{"RMI", rmiOp}, {"BRMI", brmiOp}}, nil
+}
+
+// RunSimulation reproduces Figures 10 (LAN) / 11 (wireless).
+func RunSimulation(cfg Config, steps []int) (*Table, error) {
+	return runFigure(cfg, figName(cfg, 10, 11), "Remote simulation", "simulation steps", steps, SimulationSetup)
+}
+
+// --- Figures 12-13: remote file server ------------------------------------------
+
+// FileServerTotalBytes is the macro benchmark's constant payload: the
+// paper's 100 KB split over the requested files.
+const FileServerTotalBytes = 100 << 10
+
+// FileServerSetup builds the macro benchmark: request and transfer n files
+// (name, isDirectory, lastModified, length, contents) totalling 100 KB.
+// RMI pays 1+5n round trips; BRMI one batch with a cursor (§5.1, §5.4).
+func FileServerSetup(env *Env, n int) ([]Variant, error) {
+	fs := NewFileServer(n, FileServerTotalBytes)
+	ref, err := env.Export(fs, "bench.FileServer")
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	rmiOp := func() error {
+		res, err := env.Client.Call(ctx, ref, "ListFiles")
+		if err != nil {
+			return err
+		}
+		files, ok := res[0].([]any)
+		if !ok {
+			return fmt.Errorf("ListFiles returned %T", res[0])
+		}
+		for _, f := range files {
+			stub := f.(rmi.Invoker)
+			for _, m := range [...]string{"GetName", "IsDirectory", "LastModified", "Length", "Contents"} {
+				if _, err := stub.Invoke(ctx, m); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	brmiOp := func() error {
+		b := core.New(env.Client, ref)
+		cursor := b.Root().CallCursor("ListFiles")
+		name := cursor.Call("GetName")
+		isDir := cursor.Call("IsDirectory")
+		modified := cursor.Call("LastModified")
+		length := cursor.Call("Length")
+		contents := cursor.Call("Contents")
+		if err := b.Flush(ctx); err != nil {
+			return err
+		}
+		for cursor.Next() {
+			for _, f := range [...]*core.Future{name, isDir, modified, length, contents} {
+				if _, err := f.Get(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return []Variant{{"RMI", rmiOp}, {"BRMI", brmiOp}}, nil
+}
+
+// RunFileServer reproduces Figures 12 (LAN) / 13 (wireless).
+func RunFileServer(cfg Config, counts []int) (*Table, error) {
+	return runFigure(cfg, figName(cfg, 12, 13), "Remote file server", "files", counts, FileServerSetup)
+}
+
+// --- Ablations (ours, motivated by DESIGN.md) -----------------------------------
+
+// RunAblationIdentity compares three substrate configurations on the
+// simulation workload: faithful RMI (loopback stubs), RMI with the
+// local-shortcut resolution Java chose not to implement, and BRMI identity
+// preservation (design decision 2 in DESIGN.md).
+func RunAblationIdentity(cfg Config, steps []int) (*Table, error) {
+	base, err := RunSimulation(cfg, steps)
+	if err != nil {
+		return nil, err
+	}
+	shortcutCfg := cfg
+	shortcutCfg.ServerOpts = append([]rmi.Option{rmi.WithLocalShortcut()}, cfg.ServerOpts...)
+	shortcut, err := RunSimulation(shortcutCfg, steps)
+	if err != nil {
+		return nil, err
+	}
+	table := &Table{
+		Fig:     "Ablation A1",
+		Title:   "Reference identity: loopback vs local-shortcut vs BRMI",
+		XLabel:  "simulation steps",
+		Profile: cfg.Profile.Name,
+		Columns: []string{"RMI", "RMI+shortcut", "BRMI"},
+	}
+	for i, row := range base.Rows {
+		table.Rows = append(table.Rows, Row{
+			X:     row.X,
+			Cells: []Cell{row.Cells[0], shortcut.Rows[i].Cells[0], row.Cells[1]},
+		})
+	}
+	return table, nil
+}
+
+// StubsSetup compares recording overhead of the dynamic Proxy API against
+// generated typed batch interfaces (design decision 1 in DESIGN.md): both
+// record the same calls; the typed layer should add only wrapper cost. Run
+// on the instant profile so recording dominates.
+func StubsSetup(env *Env, n int) ([]Variant, error) {
+	fs := NewFileServer(1, 1024)
+	ref, err := env.Export(fs.files[0], fstest.FileIfaceName)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	dynamic := func() error {
+		b := core.New(env.Client, ref)
+		root := b.Root()
+		futures := make([]*core.Future, n)
+		for i := 0; i < n; i++ {
+			futures[i] = root.Call("GetName")
+		}
+		if err := b.Flush(ctx); err != nil {
+			return err
+		}
+		return futures[n-1].Err()
+	}
+	typed := func() error {
+		bf, b := fstest.NewBatchFile(env.Client, ref)
+		futures := make([]core.TypedFuture[string], n)
+		for i := 0; i < n; i++ {
+			futures[i] = bf.GetName()
+		}
+		if err := b.Flush(ctx); err != nil {
+			return err
+		}
+		_, err := futures[n-1].Get()
+		return err
+	}
+	return []Variant{{"dynamic", dynamic}, {"generated", typed}}, nil
+}
+
+// RunAblationStubs runs StubsSetup over call counts.
+func RunAblationStubs(cfg Config, callCounts []int) (*Table, error) {
+	return runFigure(cfg, "Ablation A2", "Recording overhead: dynamic vs generated stubs",
+		"recorded calls", callCounts, StubsSetup)
+}
+
+// BatchSizeSetup sweeps flush granularity for a fixed number of no-op
+// calls, quantifying how batch size amortizes the round trip (generalizes
+// Figure 9). x is the batch size.
+func BatchSizeSetup(totalCalls int) Setup {
+	return func(env *Env, k int) ([]Variant, error) {
+		ref, err := env.Export(&NoopService{}, "bench.Noop")
+		if err != nil {
+			return nil, err
+		}
+		ctx := context.Background()
+		op := func() error {
+			b := core.New(env.Client, ref)
+			root := b.Root()
+			pending := 0
+			for i := 0; i < totalCalls; i++ {
+				root.Call("Noop")
+				pending++
+				last := i == totalCalls-1
+				switch {
+				case last:
+					return b.Flush(ctx)
+				case pending == k:
+					if err := b.FlushAndContinue(ctx); err != nil {
+						return err
+					}
+					pending = 0
+				}
+			}
+			return nil
+		}
+		return []Variant{{"BRMI", op}}, nil
+	}
+}
+
+// RunAblationBatchSize runs BatchSizeSetup over batch sizes.
+func RunAblationBatchSize(cfg Config, totalCalls int, batchSizes []int) (*Table, error) {
+	return runFigure(cfg, "Ablation A3",
+		fmt.Sprintf("Flush granularity (%d no-op calls total)", totalCalls),
+		"batch size", batchSizes, BatchSizeSetup(totalCalls))
+}
+
+// figName picks the LAN or wireless figure number from the profile name
+// (scaled profiles keep the base name as a prefix, e.g. "wireless/14").
+func figName(cfg Config, lanFig, wirelessFig int) string {
+	if strings.HasPrefix(cfg.Profile.Name, netsim.Wireless.Name) {
+		return fmt.Sprintf("Fig. %d", wirelessFig)
+	}
+	return fmt.Sprintf("Fig. %d", lanFig)
+}

@@ -1,0 +1,380 @@
+// Package codegen generates typed batch interfaces and RMI client stubs from
+// Go remote interface declarations. It is the equivalent of the paper's
+// batch-interface tool ("invoked by using the -batch command line switch to
+// rmic", §4): Go has no dynamic proxies, so the typed layer the JVM builds
+// at runtime is emitted as source instead.
+//
+// Input: a package directory containing interface declarations annotated
+// with a "//brmi:remote" comment (or all interfaces with the All option).
+// For each remote interface X the generator emits, per the paper's
+// translation rules (§3.2, §3.4):
+//
+//   - XStub        — RMI client stub implementing X over rmi.Invoker
+//   - BX           — batch interface: value results become futures, remote
+//     results become batch interfaces
+//   - CX           — cursor interface for []X results
+//   - registration — stub factory and interface-name constants
+//
+// Generation is transitive: interfaces referenced from a remote interface's
+// signatures are generated too, so batch interfaces only ever reference
+// batch interfaces.
+package codegen
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Iface is a parsed remote interface.
+type Iface struct {
+	Name    string
+	Doc     string
+	Methods []Method
+}
+
+// Method is one remote method of an interface.
+type Method struct {
+	Name   string
+	HasCtx bool    // first parameter is context.Context
+	Params []Param // excluding ctx
+	Result *TypeRef
+	HasErr bool
+}
+
+// Param is a method parameter.
+type Param struct {
+	Name string
+	Type TypeRef
+}
+
+// TypeKind classifies a signature type for the translation rules.
+type TypeKind int
+
+// Type kinds.
+const (
+	KindValue       TypeKind = iota + 1 // serializable value: future
+	KindRemote                          // remote interface: batch interface
+	KindRemoteSlice                     // slice of remote: cursor
+)
+
+// TypeRef is a rendered type with its translation classification.
+type TypeRef struct {
+	Kind TypeKind
+	// Src is the type as written in the source (e.g. "time.Time", "File",
+	// "[]File").
+	Src string
+	// Iface is the remote interface name for KindRemote/KindRemoteSlice.
+	Iface string
+}
+
+// Package is the parse result.
+type Package struct {
+	Name    string
+	Ifaces  []Iface
+	Imports map[string]string // import path -> local name ("" if default)
+}
+
+// marker is the annotation selecting interfaces for generation.
+const marker = "brmi:remote"
+
+// ParseDir parses the Go package in dir and extracts remote interfaces.
+// When all is false, only interfaces annotated with //brmi:remote are roots;
+// interfaces they reference are included transitively.
+func ParseDir(dir string, all bool) (*Package, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("codegen: parse %s: %w", dir, err)
+	}
+	var files []*ast.File
+	pkgName := ""
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		if pkgName != "" {
+			return nil, fmt.Errorf("codegen: multiple packages in %s: %s and %s", dir, pkgName, name)
+		}
+		pkgName = name
+		fileNames := make([]string, 0, len(pkgs[name].Files))
+		for fn := range pkgs[name].Files {
+			fileNames = append(fileNames, fn)
+		}
+		sort.Strings(fileNames)
+		for _, fn := range fileNames {
+			files = append(files, pkgs[name].Files[fn])
+		}
+	}
+	if pkgName == "" {
+		return nil, fmt.Errorf("codegen: no Go package in %s", dir)
+	}
+	return parseFiles(fset, pkgName, files, all)
+}
+
+func parseFiles(fset *token.FileSet, pkgName string, files []*ast.File, all bool) (*Package, error) {
+	// Collect every interface declaration and whether it carries the marker.
+	type decl struct {
+		spec   *ast.TypeSpec
+		it     *ast.InterfaceType
+		marked bool
+		doc    string
+	}
+	decls := make(map[string]*decl)
+	order := make([]string, 0, 8)
+	imports := make(map[string]string)
+
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			name := ""
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			imports[path] = name
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				it, ok := ts.Type.(*ast.InterfaceType)
+				if !ok {
+					continue
+				}
+				marked := hasMarker(gd.Doc) || hasMarker(ts.Doc) || hasMarker(ts.Comment)
+				decls[ts.Name.Name] = &decl{spec: ts, it: it, marked: marked, doc: docText(gd.Doc, ts.Doc)}
+				order = append(order, ts.Name.Name)
+			}
+		}
+	}
+
+	// Seed the remote set with marked (or all) interfaces, then close it
+	// transitively over referenced interface names.
+	remote := make(map[string]bool)
+	for _, name := range order {
+		if all || decls[name].marked {
+			remote[name] = true
+		}
+	}
+	if len(remote) == 0 {
+		return nil, fmt.Errorf("codegen: no interfaces marked //%s (and -all not set)", marker)
+	}
+	for changed := true; changed; {
+		changed = false
+		for name := range remote {
+			for _, ref := range referencedIfaces(decls[name].it) {
+				if _, declared := decls[ref]; declared && !remote[ref] {
+					remote[ref] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	pkg := &Package{Name: pkgName, Imports: imports}
+	for _, name := range order {
+		if !remote[name] {
+			continue
+		}
+		iface, err := buildIface(fset, name, decls[name].doc, decls[name].it, remote)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Ifaces = append(pkg.Ifaces, *iface)
+	}
+	return pkg, nil
+}
+
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimLeft(c.Text, "/ \t"))
+		if strings.HasPrefix(text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func docText(groups ...*ast.CommentGroup) string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		var lines []string
+		for _, c := range g.List {
+			t := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c.Text), "//"))
+			if strings.HasPrefix(t, marker) {
+				continue
+			}
+			if t != "" {
+				lines = append(lines, t)
+			}
+		}
+		if len(lines) > 0 {
+			return strings.Join(lines, " ")
+		}
+	}
+	return ""
+}
+
+// referencedIfaces lists bare identifiers used as parameter/result types,
+// candidates for transitive inclusion.
+func referencedIfaces(it *ast.InterfaceType) []string {
+	var out []string
+	for _, m := range it.Methods.List {
+		ft, ok := m.Type.(*ast.FuncType)
+		if !ok {
+			continue // embedded interface; handled by buildIface as error
+		}
+		collect := func(fl *ast.FieldList) {
+			if fl == nil {
+				return
+			}
+			for _, f := range fl.List {
+				t := f.Type
+				if st, ok := t.(*ast.ArrayType); ok {
+					t = st.Elt
+				}
+				if id, ok := t.(*ast.Ident); ok {
+					out = append(out, id.Name)
+				}
+			}
+		}
+		collect(ft.Params)
+		collect(ft.Results)
+	}
+	return out
+}
+
+func buildIface(fset *token.FileSet, name, doc string, it *ast.InterfaceType, remote map[string]bool) (*Iface, error) {
+	iface := &Iface{Name: name, Doc: doc}
+	for _, m := range it.Methods.List {
+		ft, ok := m.Type.(*ast.FuncType)
+		if !ok {
+			return nil, fmt.Errorf("codegen: %s: embedded interfaces are not supported", name)
+		}
+		if len(m.Names) == 0 {
+			continue
+		}
+		method := Method{Name: m.Names[0].Name}
+
+		// Parameters.
+		if ft.Params != nil {
+			idx := 0
+			for fi, f := range ft.Params.List {
+				typeStr, err := renderType(fset, f.Type)
+				if err != nil {
+					return nil, fmt.Errorf("codegen: %s.%s: %w", name, method.Name, err)
+				}
+				count := len(f.Names)
+				if count == 0 {
+					count = 1
+				}
+				for n := 0; n < count; n++ {
+					if fi == 0 && n == 0 && typeStr == "context.Context" {
+						method.HasCtx = true
+						continue
+					}
+					pname := fmt.Sprintf("a%d", idx)
+					if n < len(f.Names) {
+						pname = f.Names[n].Name
+					}
+					method.Params = append(method.Params, Param{
+						Name: pname,
+						Type: classify(typeStr, remote),
+					})
+					idx++
+				}
+			}
+		}
+
+		// Results: at most one value plus an optional trailing error.
+		if ft.Results != nil {
+			var results []string
+			for _, f := range ft.Results.List {
+				typeStr, err := renderType(fset, f.Type)
+				if err != nil {
+					return nil, fmt.Errorf("codegen: %s.%s: %w", name, method.Name, err)
+				}
+				count := len(f.Names)
+				if count == 0 {
+					count = 1
+				}
+				for n := 0; n < count; n++ {
+					results = append(results, typeStr)
+				}
+			}
+			if len(results) > 0 && results[len(results)-1] == "error" {
+				method.HasErr = true
+				results = results[:len(results)-1]
+			}
+			switch len(results) {
+			case 0:
+			case 1:
+				tr := classify(results[0], remote)
+				method.Result = &tr
+			default:
+				return nil, fmt.Errorf("codegen: %s.%s: more than one non-error result", name, method.Name)
+			}
+		}
+		iface.Methods = append(iface.Methods, method)
+	}
+	return iface, nil
+}
+
+// classify applies the paper's translation rules to a rendered type.
+func classify(src string, remote map[string]bool) TypeRef {
+	if elem, ok := strings.CutPrefix(src, "[]"); ok && remote[elem] {
+		return TypeRef{Kind: KindRemoteSlice, Src: src, Iface: elem}
+	}
+	if remote[src] {
+		return TypeRef{Kind: KindRemote, Src: src, Iface: src}
+	}
+	return TypeRef{Kind: KindValue, Src: src}
+}
+
+func renderType(fset *token.FileSet, e ast.Expr) (string, error) {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// GenerateToFile runs the full pipeline: parse dir, generate, write out.
+func GenerateToFile(dir, out string, opts Options) error {
+	pkg, err := ParseDir(dir, opts.All)
+	if err != nil {
+		return err
+	}
+	src, err := Generate(pkg, opts)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(out, src, 0o644)
+}

@@ -1,0 +1,247 @@
+package codegen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixture materializes a one-file package in a temp dir.
+func writeFixture(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "iface.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const sampleSrc = `package sample
+
+import (
+	"context"
+	"time"
+)
+
+//brmi:remote
+type Store interface {
+	Get(key string) (Item, error)
+	List() ([]Item, error)
+	Put(ctx context.Context, key string, value []byte) error
+	Stamp() (time.Time, error)
+}
+
+type Item interface {
+	Value() ([]byte, error)
+	Touch() error
+}
+
+// Unrelated is not referenced and not marked: excluded.
+type Unrelated interface {
+	Nope() error
+}
+`
+
+func TestParseDirExtractsModel(t *testing.T) {
+	dir := writeFixture(t, sampleSrc)
+	pkg, err := ParseDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Name != "sample" {
+		t.Fatalf("pkg name %q", pkg.Name)
+	}
+	if len(pkg.Ifaces) != 2 {
+		t.Fatalf("got %d interfaces, want 2 (Store + transitive Item)", len(pkg.Ifaces))
+	}
+	store := pkg.Ifaces[0]
+	if store.Name != "Store" {
+		t.Fatalf("first iface %q", store.Name)
+	}
+	if len(store.Methods) != 4 {
+		t.Fatalf("Store has %d methods", len(store.Methods))
+	}
+
+	get := store.Methods[0]
+	if get.Name != "Get" || get.Result == nil || get.Result.Kind != KindRemote || get.Result.Iface != "Item" {
+		t.Fatalf("Get parsed wrong: %+v", get)
+	}
+	if !get.HasErr {
+		t.Fatal("Get.HasErr = false")
+	}
+
+	list := store.Methods[1]
+	if list.Result == nil || list.Result.Kind != KindRemoteSlice || list.Result.Iface != "Item" {
+		t.Fatalf("List parsed wrong: %+v", list)
+	}
+
+	put := store.Methods[2]
+	if !put.HasCtx {
+		t.Fatal("Put.HasCtx = false (ctx param not detected)")
+	}
+	if len(put.Params) != 2 {
+		t.Fatalf("Put params = %+v", put.Params)
+	}
+	if put.Params[1].Type.Src != "[]byte" || put.Params[1].Type.Kind != KindValue {
+		t.Fatalf("Put value param parsed wrong: %+v", put.Params[1])
+	}
+	if put.Result != nil {
+		t.Fatalf("Put result = %+v, want void", put.Result)
+	}
+
+	stamp := store.Methods[3]
+	if stamp.Result == nil || stamp.Result.Kind != KindValue || stamp.Result.Src != "time.Time" {
+		t.Fatalf("Stamp parsed wrong: %+v", stamp.Result)
+	}
+}
+
+func TestParseDirNoMarked(t *testing.T) {
+	dir := writeFixture(t, `package empty
+
+type Plain interface{ M() error }
+`)
+	if _, err := ParseDir(dir, false); err == nil {
+		t.Fatal("no marked interfaces accepted without -all")
+	}
+	pkg, err := ParseDir(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Ifaces) != 1 {
+		t.Fatalf("all-mode found %d interfaces", len(pkg.Ifaces))
+	}
+}
+
+func TestGenerateRejectsMissingError(t *testing.T) {
+	dir := writeFixture(t, `package bad
+
+//brmi:remote
+type Bad interface {
+	NoError() string
+}
+`)
+	pkg, err := ParseDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(pkg, Options{}); err == nil || !strings.Contains(err.Error(), "must return error") {
+		t.Fatalf("got %v, want missing-error diagnostic", err)
+	}
+}
+
+func TestGenerateRejectsReservedNames(t *testing.T) {
+	dir := writeFixture(t, `package bad
+
+//brmi:remote
+type Bad interface {
+	Flush() error
+}
+`)
+	pkg, err := ParseDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(pkg, Options{}); err == nil || !strings.Contains(err.Error(), "collides") {
+		t.Fatalf("got %v, want collision diagnostic", err)
+	}
+}
+
+func TestGenerateRejectsMultiResult(t *testing.T) {
+	dir := writeFixture(t, `package bad
+
+//brmi:remote
+type Bad interface {
+	Two() (int, string, error)
+}
+`)
+	if _, err := ParseDir(dir, false); err == nil || !strings.Contains(err.Error(), "more than one") {
+		t.Fatalf("got %v, want multi-result diagnostic", err)
+	}
+}
+
+func TestGenerateRejectsEmbeddedInterfaces(t *testing.T) {
+	dir := writeFixture(t, `package bad
+
+import "io"
+
+//brmi:remote
+type Bad interface {
+	io.Reader
+}
+`)
+	if _, err := ParseDir(dir, false); err == nil || !strings.Contains(err.Error(), "embedded") {
+		t.Fatalf("got %v, want embedded diagnostic", err)
+	}
+}
+
+func TestGenerateOutputShape(t *testing.T) {
+	dir := writeFixture(t, sampleSrc)
+	pkg, err := ParseDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Generate(pkg, Options{Prefix: "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(src)
+	for _, want := range []string{
+		"package sample",
+		`const StoreIfaceName = "app.Store"`,
+		"type StoreStub struct",
+		"var _ Store = (*StoreStub)(nil)",
+		"type BStore struct",
+		"type CItem struct",
+		"func (b *BStore) Get(key string) *BItem",
+		"func (b *BStore) List() *CItem",
+		"func (b *BStore) Stamp() core.TypedFuture[time.Time]",
+		"func (b *BStore) Put(key string, value []byte) *core.Future",
+		"func (b *BItem) Touch() *core.Future",
+		"rmi.RegisterStubFactory(StoreIfaceName",
+		"func (s *StoreStub) Put(ctx context.Context, key string, value []byte) error",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generated output missing %q", want)
+		}
+	}
+	// The batch layer must drop ctx parameters (recording is local).
+	if strings.Contains(out, "func (b *BStore) Put(ctx") {
+		t.Error("batch method kept the ctx parameter")
+	}
+}
+
+// TestFixtureInSync regenerates the checked-in fstest fixture and fails if
+// the generator output drifted from the committed file.
+func TestFixtureInSync(t *testing.T) {
+	pkg, err := ParseDir("fstest", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Generate(pkg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join("fstest", "brmi_gen.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("fstest/brmi_gen.go is stale: re-run `go run ./cmd/brmigen -in internal/codegen/fstest`")
+	}
+}
+
+func TestGenerateToFile(t *testing.T) {
+	dir := writeFixture(t, sampleSrc)
+	out := filepath.Join(dir, "gen", "brmi_gen.go")
+	if err := GenerateToFile(dir, out, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Code generated by brmigen") {
+		t.Fatal("output missing generated-code header")
+	}
+}

@@ -1,0 +1,341 @@
+package fstest_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/codegen/fstest"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+func silentLogf(string, ...any) {}
+
+// --- server implementation ---------------------------------------------------
+
+type lockedError struct {
+	Name string
+}
+
+func (e *lockedError) Error() string { return "locked: " + e.Name }
+
+type fileImpl struct {
+	rmi.RemoteBase
+	dir    *dirImpl
+	name   string
+	size   int
+	date   time.Time
+	locked bool
+}
+
+func (f *fileImpl) GetName() (string, error) { return f.name, nil }
+
+func (f *fileImpl) GetSize() (int, error) {
+	if f.locked {
+		return 0, &lockedError{Name: f.name}
+	}
+	return f.size, nil
+}
+
+func (f *fileImpl) GetDate() (time.Time, error) { return f.date, nil }
+
+func (f *fileImpl) Delete() error {
+	f.dir.remove(f.name)
+	return nil
+}
+
+type dirImpl struct {
+	rmi.RemoteBase
+	mu    sync.Mutex
+	files []*fileImpl
+}
+
+func (d *dirImpl) GetFile(name string) (fstest.File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, f := range d.files {
+		if f.name == name {
+			return f, nil
+		}
+	}
+	return nil, &wire.RemoteError{TypeName: "fstest.NotFound", Message: "no file " + name}
+}
+
+func (d *dirImpl) AllFiles() ([]fstest.File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]fstest.File, len(d.files))
+	for i, f := range d.files {
+		out[i] = f
+	}
+	return out, nil
+}
+
+func (d *dirImpl) TotalSize() (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var n int64
+	for _, f := range d.files {
+		n += int64(f.size)
+	}
+	return n, nil
+}
+
+func (d *dirImpl) remove(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, f := range d.files {
+		if f.name == name {
+			d.files = append(d.files[:i], d.files[i+1:]...)
+			return
+		}
+	}
+}
+
+var (
+	_ fstest.Directory = (*dirImpl)(nil)
+	_ fstest.File      = (*fileImpl)(nil)
+)
+
+func init() {
+	wire.MustRegisterError("fstest.Locked", &lockedError{})
+	fstest.RegisterDirectoryImpl(&dirImpl{})
+	fstest.RegisterFileImpl(&fileImpl{})
+}
+
+// --- fixture ------------------------------------------------------------------
+
+func setup(t *testing.T) (client *rmi.Peer, dirRef wire.Ref, dir *dirImpl) {
+	t.Helper()
+	network := netsim.New(netsim.Instant)
+	t.Cleanup(func() { _ = network.Close() })
+	server := rmi.NewPeer(network, rmi.WithLogf(silentLogf))
+	if err := server.Serve("fs"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = server.Close() })
+	exec, err := core.Install(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(exec.Stop)
+	if _, err := registry.Start(server); err != nil {
+		t.Fatal(err)
+	}
+
+	dir = &dirImpl{}
+	when := time.Date(2009, 6, 22, 0, 0, 0, 0, time.UTC)
+	for i, spec := range []struct {
+		name   string
+		size   int
+		locked bool
+	}{
+		{"a.txt", 10, false}, {"b.txt", 20, false}, {"c.bin", 30, true},
+	} {
+		dir.files = append(dir.files, &fileImpl{
+			dir: dir, name: spec.name, size: spec.size,
+			date: when.AddDate(0, 0, i), locked: spec.locked,
+		})
+	}
+	ref, err := server.Export(dir, fstest.DirectoryIfaceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := registry.Bind(context.Background(), server, "fs", "dir", ref); err != nil {
+		t.Fatal(err)
+	}
+
+	client = rmi.NewPeer(network, rmi.WithLogf(silentLogf))
+	t.Cleanup(func() { _ = client.Close() })
+	return client, ref, dir
+}
+
+// --- tests ---------------------------------------------------------------------
+
+// TestTypedRMIStubs drives the generated plain-RMI stubs: one network round
+// trip per call, stubs arriving as the right generated types.
+func TestTypedRMIStubs(t *testing.T) {
+	client, dirRef, _ := setup(t)
+	ctx := context.Background()
+
+	// Look up via the registry, as an application would.
+	ref, err := registry.Lookup(ctx, client, "fs", "dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirStub, ok := client.DerefTyped(ref).(*fstest.DirectoryStub)
+	if !ok {
+		t.Fatalf("DerefTyped returned %T", client.DerefTyped(ref))
+	}
+	if dirStub.Ref() != dirRef {
+		t.Fatalf("stub ref %v, want %v", dirStub.Ref(), dirRef)
+	}
+
+	f, err := dirStub.GetFile("a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.(*fstest.FileStub); !ok {
+		t.Fatalf("GetFile returned %T, want *fstest.FileStub", f)
+	}
+	name, err := f.GetName()
+	if err != nil || name != "a.txt" {
+		t.Fatalf("GetName: %v %q", err, name)
+	}
+	size, err := f.GetSize()
+	if err != nil || size != 10 {
+		t.Fatalf("GetSize: %v %d", err, size)
+	}
+
+	files, err := dirStub.AllFiles()
+	if err != nil || len(files) != 3 {
+		t.Fatalf("AllFiles: %v %d", err, len(files))
+	}
+	total, err := dirStub.TotalSize()
+	if err != nil || total != 60 {
+		t.Fatalf("TotalSize: %v %d", err, total)
+	}
+
+	// Typed errors pass through the stub.
+	locked, err := dirStub.GetFile("c.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = locked.GetSize()
+	var le *lockedError
+	if !errors.As(err, &le) || le.Name != "c.bin" {
+		t.Fatalf("got %v, want lockedError{c.bin}", err)
+	}
+}
+
+// TestTypedBatch reproduces the paper's §3.2 example with generated typed
+// batch interfaces.
+func TestTypedBatch(t *testing.T) {
+	client, dirRef, _ := setup(t)
+	ctx := context.Background()
+
+	before := client.CallCount()
+	bdir, batch := fstest.NewBatchDirectory(client, dirRef)
+	bfile := bdir.GetFile("b.txt")
+	name := bfile.GetName()
+	size := bfile.GetSize()
+	total := bdir.TotalSize()
+	if err := bdir.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := client.CallCount() - before; got != 1 {
+		t.Fatalf("typed batch used %d round trips, want 1", got)
+	}
+	if batch.Session() != 0 {
+		t.Fatal("flush left a session open")
+	}
+
+	if v, err := name.Get(); err != nil || v != "b.txt" {
+		t.Fatalf("name: %v %q", err, v)
+	}
+	if v, err := size.Get(); err != nil || v != 20 {
+		t.Fatalf("size: %v %d", err, v)
+	}
+	if v, err := total.Get(); err != nil || v != 60 {
+		t.Fatalf("total: %v %d", err, v)
+	}
+}
+
+// TestTypedCursor reproduces the file-listing case study (§5.1) with the
+// generated CFile cursor.
+func TestTypedCursor(t *testing.T) {
+	client, dirRef, _ := setup(t)
+	ctx := context.Background()
+
+	bdir, _ := fstest.NewBatchDirectory(client, dirRef, core.WithPolicy(core.ContinuePolicy()))
+	cursor := bdir.AllFiles()
+	name := cursor.GetName()
+	size := cursor.GetSize()
+	if err := bdir.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	n, err := cursor.Len()
+	if err != nil || n != 3 {
+		t.Fatalf("len: %v %d", err, n)
+	}
+	var names []string
+	errCount := 0
+	for cursor.Next() {
+		v, err := name.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, v)
+		if _, err := size.Get(); err != nil {
+			var le *lockedError
+			if !errors.As(err, &le) {
+				t.Fatalf("size error: %v", err)
+			}
+			errCount++
+		}
+	}
+	if len(names) != 3 || names[0] != "a.txt" || errCount != 1 {
+		t.Fatalf("names=%v errCount=%d", names, errCount)
+	}
+}
+
+// TestTypedChainedBatch reproduces the delete-older-than example (§3.5)
+// with generated types.
+func TestTypedChainedBatch(t *testing.T) {
+	client, dirRef, dir := setup(t)
+	ctx := context.Background()
+	cutoff := time.Date(2009, 6, 23, 0, 0, 0, 0, time.UTC) // keeps b.txt (22+1) out? b=23 → not before; only a.txt deleted
+
+	bdir, _ := fstest.NewBatchDirectory(client, dirRef)
+	cursor := bdir.AllFiles()
+	date := cursor.GetDate()
+	if err := bdir.FlushAndContinue(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for cursor.Next() {
+		d, err := date.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Before(cutoff) {
+			_ = cursor.Delete()
+		}
+	}
+	if err := bdir.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	dir.mu.Lock()
+	remaining := len(dir.files)
+	first := dir.files[0].name
+	dir.mu.Unlock()
+	if remaining != 2 || first != "b.txt" {
+		t.Fatalf("remaining=%d first=%q, want 2/b.txt", remaining, first)
+	}
+}
+
+// TestTypedStubAsBatchRoot: a generated RMI stub's ref can seed a batch,
+// mirroring BRMI.create(Naming.lookup(...)).
+func TestTypedStubAsBatchRoot(t *testing.T) {
+	client, _, _ := setup(t)
+	ctx := context.Background()
+	ref, err := registry.Lookup(ctx, client, "fs", "dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := fstest.NewDirectoryStub(client.Deref(ref))
+	bdir, _ := fstest.NewBatchDirectory(client, stub.Ref())
+	total := bdir.TotalSize()
+	if err := bdir.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := total.Get(); err != nil || v != 60 {
+		t.Fatalf("total: %v %d", err, v)
+	}
+}

@@ -1,0 +1,29 @@
+// Package fstest declares the remote file-system interfaces from the
+// paper's running example (§3.1) and serves as the codegen fixture: the
+// generated brmi_gen.go next to this file is golden output that must stay
+// in sync with the generator (see codegen tests) and compile as part of the
+// module.
+package fstest
+
+import "time"
+
+// Directory is a remote directory, as in the paper's running example.
+//
+//brmi:remote
+type Directory interface {
+	// GetFile resolves one file by name.
+	GetFile(name string) (File, error)
+	// AllFiles lists the directory.
+	AllFiles() ([]File, error)
+	// TotalSize sums the file sizes.
+	TotalSize() (int64, error)
+}
+
+// File is a remote file. It is not annotated: the generator includes it
+// transitively from Directory's signatures.
+type File interface {
+	GetName() (string, error)
+	GetSize() (int, error)
+	GetDate() (time.Time, error)
+	Delete() error
+}

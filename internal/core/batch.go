@@ -1,0 +1,376 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+// Batch records remote method invocations for one batch chain and executes
+// them with Flush / FlushAndContinue. It is the Go analogue of the object
+// BRMI.create returns (§3.2).
+//
+// Like the paper's recording stubs (§4.5), a Batch records one batch at a
+// time and is not meant to be shared by concurrent client threads; create
+// one Batch per goroutine. The implementation is internally synchronized,
+// so misuse corrupts no memory, only recording order.
+type Batch struct {
+	peer *rmi.Peer
+	root wire.Ref
+
+	mu      sync.Mutex
+	policy  *Policy
+	nextSeq int64
+	calls   []invocationData
+	pending map[int64]*callRecord
+	session uint64
+	sentPol bool
+	closed  bool
+	// recErr is a sticky recording violation, reported by the next flush.
+	recErr error
+	// failure is the batch-wide failure every future rethrows.
+	failure error
+	// lastOwner tracks cursor-run contiguity (§4.1).
+	lastOwner *Cursor
+}
+
+// callRecord links a recorded call to the client object awaiting its result.
+type callRecord struct {
+	kind   int64
+	future *futureState
+	proxy  *Proxy // for kindRemote and kindCursor (cursor embeds Proxy)
+	cursor *Cursor
+	owner  *Cursor
+}
+
+// Option configures a Batch.
+type Option func(*Batch)
+
+// WithPolicy sets the exception policy for the chain (default AbortPolicy).
+func WithPolicy(p *Policy) Option {
+	return func(b *Batch) { b.policy = p }
+}
+
+// New creates a batch over the remote object root, the equivalent of
+// BRMI.create(iface, remoteRef [, policy]) (§3.2, §3.3).
+func New(peer *rmi.Peer, root wire.Ref, opts ...Option) *Batch {
+	b := &Batch{
+		peer:    peer,
+		root:    root,
+		policy:  AbortPolicy(),
+		pending: make(map[int64]*callRecord),
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// Root returns the proxy for the batch's root object.
+func (b *Batch) Root() *Proxy {
+	return &Proxy{b: b, seq: RootTarget, settled: true}
+}
+
+// Peer returns the underlying RMI peer.
+func (b *Batch) Peer() *rmi.Peer { return b.peer }
+
+// Session returns the server session id of the chain (0 when none is open).
+func (b *Batch) Session() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.session
+}
+
+// PendingCalls returns the number of recorded, unflushed calls.
+func (b *Batch) PendingCalls() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.calls)
+}
+
+// --- recording ---------------------------------------------------------------
+
+func (b *Batch) recordValue(target *Proxy, method string, args []any) *Future {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := &futureState{b: b}
+	seq, owner, ok := b.appendCall(target, method, kindValue, args)
+	if ok {
+		st.seq = seq
+		st.cursor = owner
+		b.pending[seq] = &callRecord{kind: kindValue, future: st, owner: owner}
+	}
+	return &Future{st: st}
+}
+
+func (b *Batch) recordRemote(target *Proxy, method string, args []any) *Proxy {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := &Proxy{b: b}
+	seq, owner, ok := b.appendCall(target, method, kindRemote, args)
+	if ok {
+		p.seq = seq
+		p.cursor = owner
+		b.pending[seq] = &callRecord{kind: kindRemote, proxy: p, owner: owner}
+	}
+	return p
+}
+
+func (b *Batch) recordCursor(target *Proxy, method string, args []any) *Cursor {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := &Cursor{Proxy: Proxy{b: b}, pos: -1}
+	if target.recordingOwner() != nil {
+		b.fail(ErrNestedCursor)
+		return c
+	}
+	seq, owner, ok := b.appendCall(target, method, kindCursor, args)
+	if ok {
+		if owner != nil {
+			b.fail(ErrNestedCursor)
+			return c
+		}
+		c.seq = seq
+		c.Proxy.cursor = c // operations on the cursor belong to its own run
+		b.pending[seq] = &callRecord{kind: kindCursor, proxy: &c.Proxy, cursor: c}
+	}
+	return c
+}
+
+// appendCall validates and stores one invocation. Caller holds b.mu.
+// It returns the assigned sequence number, the owning cursor (nil if none),
+// and whether recording succeeded (violations are sticky via b.recErr).
+func (b *Batch) appendCall(target *Proxy, method string, kind int64, args []any) (int64, *Cursor, bool) {
+	if b.closed {
+		b.fail(ErrBatchClosed)
+		return 0, nil, false
+	}
+	if b.recErr != nil {
+		return 0, nil, false
+	}
+	if target.b != b {
+		b.fail(fmt.Errorf("%w: call %s", ErrForeignProxy, method))
+		return 0, nil, false
+	}
+
+	// Establish the owning cursor: the target's (if recording) or any
+	// argument proxy's ("any operation that uses the cursor as a target or
+	// argument is repeated for each array element", §3.4).
+	owner := target.recordingOwner()
+	for _, a := range args {
+		ap := argProxy(a)
+		if ap == nil {
+			continue
+		}
+		if ap.b != b {
+			b.fail(fmt.Errorf("%w: argument of %s", ErrForeignProxy, method))
+			return 0, nil, false
+		}
+		if ao := ap.recordingOwner(); ao != nil {
+			if owner == nil {
+				owner = ao
+			} else if owner != ao {
+				b.fail(fmt.Errorf("%w: arguments of %s span two cursors", ErrCursorInterleaved, method))
+				return 0, nil, false
+			}
+		}
+	}
+
+	// Contiguity: once another call interrupts a cursor's run, the run is
+	// closed and further operations on that cursor are an error (§4.1).
+	if owner != nil && owner.runClosed {
+		b.fail(fmt.Errorf("%w: %s recorded after the cursor's run ended", ErrCursorInterleaved, method))
+		return 0, nil, false
+	}
+	if b.lastOwner != nil && b.lastOwner != owner {
+		b.lastOwner.runClosed = true
+	}
+	b.lastOwner = owner
+
+	targetSeq, err := target.currentSeq()
+	if err != nil {
+		b.fail(fmt.Errorf("brmi: target of %s: %w", method, err))
+		return 0, nil, false
+	}
+
+	inv := invocationData{
+		Seq:         b.nextSeq,
+		Target:      targetSeq,
+		Method:      method,
+		Kind:        kind,
+		CursorOwner: NoCursor,
+	}
+	if owner != nil {
+		inv.CursorOwner = owner.seq
+	}
+	inv.Args = make([]batchArg, len(args))
+	for i, a := range args {
+		if ap := argProxy(a); ap != nil {
+			seq, err := ap.currentSeq()
+			if err != nil {
+				b.fail(fmt.Errorf("brmi: argument %d of %s: %w", i, method, err))
+				return 0, nil, false
+			}
+			inv.Args[i] = batchArg{IsRef: true, Seq: seq}
+			continue
+		}
+		w, err := b.peer.ToWire(a)
+		if err != nil {
+			b.fail(fmt.Errorf("brmi: argument %d of %s: %w", i, method, err))
+			return 0, nil, false
+		}
+		inv.Args[i] = batchArg{Val: w}
+	}
+
+	b.calls = append(b.calls, inv)
+	seq := b.nextSeq
+	b.nextSeq++
+	return seq, owner, true
+}
+
+// argProxy extracts the *Proxy behind an argument, unwrapping cursors and
+// generated typed stubs (which implement ProxyHolder).
+func argProxy(a any) *Proxy {
+	switch x := a.(type) {
+	case *Proxy:
+		return x
+	case *Cursor:
+		return &x.Proxy
+	case ProxyHolder:
+		return x.BatchProxy()
+	default:
+		return nil
+	}
+}
+
+// ProxyHolder is implemented by generated typed batch stubs so they can be
+// passed as arguments to recorded calls.
+type ProxyHolder interface {
+	BatchProxy() *Proxy
+}
+
+// fail records a sticky recording violation. Caller holds b.mu.
+func (b *Batch) fail(err error) {
+	if b.recErr == nil {
+		b.recErr = err
+	}
+}
+
+// --- flushing ----------------------------------------------------------------
+
+// Flush sends the recorded batch to the server for execution and closes the
+// chain: the server session (if any) is released (§3.2).
+func (b *Batch) Flush(ctx context.Context) error {
+	return b.flush(ctx, false)
+}
+
+// FlushAndContinue sends the recorded batch and keeps the server context so
+// a chained batch can use earlier results (§3.5).
+func (b *Batch) FlushAndContinue(ctx context.Context) error {
+	return b.flush(ctx, true)
+}
+
+func (b *Batch) flush(ctx context.Context, keep bool) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrBatchClosed
+	}
+	if b.recErr != nil {
+		err := &BatchError{Err: b.recErr}
+		b.failure = err
+		b.closed = true
+		b.mu.Unlock()
+		return err
+	}
+	req := &batchRequest{
+		Session:     b.session,
+		Root:        b.root.ObjID,
+		KeepSession: keep,
+		Calls:       b.calls,
+	}
+	if !b.sentPol {
+		req.Policy = b.policy
+	}
+	records := b.pending
+	b.calls = nil
+	b.pending = make(map[int64]*callRecord)
+	b.lastOwner = nil
+	b.mu.Unlock()
+
+	svcRef := rmi.SystemRef(b.root.Endpoint, rmi.BatchObjID, rmi.BatchIface)
+	res, err := b.peer.Call(ctx, svcRef, "InvokeBatch", req)
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err != nil {
+		var nso *rmi.NoSuchObjectError
+		if errors.As(err, &nso) && nso.ObjID == rmi.BatchObjID {
+			err = ErrNoBatchService
+		}
+		ferr := &BatchError{Err: err}
+		b.failure = ferr
+		b.closed = true
+		return ferr
+	}
+	resp, ok := res[0].(*batchResponse)
+	if !ok {
+		ferr := &BatchError{Err: fmt.Errorf("unexpected response type %T", res[0])}
+		b.failure = ferr
+		b.closed = true
+		return ferr
+	}
+
+	b.sentPol = true
+	b.session = resp.Session
+	b.distribute(records, resp)
+	if !keep {
+		b.closed = true
+	}
+	return nil
+}
+
+// distribute assigns results to futures, proxies, and cursors (§4.3).
+// Caller holds b.mu.
+func (b *Batch) distribute(records map[int64]*callRecord, resp *batchResponse) {
+	for i := range resp.Results {
+		r := &resp.Results[i]
+		rec, ok := records[r.Seq]
+		if !ok {
+			continue // response for a call we did not record; ignore
+		}
+		switch rec.kind {
+		case kindValue:
+			st := rec.future
+			st.settled = true
+			if rec.owner != nil {
+				st.block = r.Block
+				st.blockErrs = r.BlockErrs
+			} else {
+				st.err = r.Err
+				if st.err == nil {
+					st.val = b.peer.FromWire(r.Value)
+				}
+			}
+		case kindRemote:
+			p := rec.proxy
+			p.settled = true
+			p.failed = r.Err
+			if rec.owner != nil {
+				p.base = r.Base
+			}
+		case kindCursor:
+			c := rec.cursor
+			c.settled = true
+			c.flushed = true
+			c.failed = r.Err
+			c.count = r.Count
+			c.base = r.Base
+			c.pos = -1
+		}
+	}
+}

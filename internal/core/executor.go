@@ -1,0 +1,569 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/rmi"
+)
+
+// serverSeqBase is where server-assigned ids (cursor elements, per-element
+// results) start, far above any client sequence number.
+const serverSeqBase int64 = 1 << 40
+
+// DefaultSessionTTL bounds how long a chained-batch session survives
+// between flushes.
+const DefaultSessionTTL = time.Minute
+
+// Executor is the server side of BRMI: the system service that replays
+// recorded batches against local objects (paper Fig. 2, invokeBatch). It is
+// installed once per serving peer, which makes every exported object
+// batch-callable — the analogue of adding invokeBatch to
+// UnicastRemoteObject (§4.2).
+type Executor struct {
+	rmi.RemoteBase
+
+	peer *rmi.Peer
+	ttl  time.Duration
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	nextID   uint64
+	stopped  bool
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// session is the retained server context of a batch chain (§3.5): the
+// objects created by earlier flushes, addressable by sequence number, plus
+// the failure of each failed call for dependency propagation.
+type session struct {
+	root     any
+	policy   *Policy
+	objects  map[int64]any
+	failures map[int64]error
+	nextBase int64
+	expires  time.Time
+}
+
+// ExecOption configures the Executor.
+type ExecOption func(*Executor)
+
+// WithSessionTTL sets how long sessions survive between chained flushes.
+func WithSessionTTL(d time.Duration) ExecOption {
+	return func(e *Executor) { e.ttl = d }
+}
+
+// Install exports the batch executor on p at the reserved BRMI object id
+// and starts the session expiry sweeper. Call Stop (or close the peer and
+// Stop) on shutdown.
+func Install(p *rmi.Peer, opts ...ExecOption) (*Executor, error) {
+	e := &Executor{
+		peer:     p,
+		ttl:      DefaultSessionTTL,
+		sessions: make(map[uint64]*session),
+		done:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if _, err := p.ExportSystem(rmi.BatchObjID, e, rmi.BatchIface); err != nil {
+		return nil, fmt.Errorf("brmi: install executor: %w", err)
+	}
+	e.wg.Add(1)
+	go e.sweepLoop()
+	return e, nil
+}
+
+// Stop terminates the session sweeper. Idempotent.
+func (e *Executor) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.stopped = true
+	e.mu.Unlock()
+	close(e.done)
+	e.wg.Wait()
+}
+
+// NumSessions reports the live chained-batch sessions (for tests).
+func (e *Executor) NumSessions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.sessions)
+}
+
+func (e *Executor) sweepLoop() {
+	defer e.wg.Done()
+	interval := e.ttl / 4
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			now := time.Now()
+			e.mu.Lock()
+			for id, s := range e.sessions {
+				if now.After(s.expires) {
+					delete(e.sessions, id)
+				}
+			}
+			e.mu.Unlock()
+		case <-e.done:
+			return
+		}
+	}
+}
+
+// InvokeBatch is the remote method every flush calls: it decodes nothing
+// (the dispatch layer already did), replays the invocations in recording
+// order, applies the exception policy, and returns per-call results
+// (paper Fig. 2).
+func (e *Executor) InvokeBatch(ctx context.Context, req *batchRequest) (*batchResponse, error) {
+	sess, sessID, err := e.resolveSession(req)
+	if err != nil {
+		return nil, err
+	}
+
+	resp := &batchResponse{}
+	for restart := 0; ; restart++ {
+		results, again := e.runBatch(ctx, sess, req.Calls)
+		if !again || restart >= sess.policy.maxRestarts() {
+			resp.Results = results
+			resp.Restarts = int64(restart)
+			break
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if req.KeepSession && !e.stopped {
+		sess.expires = time.Now().Add(e.ttl)
+		e.sessions[sessID] = sess
+		resp.Session = sessID
+	} else {
+		delete(e.sessions, sessID)
+		resp.Session = 0
+	}
+	return resp, nil
+}
+
+func (e *Executor) resolveSession(req *batchRequest) (*session, uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if req.Session != 0 {
+		sess, ok := e.sessions[req.Session]
+		if !ok {
+			return nil, 0, &SessionExpiredError{Session: req.Session}
+		}
+		return sess, req.Session, nil
+	}
+	root, ok := e.peer.LocalObject(req.Root)
+	if !ok {
+		return nil, 0, &rmi.NoSuchObjectError{ObjID: req.Root}
+	}
+	policy := req.Policy
+	if policy == nil {
+		policy = AbortPolicy()
+	}
+	e.nextID++
+	sess := &session{
+		root:     root,
+		policy:   policy,
+		objects:  make(map[int64]any),
+		failures: make(map[int64]error),
+		nextBase: serverSeqBase,
+		expires:  time.Now().Add(e.ttl),
+	}
+	return sess, e.nextID, nil
+}
+
+// execState threads the abort/restart condition through one run.
+type execState struct {
+	aborted  error // non-nil: skip everything after the break point
+	restart  bool
+	occIndex map[string]int // per-method occurrence counter for policy rules
+}
+
+// runBatch replays calls once. It returns the per-call results and whether
+// an ActionRestart demands re-execution.
+func (e *Executor) runBatch(ctx context.Context, sess *session, calls []invocationData) ([]callResult, bool) {
+	st := &execState{occIndex: make(map[string]int)}
+	results := make([]callResult, len(calls))
+
+	for i := 0; i < len(calls); i++ {
+		call := &calls[i]
+		if call.Kind == kindCursor {
+			// Consume the cursor call and its contiguous owned sub-batch.
+			j := i + 1
+			for j < len(calls) && calls[j].CursorOwner == call.Seq {
+				j++
+			}
+			e.runCursor(ctx, sess, st, call, calls[i+1:j], results[i:j])
+			if st.restart {
+				return results, true
+			}
+			i = j - 1
+			continue
+		}
+		if call.CursorOwner != NoCursor {
+			// Owned call without its cursor preceding it: recording bug.
+			results[i] = callResult{Seq: call.Seq, Err: fmt.Errorf("brmi: orphan cursor call %s", call.Method)}
+			continue
+		}
+		results[i] = e.runCall(ctx, sess, st, call, nil, st.nextOcc(call.Method))
+		if st.restart {
+			return results, true
+		}
+	}
+	return results, false
+}
+
+// nextOcc returns the occurrence index of method (0-based count of its
+// appearances so far), used by custom policy rules.
+func (st *execState) nextOcc(method string) int {
+	occ := st.occIndex[method]
+	st.occIndex[method] = occ + 1
+	return occ
+}
+
+// runCall executes one non-cursor invocation. overlay, when non-nil, holds
+// the per-element bindings of an in-progress cursor iteration. occ is the
+// call's recording-order occurrence index for policy rule matching.
+func (e *Executor) runCall(ctx context.Context, sess *session, st *execState, call *invocationData, overlay map[int64]any, occ int) callResult {
+	res := callResult{Seq: call.Seq}
+
+	if st.aborted != nil {
+		res.Skipped = true
+		res.Err = st.aborted
+		e.markFailure(sess, overlay, call.Seq, st.aborted)
+		return res
+	}
+
+	target, depErr := e.resolve(sess, overlay, call.Target)
+	if depErr != nil {
+		res.Skipped = true
+		res.Err = depErr
+		e.markFailure(sess, overlay, call.Seq, depErr)
+		return res
+	}
+
+	args := make([]any, len(call.Args))
+	for i, a := range call.Args {
+		if !a.IsRef {
+			args[i] = a.Val
+			continue
+		}
+		v, depErr := e.resolve(sess, overlay, a.Seq)
+		if depErr != nil {
+			res.Skipped = true
+			res.Err = depErr
+			e.markFailure(sess, overlay, call.Seq, depErr)
+			return res
+		}
+		args[i] = v
+	}
+
+	out, err := e.execWithPolicy(ctx, sess, st, target, call.Method, args, occ, &res)
+	if err != nil {
+		res.Err = err
+		e.markFailure(sess, overlay, call.Seq, err)
+		return res
+	}
+	if st.restart {
+		return res
+	}
+
+	switch call.Kind {
+	case kindRemote:
+		v := single(out)
+		if v == nil {
+			err := fmt.Errorf("brmi: %s returned nil remote object", call.Method)
+			res.Err = err
+			e.markFailure(sess, overlay, call.Seq, err)
+			return res
+		}
+		if _, ok := v.(rmi.Remote); !ok {
+			err := &KindMismatchError{Method: call.Method, Want: "Call (result is not a remote object)"}
+			res.Err = err
+			e.markFailure(sess, overlay, call.Seq, err)
+			return res
+		}
+		e.bind(sess, overlay, call.Seq, v)
+	default: // kindValue
+		v := single(out)
+		if _, ok := v.(rmi.Remote); ok {
+			err := &KindMismatchError{Method: call.Method, Want: "CallBatch"}
+			res.Err = err
+			e.markFailure(sess, overlay, call.Seq, err)
+			return res
+		}
+		w, werr := e.peer.ToWire(v)
+		if werr != nil {
+			res.Err = fmt.Errorf("brmi: marshal result of %s: %w", call.Method, werr)
+			return res
+		}
+		res.Value = w
+	}
+	return res
+}
+
+// execWithPolicy runs the method, applying the session's exception policy:
+// Repeat retries in place, Break aborts the batch, Restart re-runs it,
+// Continue records the error (paper §3.3).
+func (e *Executor) execWithPolicy(ctx context.Context, sess *session, st *execState, target any, method string, args []any, occ int, res *callResult) ([]any, error) {
+	var lastErr error
+	maxAttempts := sess.policy.maxAttempts()
+	for attempt := 1; ; attempt++ {
+		res.Attempts = int64(attempt)
+		out, err := e.peer.InvokeLocal(ctx, target, method, args)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		switch sess.policy.actionFor(err, method, occ) {
+		case ActionRepeat:
+			if attempt < maxAttempts {
+				continue
+			}
+			return nil, lastErr // retries exhausted; record and move on
+		case ActionRestart:
+			st.restart = true
+			return nil, lastErr
+		case ActionContinue:
+			return nil, lastErr
+		default: // ActionBreak
+			st.aborted = lastErr
+			return nil, lastErr
+		}
+	}
+}
+
+// runCursor executes a cursor-creating call and its owned sub-batch once
+// per element of the returned slice (§3.4, §4.2: "cursors are implemented
+// by executing a sub-batch of methods for each item in the array").
+func (e *Executor) runCursor(ctx context.Context, sess *session, st *execState, call *invocationData, owned []invocationData, results []callResult) {
+	res := &results[0]
+	res.Seq = call.Seq
+	for k := range owned {
+		results[1+k].Seq = owned[k].Seq
+	}
+	occ := st.nextOcc(call.Method)
+	ownedOcc := make([]int, len(owned))
+	for k := range owned {
+		ownedOcc[k] = st.nextOcc(owned[k].Method)
+	}
+
+	fail := func(err error, skipped bool) {
+		res.Err = err
+		res.Skipped = skipped
+		sess.failures[call.Seq] = err
+		for k := range owned {
+			results[1+k].Err = err
+			results[1+k].Skipped = true
+			sess.failures[owned[k].Seq] = err
+		}
+	}
+
+	if st.aborted != nil {
+		fail(st.aborted, true)
+		return
+	}
+	target, depErr := e.resolve(sess, nil, call.Target)
+	if depErr != nil {
+		fail(depErr, true)
+		return
+	}
+	args := make([]any, len(call.Args))
+	for i, a := range call.Args {
+		if !a.IsRef {
+			args[i] = a.Val
+			continue
+		}
+		v, depErr := e.resolve(sess, nil, a.Seq)
+		if depErr != nil {
+			fail(depErr, true)
+			return
+		}
+		args[i] = v
+	}
+
+	out, err := e.execWithPolicy(ctx, sess, st, target, call.Method, args, occ, res)
+	if st.restart {
+		return
+	}
+	if err != nil {
+		fail(err, false)
+		return
+	}
+
+	elems, err := sliceElements(single(out))
+	if err != nil {
+		err = &KindMismatchError{Method: call.Method, Want: "Call (result is not a slice)"}
+		fail(err, false)
+		return
+	}
+
+	n := len(elems)
+	res.Count = int64(n)
+	res.Base = sess.alloc(n)
+	for i, el := range elems {
+		sess.objects[res.Base+int64(i)] = el
+	}
+
+	// Allocate per-element blocks for owned calls.
+	for k := range owned {
+		r := &results[1+k]
+		r.Count = int64(n)
+		switch owned[k].Kind {
+		case kindValue:
+			r.Block = make([]any, n)
+			r.BlockErrs = make([]any, n)
+		case kindRemote:
+			r.Base = sess.alloc(n)
+			r.BlockErrs = make([]any, n)
+		case kindCursor:
+			r.Err = ErrNestedCursor
+		}
+	}
+
+	// Execute the sub-batch once per element ("all of the cursor operations
+	// are performed at the point when the cursor value is created", §4.2).
+	for i := 0; i < n; i++ {
+		overlay := map[int64]any{call.Seq: elems[i]}
+		for k := range owned {
+			oc := &owned[k]
+			r := &results[1+k]
+			if oc.Kind == kindCursor {
+				continue
+			}
+			elemRes := e.runCall(ctx, sess, st, oc, overlay, ownedOcc[k])
+			if st.restart {
+				return
+			}
+			switch oc.Kind {
+			case kindValue:
+				r.Block[i] = elemRes.Value
+				if elemRes.Err != nil {
+					r.BlockErrs[i] = elemRes.Err
+				}
+			case kindRemote:
+				if elemRes.Err != nil {
+					r.BlockErrs[i] = elemRes.Err
+					// Chained batches address per-element results at
+					// Base+i; record the failure there for propagation.
+					sess.failures[r.Base+int64(i)] = elemRes.Err
+				} else if v, ok := overlay[oc.Seq]; ok {
+					sess.objects[r.Base+int64(i)] = v
+				}
+			}
+		}
+		if st.aborted != nil {
+			// Mark the untouched tail of every block with the abort error.
+			for k := range owned {
+				r := &results[1+k]
+				if r.BlockErrs == nil {
+					continue
+				}
+				for j := i + 1; j < n; j++ {
+					r.BlockErrs[j] = st.aborted
+				}
+			}
+			return
+		}
+	}
+}
+
+// resolve maps a sequence number to its live object, consulting the
+// per-element overlay first, then the session. A sequence whose creating
+// call failed yields that call's error, implementing dependency-aware
+// exception propagation ("the get method of a future rethrows any exception
+// on which the future's value depends", §3.3).
+func (e *Executor) resolve(sess *session, overlay map[int64]any, seq int64) (any, error) {
+	if seq == RootTarget {
+		return sess.root, nil
+	}
+	if overlay != nil {
+		if v, ok := overlay[seq]; ok {
+			return v, nil
+		}
+		if err, ok := overlay[^seq].(error); ok { // per-element failure marker
+			return nil, err
+		}
+	}
+	if v, ok := sess.objects[seq]; ok {
+		return v, nil
+	}
+	if err, ok := sess.failures[seq]; ok {
+		return nil, err
+	}
+	return nil, fmt.Errorf("brmi: unknown batch object %d", seq)
+}
+
+// bind stores a call's remote result under its sequence number: in the
+// overlay during a cursor iteration, else in the session.
+func (e *Executor) bind(sess *session, overlay map[int64]any, seq int64, v any) {
+	if overlay != nil {
+		overlay[seq] = v
+		return
+	}
+	sess.objects[seq] = v
+}
+
+// markFailure records a call's failure for dependency propagation.
+func (e *Executor) markFailure(sess *session, overlay map[int64]any, seq int64, err error) {
+	if overlay != nil {
+		overlay[^seq] = err
+		return
+	}
+	sess.failures[seq] = err
+}
+
+// alloc reserves n consecutive server-assigned ids.
+func (s *session) alloc(n int) int64 {
+	base := s.nextBase
+	s.nextBase += int64(n)
+	if n == 0 {
+		s.nextBase++
+	}
+	return base
+}
+
+// single collapses a method's results to one value, as remote methods have
+// at most one non-error result in the paper's model; multi-result Go
+// methods yield a slice.
+func single(out []any) any {
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	default:
+		return out
+	}
+}
+
+// sliceElements returns the elements of any slice value.
+func sliceElements(v any) ([]any, error) {
+	if v == nil {
+		return nil, fmt.Errorf("nil slice")
+	}
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Slice && rv.Kind() != reflect.Array {
+		return nil, fmt.Errorf("%T is not a slice", v)
+	}
+	out := make([]any, rv.Len())
+	for i := range out {
+		out[i] = rv.Index(i).Interface()
+	}
+	return out, nil
+}

@@ -1,0 +1,7 @@
+package core
+
+// PolicyActionForTest exposes the policy matcher to the external test
+// package for property testing.
+func PolicyActionForTest(p *Policy, err error, method string, index int) Action {
+	return p.actionFor(err, method, index)
+}

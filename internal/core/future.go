@@ -1,0 +1,121 @@
+package core
+
+import (
+	"repro/internal/wire"
+)
+
+// Future is the placeholder for a batched call's result (§2, §3.2). It is
+// created at recording time and populated by Flush. Reading it earlier
+// returns ErrPending; reading it after a failed dependency rethrows the
+// error the value depends on (§3.3).
+type Future struct {
+	st *futureState
+}
+
+// futureState carries the settled result. For futures created within a
+// cursor, the value is a column of the cursor's result block and changes
+// with the cursor position (§3.4, "the future values may change on each
+// iteration of the loop").
+type futureState struct {
+	b   *Batch
+	seq int64
+
+	settled bool
+	val     any
+	err     error
+
+	cursor    *Cursor
+	block     []any
+	blockErrs []any
+}
+
+// Get returns the settled value. Before flush it returns ErrPending; if the
+// batch failed as a whole it returns that BatchError; if the call (or a call
+// it depends on) threw, it rethrows that error.
+func (f *Future) Get() (any, error) {
+	if f == nil || f.st == nil {
+		return nil, ErrPending
+	}
+	return f.st.get()
+}
+
+// Err returns only the error part of Get. Useful for void methods, whose
+// futures exist solely for exception checking (§3.3: "a remote method that
+// returns void has type Future<Void> ... so its exceptions can also be
+// checked").
+func (f *Future) Err() error {
+	_, err := f.Get()
+	return err
+}
+
+func (s *futureState) get() (any, error) {
+	// The whole read happens under the batch lock: settlement, batch-wide
+	// failure, and the cursor position must be observed consistently.
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+
+	if !s.settled {
+		if s.b.failure != nil {
+			return nil, s.b.failure
+		}
+		return nil, ErrPending
+	}
+	if s.cursor != nil {
+		pos := s.cursor.pos
+		switch {
+		case s.cursor.failed != nil:
+			return nil, s.cursor.failed
+		case pos < 0:
+			return nil, ErrCursorNotStarted
+		case pos >= int(s.cursor.count):
+			return nil, ErrCursorExhausted
+		}
+		if int(pos) < len(s.blockErrs) {
+			if e, ok := s.blockErrs[pos].(error); ok && e != nil {
+				return nil, e
+			}
+		}
+		if int(pos) < len(s.block) {
+			return s.b.peer.FromWire(s.block[pos]), nil
+		}
+		return nil, nil
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s.val, nil
+}
+
+// TypedFuture wraps a Future with a concrete result type, the Go analogue
+// of the paper's Future<T>. Generated batch interfaces return TypedFutures.
+type TypedFuture[T any] struct {
+	f *Future
+}
+
+// Typed views f as producing values of type T.
+func Typed[T any](f *Future) TypedFuture[T] { return TypedFuture[T]{f: f} }
+
+// Get returns the settled, typed value.
+func (tf TypedFuture[T]) Get() (T, error) {
+	var zero T
+	v, err := tf.f.Get()
+	if err != nil {
+		return zero, err
+	}
+	return convertTo[T](v)
+}
+
+// Future returns the underlying dynamic future.
+func (tf TypedFuture[T]) Future() *Future { return tf.f }
+
+// convertTo adapts wire-decoded dynamic values (int64, uint64, float64, ...)
+// to the requested static type.
+func convertTo[T any](v any) (T, error) {
+	return wire.As[T](v)
+}
+
+// Convert adapts a wire-decoded dynamic value to a static type. Generated
+// batch interfaces use it for result conversion.
+func Convert[T any](v any) (T, error) {
+	return wire.As[T](v)
+}

@@ -1,0 +1,118 @@
+package core
+
+import "repro/internal/wire"
+
+// Return kinds a recorded call can have. The client decides the kind by
+// which recording method the programmer used (Call / CallBatch /
+// CallCursor); the server validates it against the actual result shape.
+const (
+	kindValue  int64 = 1 // result (possibly void) is returned to a future
+	kindRemote int64 = 2 // result is a remote object kept server-side (§4.2)
+	kindCursor int64 = 3 // result is a slice; sub-batch runs per element (§3.4)
+)
+
+// invocationData is the wire form of one recorded call (paper's
+// InvocationData, Fig. 3).
+type invocationData struct {
+	// Seq is the client-assigned sequence number identifying this call and
+	// any batch object it creates (§4.1).
+	Seq int64
+	// Target is the sequence number of the proxy the call was made on, or
+	// RootTarget for the batch root.
+	Target int64
+	// Method is the remote method name.
+	Method string
+	// Kind is one of kindValue/kindRemote/kindCursor.
+	Kind int64
+	// Args carries each argument as either a value or a proxy reference.
+	Args []batchArg
+	// CursorOwner is the Seq of the cursor this call belongs to, or
+	// NoCursor. Cursor-owned calls execute once per array element.
+	CursorOwner int64
+}
+
+// RootTarget marks a call on the batch root object.
+const RootTarget int64 = -1
+
+// NoCursor marks a call that is not part of a cursor sub-batch.
+const NoCursor int64 = -1
+
+// batchArg is one argument: a serialized value or a reference to a batch
+// object created earlier in the chain ("only the identifier of the stub is
+// needed", §4.1).
+type batchArg struct {
+	IsRef bool
+	Seq   int64
+	Val   any
+}
+
+// batchRequest is the payload of one flush (the invokeBatch call).
+type batchRequest struct {
+	// Session is 0 for the first flush of a chain, or the id returned by a
+	// previous FlushAndContinue.
+	Session uint64
+	// Root is the export id of the batch's root remote object; used when
+	// Session == 0 to create the server context.
+	Root uint64
+	// KeepSession requests that the server retain the object table for a
+	// chained batch (§3.5).
+	KeepSession bool
+	// Policy is the exception policy for the whole chain; sent on the
+	// first flush.
+	Policy *Policy
+	// Calls are the recorded invocations, in recording order.
+	Calls []invocationData
+}
+
+// callResult is the outcome of one recorded call.
+type callResult struct {
+	Seq int64
+	// Err is the exception this call threw, or the error of the dependency
+	// it could not be executed without, or nil.
+	Err error
+	// Skipped reports the call never ran (aborted batch or failed
+	// dependency); Err then carries the originating exception, so futures
+	// rethrow the error they depend on (§3.3).
+	Skipped bool
+	// Value is the call's result for kindValue calls.
+	Value any
+	// Base is the server-assigned id region for per-element objects:
+	// for kindCursor calls the elements live at Base..Base+Count-1; for
+	// kindRemote calls owned by a cursor, the per-element results live at
+	// Base..Base+Count-1 as well.
+	Base int64
+	// Count is the cursor element count (kindCursor) or the block length.
+	Count int64
+	// Block holds per-element values for kindValue calls owned by a cursor.
+	Block []any
+	// BlockErrs holds per-element errors parallel to Block (entries nil on
+	// success). Also used for cursor-owned kindRemote calls.
+	BlockErrs []any
+	// Attempts counts executions when ActionRepeat was applied (>=1).
+	Attempts int64
+}
+
+// batchResponse is the reply to a flush.
+type batchResponse struct {
+	// Session is the id to use for the next chained flush (0 when the
+	// session was closed).
+	Session uint64
+	// Results has one entry per request call, in request order.
+	Results []callResult
+	// Restarts counts whole-batch restarts that ActionRestart caused.
+	Restarts int64
+}
+
+func init() {
+	// Codec type registration (deterministic, no I/O).
+	wire.MustRegister("brmi.req", &batchRequest{})
+	wire.MustRegister("brmi.resp", &batchResponse{})
+	wire.MustRegister("brmi.inv", invocationData{})
+	wire.MustRegister("brmi.arg", batchArg{})
+	wire.MustRegister("brmi.result", callResult{})
+	wire.MustRegister("brmi.policy", &Policy{})
+	wire.MustRegister("brmi.rule", Rule{})
+	wire.MustRegisterError("brmi.SessionExpired", &SessionExpiredError{})
+	wire.MustRegisterError("brmi.KindMismatch", &KindMismatchError{})
+	wire.MustRegisterError("brmi.BatchError", &BatchError{})
+}

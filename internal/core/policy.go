@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Action directs batch execution after a call throws (paper §3.3).
+type Action int
+
+// Actions, mirroring the paper's ExceptionAction enum.
+const (
+	// ActionBreak stops the batch; remaining calls are skipped.
+	ActionBreak Action = iota + 1
+	// ActionContinue records the error and keeps executing; calls that
+	// depend on the failed one fail with its error.
+	ActionContinue
+	// ActionRepeat re-executes the failing call (bounded by MaxAttempts).
+	ActionRepeat
+	// ActionRestart re-executes the whole batch from its first call
+	// (bounded by MaxRestarts).
+	ActionRestart
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionBreak:
+		return "Break"
+	case ActionContinue:
+		return "Continue"
+	case ActionRepeat:
+		return "Repeat"
+	case ActionRestart:
+		return "Restart"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// AnyIndex matches a rule against every position of a method in the batch.
+const AnyIndex = -1
+
+// Rule matches one (exception type, method, call index) combination to an
+// action. Empty ErrType or Method and AnyIndex act as wildcards.
+type Rule struct {
+	// ErrType is the wire type name of the exception (wire.TypeNameOf).
+	ErrType string
+	// Method restricts the rule to calls of this method name.
+	Method string
+	// Index restricts the rule to the Index-th recorded call of that
+	// method within the batch (0-based), or AnyIndex.
+	Index int
+	// Act is the action to take.
+	Act Action
+}
+
+// Policy specifies how the server-side executor reacts to exceptions during
+// batch replay. Policies are plain data — no mobile code (§3.3): the three
+// paper policies are AbortPolicy, ContinuePolicy, and CustomPolicy values.
+type Policy struct {
+	// Default is the action for exceptions no rule matches.
+	Default Action
+	// Rules are evaluated most-specific-first (see actionFor).
+	Rules []Rule
+	// MaxAttempts bounds ActionRepeat executions of one call (total tries).
+	MaxAttempts int
+	// MaxRestarts bounds ActionRestart re-executions of the batch.
+	MaxRestarts int
+}
+
+// Defaults for repeat/restart bounds; the paper leaves them unbounded, which
+// would loop forever on a deterministic failure.
+const (
+	DefaultMaxAttempts = 3
+	DefaultMaxRestarts = 3
+)
+
+// AbortPolicy aborts the batch on the first exception (the default, §3.3).
+func AbortPolicy() *Policy {
+	return &Policy{Default: ActionBreak, MaxAttempts: DefaultMaxAttempts, MaxRestarts: DefaultMaxRestarts}
+}
+
+// ContinuePolicy always continues past exceptions (§3.3).
+func ContinuePolicy() *Policy {
+	return &Policy{Default: ActionContinue, MaxAttempts: DefaultMaxAttempts, MaxRestarts: DefaultMaxRestarts}
+}
+
+// CustomPolicy starts from a Continue default and lets the caller add
+// per-exception rules, mirroring the paper's CustomPolicy class.
+func CustomPolicy() *Policy {
+	return &Policy{Default: ActionContinue, MaxAttempts: DefaultMaxAttempts, MaxRestarts: DefaultMaxRestarts}
+}
+
+// SetDefaultAction sets the action used when no rule matches.
+func (p *Policy) SetDefaultAction(a Action) *Policy {
+	p.Default = a
+	return p
+}
+
+// SetAction adds a rule: when a call of method at the given occurrence index
+// (AnyIndex for any) throws an exception whose wire type name is errType,
+// take the given action. This mirrors the paper's
+// setAction(methodName, index, exception, status).
+func (p *Policy) SetAction(errType, method string, index int, a Action) *Policy {
+	p.Rules = append(p.Rules, Rule{ErrType: errType, Method: method, Index: index, Act: a})
+	return p
+}
+
+// SetActionForError adds a rule matching an example error value's type at
+// any method and index.
+func (p *Policy) SetActionForError(sample error, a Action) *Policy {
+	return p.SetAction(wire.TypeNameOf(sample), "", AnyIndex, a)
+}
+
+// actionFor picks the action for err thrown by the index-th occurrence of
+// method. Specificity order: (type,method,index) > (type,method,any) >
+// (type,any,any) > (any,method,index) > (any,method,any) > default.
+func (p *Policy) actionFor(err error, method string, index int) Action {
+	if p == nil {
+		return ActionBreak
+	}
+	errType := wire.TypeNameOf(err)
+	best := Action(0)
+	bestScore := -1
+	for _, r := range p.Rules {
+		score := 0
+		if r.ErrType != "" {
+			if r.ErrType != errType {
+				continue
+			}
+			score += 4
+		}
+		if r.Method != "" {
+			if r.Method != method {
+				continue
+			}
+			score += 2
+		}
+		if r.Index != AnyIndex {
+			if r.Index != index {
+				continue
+			}
+			score++
+		}
+		if score > bestScore {
+			bestScore = score
+			best = r.Act
+		}
+	}
+	if bestScore >= 0 && best != 0 {
+		return best
+	}
+	if p.Default != 0 {
+		return p.Default
+	}
+	return ActionBreak
+}
+
+// maxAttempts returns the bounded repeat count.
+func (p *Policy) maxAttempts() int {
+	if p == nil || p.MaxAttempts <= 0 {
+		return DefaultMaxAttempts
+	}
+	return p.MaxAttempts
+}
+
+// maxRestarts returns the bounded restart count.
+func (p *Policy) maxRestarts() int {
+	if p == nil || p.MaxRestarts <= 0 {
+		return DefaultMaxRestarts
+	}
+	return p.MaxRestarts
+}

@@ -1,0 +1,218 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// opSpec is one randomly generated client operation. Kind selects the
+// operation, Sel selects a file name or an existing proxy.
+type opSpec struct {
+	Kind uint8
+	Sel  uint8
+}
+
+const (
+	opGetFile uint8 = iota
+	opGetName
+	opGetSize
+	opRootNames
+	opKinds
+)
+
+// expected is the oracle's prediction for one future: a value or an error
+// type name.
+type expected struct {
+	errIs string // "", "notfound", "permission"
+	value any
+}
+
+// TestQuickBatchMatchesDirectExecution is the core correctness property of
+// explicit batching (§3): executing an arbitrary recorded program in ONE
+// batch with the continue policy yields, future by future, exactly the
+// outcome of executing the same calls directly — including dependency-aware
+// error propagation.
+func TestQuickBatchMatchesDirectExecution(t *testing.T) {
+	fx := newFixture(t)
+	ctx := context.Background()
+
+	names := []string{"index.html", "A.txt", "B.txt", "secret.bin", "missing.txt", "ghost.dat"}
+	// Model mirror of the fixture (name -> size, locked); missing files
+	// are absent.
+	sizes := map[string]int{"index.html": 1024, "A.txt": 42, "B.txt": 77, "secret.bin": 512}
+	locked := map[string]bool{"secret.bin": true}
+
+	runProgram := func(ops []opSpec) error {
+		if len(ops) > 40 {
+			ops = ops[:40]
+		}
+		b := core.New(fx.client, fx.dirRef, core.WithPolicy(core.ContinuePolicy()))
+		root := b.Root()
+
+		type proxyState struct {
+			p    *core.Proxy
+			name string
+			ok   bool // oracle: file exists
+		}
+		var proxies []proxyState
+		var futures []*core.Future
+		var oracle []expected
+
+		for _, op := range ops {
+			switch op.Kind % opKinds {
+			case opGetFile:
+				name := names[int(op.Sel)%len(names)]
+				_, exists := sizes[name]
+				proxies = append(proxies, proxyState{
+					p:    root.CallBatch("GetFile", name),
+					name: name,
+					ok:   exists,
+				})
+			case opGetName:
+				if len(proxies) == 0 {
+					continue
+				}
+				ps := proxies[int(op.Sel)%len(proxies)]
+				futures = append(futures, ps.p.Call("GetName"))
+				if ps.ok {
+					oracle = append(oracle, expected{value: ps.name})
+				} else {
+					oracle = append(oracle, expected{errIs: "notfound"})
+				}
+			case opGetSize:
+				if len(proxies) == 0 {
+					continue
+				}
+				ps := proxies[int(op.Sel)%len(proxies)]
+				futures = append(futures, ps.p.Call("GetSize"))
+				switch {
+				case !ps.ok:
+					oracle = append(oracle, expected{errIs: "notfound"})
+				case locked[ps.name]:
+					oracle = append(oracle, expected{errIs: "permission"})
+				default:
+					oracle = append(oracle, expected{value: int64(sizes[ps.name])})
+				}
+			case opRootNames:
+				futures = append(futures, root.Call("Names"))
+				oracle = append(oracle, expected{value: nil}) // checked loosely below
+			}
+		}
+
+		if err := root.Flush(ctx); err != nil {
+			return fmt.Errorf("flush: %w", err)
+		}
+
+		for i, f := range futures {
+			want := oracle[i]
+			got, err := f.Get()
+			switch want.errIs {
+			case "notfound":
+				var fnf *fileNotFoundError
+				if !errors.As(err, &fnf) {
+					return fmt.Errorf("future %d: got %v, want fileNotFoundError", i, err)
+				}
+			case "permission":
+				var pe *permissionError
+				if !errors.As(err, &pe) {
+					return fmt.Errorf("future %d: got %v, want permissionError", i, err)
+				}
+			default:
+				if err != nil {
+					return fmt.Errorf("future %d: unexpected error %v", i, err)
+				}
+				if want.value != nil && got != want.value {
+					return fmt.Errorf("future %d: got %#v, want %#v", i, got, want.value)
+				}
+			}
+		}
+		return nil
+	}
+
+	f := func(ops []opSpec) bool {
+		if err := runProgram(ops); err != nil {
+			t.Logf("program %v: %v", ops, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCursorBlocksMatchElements: for random directory sizes, a cursor
+// over AllFiles with GetName yields exactly the per-element names, in order.
+func TestQuickCursorBlocksMatchElements(t *testing.T) {
+	ctx := context.Background()
+	f := func(n uint8) bool {
+		count := int(n % 17)
+		fx := newFixture(t)
+		fx.dir.mu.Lock()
+		fx.dir.files = nil
+		for i := 0; i < count; i++ {
+			fx.dir.files = append(fx.dir.files, &file{
+				dir: fx.dir, name: fmt.Sprintf("f%03d", i), size: i, date: baseDate(1 + i%27),
+			})
+		}
+		fx.dir.mu.Unlock()
+
+		b := core.New(fx.client, fx.dirRef)
+		cursor := b.Root().CallCursor("AllFiles")
+		name := cursor.Call("GetName")
+		if err := b.Flush(ctx); err != nil {
+			t.Logf("flush: %v", err)
+			return false
+		}
+		got, err := cursor.Len()
+		if err != nil || got != count {
+			t.Logf("len: %v %d want %d", err, got, count)
+			return false
+		}
+		i := 0
+		for cursor.Next() {
+			v, err := core.Typed[string](name).Get()
+			if err != nil || v != fmt.Sprintf("f%03d", i) {
+				t.Logf("element %d: %v %q", i, err, v)
+				return false
+			}
+			i++
+		}
+		return i == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPolicyActionForTotal: actionFor must return a valid action for
+// arbitrary rule sets (never zero / never panics).
+func TestQuickPolicyActionForTotal(t *testing.T) {
+	f := func(rules []struct {
+		ErrType, Method uint8
+		Index           int8
+		Act             uint8
+	}, errPick, methodPick uint8, index uint8) bool {
+		p := core.CustomPolicy()
+		errNames := []string{"", "coretest.Permission", "coretest.FileNotFound"}
+		methods := []string{"", "GetSize", "GetName"}
+		for _, r := range rules {
+			act := core.Action(int(r.Act)%4) + core.ActionBreak
+			if act > core.ActionRestart {
+				act = core.ActionBreak
+			}
+			p.SetAction(errNames[int(r.ErrType)%3], methods[int(r.Method)%3], int(r.Index), act)
+		}
+		err := &permissionError{File: "x"}
+		got := core.PolicyActionForTest(p, err, methods[int(methodPick)%3], int(index))
+		return got >= core.ActionBreak && got <= core.ActionRestart
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package integration_test exercises the full stack end to end: registry
+// bootstrap, generated typed stubs, batching with cursors and chained
+// sessions — over both the simulated wireless link and the operating
+// system's real TCP loopback.
+package integration_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/examples/fileserver/remotefs"
+	"repro/internal/codegen/fstest"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/rmi"
+	"repro/internal/transport"
+)
+
+func silentLogf(string, ...any) {}
+
+// startFileServer exports a MemDirectory on a serving peer with registry
+// and batch executor installed.
+func startFileServer(t *testing.T, network transport.Network, endpoint string, files int) *rmi.Peer {
+	t.Helper()
+	server := rmi.NewPeer(network, rmi.WithLogf(silentLogf))
+	if err := server.Serve(endpoint); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = server.Close() })
+	exec, err := core.Install(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(exec.Stop)
+	if _, err := registry.Start(server); err != nil {
+		t.Fatal(err)
+	}
+	dir := remotefs.NewMemDirectory(files, files*1024, time.Date(2009, 6, 22, 0, 0, 0, 0, time.UTC))
+	ref, err := server.Export(dir, remotefs.DirectoryIfaceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := registry.Bind(context.Background(), server, endpoint, "root", ref); err != nil {
+		t.Fatal(err)
+	}
+	return server
+}
+
+// fullScenario is the complete client workflow: lookup, typed RMI listing,
+// batched cursor listing, chained deletion — asserting round-trip budgets.
+func fullScenario(t *testing.T, network transport.Network, endpoint string) {
+	t.Helper()
+	ctx := context.Background()
+	const files = 6
+	startFileServer(t, network, endpoint, files)
+
+	client := rmi.NewPeer(network, rmi.WithLogf(silentLogf))
+	t.Cleanup(func() { _ = client.Close() })
+
+	ref, err := registry.Lookup(ctx, client, endpoint, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Typed RMI: 1 + n round trips for names.
+	before := client.CallCount()
+	dir := remotefs.NewDirectoryStub(client.Deref(ref))
+	listed, err := dir.ListFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != files {
+		t.Fatalf("listed %d files", len(listed))
+	}
+	for _, f := range listed {
+		if _, err := f.GetName(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := client.CallCount() - before; got != 1+files {
+		t.Fatalf("RMI listing used %d round trips, want %d", got, 1+files)
+	}
+
+	// BRMI cursor: everything in one round trip.
+	before = client.CallCount()
+	bdir, _ := remotefs.NewBatchDirectory(client, ref)
+	cursor := bdir.ListFiles()
+	names := cursor.GetName()
+	lengths := cursor.Length()
+	if err := bdir.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for cursor.Next() {
+		if _, err := names.Get(); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := lengths.Get(); err != nil || v != 1024 {
+			t.Fatalf("length: %v %d", err, v)
+		}
+		count++
+	}
+	if count != files {
+		t.Fatalf("cursor iterated %d", count)
+	}
+	if got := client.CallCount() - before; got != 1 {
+		t.Fatalf("BRMI listing used %d round trips, want 1", got)
+	}
+
+	// Chained deletion: two round trips, decided client-side.
+	before = client.CallCount()
+	bdir2, _ := remotefs.NewBatchDirectory(client, ref)
+	cursor2 := bdir2.ListFiles()
+	date := cursor2.LastModified()
+	if err := bdir2.FlushAndContinue(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cutoff := time.Date(2009, 6, 24, 0, 0, 0, 0, time.UTC)
+	deleted := 0
+	for cursor2.Next() {
+		d, err := date.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Before(cutoff) {
+			_ = cursor2.Delete()
+			deleted++
+		}
+	}
+	remaining := bdir2.Count()
+	if err := bdir2.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	left, err := remaining.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 2 || left != files-deleted {
+		t.Fatalf("deleted=%d left=%d", deleted, left)
+	}
+	if got := client.CallCount() - before; got != 2 {
+		t.Fatalf("chained deletion used %d round trips, want 2", got)
+	}
+}
+
+func TestFullScenarioWirelessProfile(t *testing.T) {
+	// Scaled wireless keeps the test fast while exercising real latency.
+	network := netsim.New(netsim.Wireless.Scaled(100))
+	defer network.Close()
+	fullScenario(t, network, "fs")
+}
+
+func TestFullScenarioRealTCP(t *testing.T) {
+	// Reserve a loopback port, then serve on it: TCP endpoints must be
+	// dialable addresses since they travel inside remote references.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+	fullScenario(t, transport.TCPNetwork{}, addr)
+}
+
+// TestTwoServersOneClient: refs from different servers keep their own
+// endpoints; batches go to the right executor.
+func TestTwoServersOneClient(t *testing.T) {
+	network := netsim.New(netsim.Instant)
+	defer network.Close()
+	startFileServer(t, network, "alpha", 2)
+	startFileServer(t, network, "beta", 5)
+
+	client := rmi.NewPeer(network, rmi.WithLogf(silentLogf))
+	defer client.Close()
+	ctx := context.Background()
+
+	for _, tc := range []struct {
+		endpoint string
+		want     int
+	}{{"alpha", 2}, {"beta", 5}} {
+		ref, err := registry.Lookup(ctx, client, tc.endpoint, "root")
+		if err != nil {
+			t.Fatal(err)
+		}
+		bdir, _ := remotefs.NewBatchDirectory(client, ref)
+		count := bdir.Count()
+		if err := bdir.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := count.Get(); err != nil || v != tc.want {
+			t.Fatalf("%s: %v %d want %d", tc.endpoint, err, v, tc.want)
+		}
+	}
+}
+
+// TestCrossPackageIfaceIsolation: two generated packages (remotefs and
+// fstest) coexist in one process: their stub factories are registered under
+// distinct interface names.
+func TestCrossPackageIfaceIsolation(t *testing.T) {
+	if remotefs.DirectoryIfaceName == fstest.DirectoryIfaceName {
+		t.Fatalf("interface names collide: %q", remotefs.DirectoryIfaceName)
+	}
+}
+
+// TestServerRestartInvalidatesSessions: a chained batch across a server
+// restart fails with a session error rather than corrupting state.
+func TestServerRestartInvalidatesSessions(t *testing.T) {
+	network := netsim.New(netsim.Instant)
+	defer network.Close()
+	server := startFileServer(t, network, "fs", 3)
+
+	client := rmi.NewPeer(network, rmi.WithLogf(silentLogf))
+	defer client.Close()
+	ctx := context.Background()
+	ref, err := registry.Lookup(ctx, client, "fs", "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdir, _ := remotefs.NewBatchDirectory(client, ref)
+	f := bdir.GetFile("file-00.txt")
+	if err := bdir.FlushAndContinue(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	_ = server.Close()
+	startFileServer(t, network, "fs", 3) // fresh server, fresh sessions
+
+	_ = f.GetName()
+	err = bdir.Flush(ctx)
+	if err == nil {
+		t.Fatal("chained flush across restart succeeded")
+	}
+	var se *core.SessionExpiredError
+	var be *core.BatchError
+	if !errors.As(err, &se) && !errors.As(err, &be) {
+		t.Fatalf("got %v, want session/batch error", err)
+	}
+}

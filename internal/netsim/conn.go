@@ -1,0 +1,191 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// connPair creates the two endpoints of a simulated full-duplex connection.
+// Each direction is an independent link with its own serialization horizon,
+// so concurrent traffic in both directions does not contend for bandwidth
+// (full duplex, like switched Ethernet and unlike shared-medium Wi-Fi; the
+// request/response pattern of RMI never overlaps directions anyway).
+func connPair(p Profile, endpoint string) (client, server net.Conn) {
+	c2s := newLink(p)
+	s2c := newLink(p)
+	client = &conn{rd: s2c, wr: c2s, local: simAddr("client->" + endpoint), remote: simAddr(endpoint)}
+	server = &conn{rd: c2s, wr: s2c, local: simAddr(endpoint), remote: simAddr("client->" + endpoint)}
+	return client, server
+}
+
+// link is one direction of a simulated connection: a FIFO of byte chunks,
+// each stamped with the simulated time at which it becomes visible to the
+// reader. Delivery time models both transmission (bytes/bandwidth, which
+// serializes back-to-back writes) and propagation (one-way latency).
+type link struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	profile  Profile
+	queue    []chunk
+	closed   bool
+	nextFree time.Time // when the link finishes transmitting queued bytes
+
+	readDeadline time.Time
+}
+
+type chunk struct {
+	data []byte
+	due  time.Time
+}
+
+func newLink(p Profile) *link {
+	l := &link{profile: p}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// write enqueues b for delayed delivery. It never blocks: the link models an
+// unbounded sender-side socket buffer, which is accurate enough for
+// request/response workloads whose outstanding data is bounded by design.
+func (l *link) write(b []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, io.ErrClosedPipe
+	}
+	now := time.Now()
+	start := l.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	txEnd := start.Add(l.profile.txTime(len(b)))
+	l.nextFree = txEnd
+	data := make([]byte, len(b))
+	copy(data, b)
+	l.queue = append(l.queue, chunk{data: data, due: txEnd.Add(l.profile.oneWay())})
+	l.cond.Broadcast()
+	return len(b), nil
+}
+
+// read blocks until data is due, the link closes (EOF after drain), or the
+// read deadline passes.
+func (l *link) read(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if !l.readDeadline.IsZero() && !time.Now().Before(l.readDeadline) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		if len(l.queue) > 0 {
+			head := &l.queue[0]
+			now := time.Now()
+			if !head.due.After(now) {
+				n := copy(p, head.data)
+				if n == len(head.data) {
+					l.queue = l.queue[1:]
+					if len(l.queue) == 0 {
+						l.queue = nil
+					}
+				} else {
+					head.data = head.data[n:]
+				}
+				return n, nil
+			}
+			l.waitUntil(head.due)
+			continue
+		}
+		if l.closed {
+			return 0, io.EOF
+		}
+		l.waitUntil(time.Time{})
+	}
+}
+
+// waitUntil sleeps on the condition variable, waking no later than `due`
+// (or the read deadline, whichever is earlier). Zero due means wait for a
+// broadcast only. Caller holds l.mu.
+func (l *link) waitUntil(due time.Time) {
+	wake := due
+	if !l.readDeadline.IsZero() && (wake.IsZero() || l.readDeadline.Before(wake)) {
+		wake = l.readDeadline
+	}
+	if wake.IsZero() {
+		l.cond.Wait()
+		return
+	}
+	d := time.Until(wake)
+	if d <= 0 {
+		return
+	}
+	// The timer callback MUST take the lock before broadcasting: a bare
+	// Broadcast could fire in the window between arming the timer and the
+	// caller parking in Wait, and with request/response traffic no later
+	// write would ever re-signal the link (lost wakeup, permanent hang).
+	// Holding the lock serializes the broadcast after the Wait unlock.
+	t := time.AfterFunc(d, func() {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	})
+	l.cond.Wait()
+	t.Stop()
+}
+
+func (l *link) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+func (l *link) setReadDeadline(t time.Time) {
+	l.mu.Lock()
+	l.readDeadline = t
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// conn is one endpoint of a simulated connection.
+type conn struct {
+	rd     *link
+	wr     *link
+	local  net.Addr
+	remote net.Addr
+
+	closeOnce sync.Once
+}
+
+var _ net.Conn = (*conn)(nil)
+
+func (c *conn) Read(p []byte) (int, error)  { return c.rd.read(p) }
+func (c *conn) Write(p []byte) (int, error) { return c.wr.write(p) }
+
+// Close shuts both directions: the peer sees EOF after draining in-flight
+// data; local reads unblock with EOF as well.
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.wr.close()
+		c.rd.close()
+	})
+	return nil
+}
+
+func (c *conn) LocalAddr() net.Addr  { return c.local }
+func (c *conn) RemoteAddr() net.Addr { return c.remote }
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	return nil
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline is a no-op: simulated writes never block.
+func (c *conn) SetWriteDeadline(time.Time) error { return nil }

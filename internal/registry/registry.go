@@ -1,0 +1,187 @@
+// Package registry implements the naming service that plays the role of the
+// RMI Registry (paper §2): a well-known remote object that maps names to
+// remote references so clients can bootstrap their first stub.
+//
+// The registry is itself an ordinary remote object served by internal/rmi at
+// the reserved object id rmi.RegistryObjID, so "looking up the registry" and
+// "calling a remote object" are the same mechanism — exactly as in Java RMI.
+package registry
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+// AlreadyBoundError reports a Bind against a name that is taken.
+type AlreadyBoundError struct {
+	Name string
+}
+
+func (e *AlreadyBoundError) Error() string {
+	return fmt.Sprintf("registry: name %q already bound", e.Name)
+}
+
+// NotBoundError reports a Lookup or Unbind against an unknown name.
+type NotBoundError struct {
+	Name string
+}
+
+func (e *NotBoundError) Error() string {
+	return fmt.Sprintf("registry: name %q not bound", e.Name)
+}
+
+func init() {
+	wire.MustRegisterError("registry.AlreadyBound", &AlreadyBoundError{})
+	wire.MustRegisterError("registry.NotBound", &NotBoundError{})
+}
+
+// Service is the registry remote object. Its exported methods form the
+// remote interface: Bind, Rebind, Lookup, Unbind, List.
+type Service struct {
+	rmi.RemoteBase
+
+	mu       sync.Mutex
+	bindings map[string]wire.Ref
+}
+
+// Start exports a fresh registry service on p at the reserved registry id.
+func Start(p *rmi.Peer) (*Service, error) {
+	s := &Service{bindings: make(map[string]wire.Ref)}
+	if _, err := p.ExportSystem(rmi.RegistryObjID, s, rmi.RegistryIface); err != nil {
+		return nil, fmt.Errorf("registry: start: %w", err)
+	}
+	return s, nil
+}
+
+// Bind associates name with ref; it fails if name is taken.
+func (s *Service) Bind(name string, ref wire.Ref) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.bindings[name]; ok {
+		return &AlreadyBoundError{Name: name}
+	}
+	s.bindings[name] = ref
+	return nil
+}
+
+// Rebind associates name with ref, replacing any existing binding.
+func (s *Service) Rebind(name string, ref wire.Ref) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bindings[name] = ref
+}
+
+// Lookup resolves name to its bound reference.
+func (s *Service) Lookup(name string) (wire.Ref, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref, ok := s.bindings[name]
+	if !ok {
+		return wire.Ref{}, &NotBoundError{Name: name}
+	}
+	return ref, nil
+}
+
+// Unbind removes name's binding.
+func (s *Service) Unbind(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.bindings[name]; !ok {
+		return &NotBoundError{Name: name}
+	}
+	delete(s.bindings, name)
+	return nil
+}
+
+// List returns all bound names, sorted.
+func (s *Service) List() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.bindings))
+	for n := range s.bindings {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- client helpers ---------------------------------------------------------
+
+func registryRef(endpoint string) wire.Ref {
+	return rmi.SystemRef(endpoint, rmi.RegistryObjID, rmi.RegistryIface)
+}
+
+// Lookup resolves name at the registry running on endpoint, via p.
+// It returns the raw reference; use p.Deref or p.DerefTyped to obtain a
+// stub (this mirrors Naming.lookup returning a stub).
+func Lookup(ctx context.Context, p *rmi.Peer, endpoint, name string) (wire.Ref, error) {
+	res, err := p.Call(ctx, registryRef(endpoint), "Lookup", name)
+	if err != nil {
+		return wire.Ref{}, err
+	}
+	return refFromResult(res)
+}
+
+// Bind binds name to ref at the registry on endpoint.
+func Bind(ctx context.Context, p *rmi.Peer, endpoint, name string, ref wire.Ref) error {
+	_, err := p.Call(ctx, registryRef(endpoint), "Bind", name, ref)
+	return err
+}
+
+// Rebind binds name to ref at the registry on endpoint, replacing any
+// existing binding.
+func Rebind(ctx context.Context, p *rmi.Peer, endpoint, name string, ref wire.Ref) error {
+	_, err := p.Call(ctx, registryRef(endpoint), "Rebind", name, ref)
+	return err
+}
+
+// Unbind removes name at the registry on endpoint.
+func Unbind(ctx context.Context, p *rmi.Peer, endpoint, name string) error {
+	_, err := p.Call(ctx, registryRef(endpoint), "Unbind", name)
+	return err
+}
+
+// List returns the names bound at the registry on endpoint.
+func List(ctx context.Context, p *rmi.Peer, endpoint string) ([]string, error) {
+	res, err := p.Call(ctx, registryRef(endpoint), "List")
+	if err != nil {
+		return nil, err
+	}
+	if len(res) == 0 || res[0] == nil {
+		return nil, nil
+	}
+	generic, ok := res[0].([]any)
+	if !ok {
+		return nil, fmt.Errorf("registry: unexpected List result %T", res[0])
+	}
+	names := make([]string, 0, len(generic))
+	for _, v := range generic {
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("registry: unexpected List element %T", v)
+		}
+		names = append(names, s)
+	}
+	return names, nil
+}
+
+// refFromResult unwraps a reference from a call result, which arrives as a
+// stub (the client runtime turns refs into stubs on arrival).
+func refFromResult(res []any) (wire.Ref, error) {
+	if len(res) != 1 {
+		return wire.Ref{}, fmt.Errorf("registry: unexpected result arity %d", len(res))
+	}
+	switch v := res[0].(type) {
+	case rmi.RefHolder:
+		return v.Ref(), nil
+	case wire.Ref:
+		return v, nil
+	default:
+		return wire.Ref{}, fmt.Errorf("registry: unexpected result type %T", v)
+	}
+}

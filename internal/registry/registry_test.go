@@ -1,0 +1,170 @@
+package registry_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/rmi"
+)
+
+func silentLogf(string, ...any) {}
+
+type greeter struct {
+	rmi.RemoteBase
+}
+
+func (g *greeter) Greet(name string) string { return "hello " + name }
+
+func setup(t *testing.T) (server, client *rmi.Peer) {
+	t.Helper()
+	network := netsim.New(netsim.Instant)
+	t.Cleanup(func() { _ = network.Close() })
+	server = rmi.NewPeer(network, rmi.WithLogf(silentLogf))
+	if err := server.Serve("srv"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = server.Close() })
+	if _, err := registry.Start(server); err != nil {
+		t.Fatal(err)
+	}
+	client = rmi.NewPeer(network, rmi.WithLogf(silentLogf))
+	t.Cleanup(func() { _ = client.Close() })
+	return server, client
+}
+
+func TestBindLookupInvoke(t *testing.T) {
+	server, client := setup(t)
+	ref, err := server.Export(&greeter{}, "test.Greeter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := registry.Bind(ctx, client, "srv", "greeter", ref); err != nil {
+		t.Fatal(err)
+	}
+	got, err := registry.Lookup(ctx, client, "srv", "greeter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref {
+		t.Fatalf("lookup = %v, want %v", got, ref)
+	}
+	// The looked-up reference is callable.
+	res, err := client.Call(ctx, got, "Greet", "world")
+	if err != nil || res[0].(string) != "hello world" {
+		t.Fatalf("call through looked-up ref: %v %#v", err, res)
+	}
+}
+
+func TestBindDuplicateFails(t *testing.T) {
+	server, client := setup(t)
+	ref, _ := server.Export(&greeter{}, "test.Greeter")
+	ctx := context.Background()
+	if err := registry.Bind(ctx, client, "srv", "g", ref); err != nil {
+		t.Fatal(err)
+	}
+	err := registry.Bind(ctx, client, "srv", "g", ref)
+	var abe *registry.AlreadyBoundError
+	if !errors.As(err, &abe) || abe.Name != "g" {
+		t.Fatalf("got %v, want AlreadyBoundError{g}", err)
+	}
+}
+
+func TestRebindReplaces(t *testing.T) {
+	server, client := setup(t)
+	g1 := &greeter{}
+	g2 := &greeter{}
+	ref1, _ := server.Export(g1, "test.Greeter")
+	ref2, _ := server.Export(g2, "test.Greeter")
+	ctx := context.Background()
+	if err := registry.Bind(ctx, client, "srv", "g", ref1); err != nil {
+		t.Fatal(err)
+	}
+	if err := registry.Rebind(ctx, client, "srv", "g", ref2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := registry.Lookup(ctx, client, "srv", "g")
+	if err != nil || got != ref2 {
+		t.Fatalf("got %v %v, want %v", err, got, ref2)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, client := setup(t)
+	_, err := registry.Lookup(context.Background(), client, "srv", "ghost")
+	var nbe *registry.NotBoundError
+	if !errors.As(err, &nbe) || nbe.Name != "ghost" {
+		t.Fatalf("got %v, want NotBoundError{ghost}", err)
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	server, client := setup(t)
+	ref, _ := server.Export(&greeter{}, "test.Greeter")
+	ctx := context.Background()
+	if err := registry.Bind(ctx, client, "srv", "g", ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := registry.Unbind(ctx, client, "srv", "g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := registry.Lookup(ctx, client, "srv", "g"); err == nil {
+		t.Fatal("lookup after unbind succeeded")
+	}
+	err := registry.Unbind(ctx, client, "srv", "g")
+	var nbe *registry.NotBoundError
+	if !errors.As(err, &nbe) {
+		t.Fatalf("double unbind: got %v, want NotBoundError", err)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	server, client := setup(t)
+	ref, _ := server.Export(&greeter{}, "test.Greeter")
+	ctx := context.Background()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := registry.Bind(ctx, client, "srv", n, ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := registry.List(ctx, client, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("got %v, want %v", names, want)
+	}
+}
+
+func TestListEmpty(t *testing.T) {
+	_, client := setup(t)
+	names, err := registry.List(context.Background(), client, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("got %v", names)
+	}
+}
+
+func TestLookupAgainstNoRegistry(t *testing.T) {
+	network := netsim.New(netsim.Instant)
+	defer network.Close()
+	server := rmi.NewPeer(network, rmi.WithLogf(silentLogf))
+	if err := server.Serve("bare"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client := rmi.NewPeer(network, rmi.WithLogf(silentLogf))
+	defer client.Close()
+	_, err := registry.Lookup(context.Background(), client, "bare", "x")
+	var nso *rmi.NoSuchObjectError
+	if !errors.As(err, &nso) {
+		t.Fatalf("got %v, want NoSuchObjectError", err)
+	}
+}

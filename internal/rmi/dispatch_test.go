@@ -1,0 +1,114 @@
+package rmi_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+// kitchen exercises the argument-conversion matrix of the dispatch layer.
+type kitchen struct {
+	rmi.RemoteBase
+}
+
+type settings struct {
+	Name  string
+	Knobs map[string]int64
+}
+
+func (k *kitchen) Float32In(f float32) float64    { return float64(f) }
+func (k *kitchen) Uints(a uint8, b uint64) uint64 { return uint64(a) + b }
+func (k *kitchen) FloatFromInt(f float64) float64 { return f * 2 }
+func (k *kitchen) IntFromFloat(n int) int         { return n + 1 }
+func (k *kitchen) MapArg(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+func (k *kitchen) StructPtr(s *settings) string     { return s.Name }
+func (k *kitchen) StructVal(s settings) int         { return len(s.Knobs) }
+func (k *kitchen) Durations(d time.Duration) string { return d.String() }
+func (k *kitchen) Times(t time.Time) int            { return t.Year() }
+func (k *kitchen) Bytes(b []byte) int               { return len(b) }
+func (k *kitchen) NilSlice(xs []int) int            { return len(xs) }
+func (k *kitchen) Variadic(xs ...int) int           { return len(xs) }
+
+func init() {
+	wire.MustRegister("rmitest.Settings", settings{})
+}
+
+func kitchenPair(t *testing.T) (*rmi.Peer, wire.Ref) {
+	t.Helper()
+	server, client := newPair(t)
+	ref, err := server.Export(&kitchen{}, "test.Kitchen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, ref
+}
+
+func TestDispatchArgumentConversions(t *testing.T) {
+	client, ref := kitchenPair(t)
+	ctx := context.Background()
+	tests := []struct {
+		name   string
+		method string
+		args   []any
+		want   any
+	}{
+		{"float32 param", "Float32In", []any{float32(1.5)}, 1.5},
+		{"uint widths", "Uints", []any{uint8(2), uint64(40)}, uint64(42)},
+		{"int arg into float param", "FloatFromInt", []any{3}, 6.0},
+		{"map arg", "MapArg", []any{map[string]int{"a": 1, "b": 2}}, int64(3)},
+		{"struct ptr param from value", "StructPtr", []any{settings{Name: "cfg"}}, "cfg"},
+		{"struct val param", "StructVal", []any{settings{Knobs: map[string]int64{"x": 1}}}, int64(1)},
+		{"duration", "Durations", []any{1500 * time.Millisecond}, "1.5s"},
+		{"time", "Times", []any{time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC)}, int64(2009)},
+		{"bytes", "Bytes", []any{[]byte{1, 2, 3}}, int64(3)},
+		{"nil slice", "NilSlice", []any{nil}, int64(0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := client.Call(ctx, ref, tt.method, tt.args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != 1 || res[0] != tt.want {
+				t.Fatalf("got %#v (%T), want %#v", res[0], res[0], tt.want)
+			}
+		})
+	}
+}
+
+func TestDispatchRejectsVariadic(t *testing.T) {
+	client, ref := kitchenPair(t)
+	if _, err := client.Call(context.Background(), ref, "Variadic", 1, 2); err == nil {
+		t.Fatal("variadic remote method accepted")
+	}
+}
+
+func TestDispatchRejectsWrongArgType(t *testing.T) {
+	client, ref := kitchenPair(t)
+	if _, err := client.Call(context.Background(), ref, "MapArg", "not a map"); err == nil {
+		t.Fatal("string accepted as map parameter")
+	}
+}
+
+func TestRegistryAndSystemRefHelpers(t *testing.T) {
+	ref := rmi.SystemRef("ep", rmi.RegistryObjID, rmi.RegistryIface)
+	if ref.Endpoint != "ep" || ref.ObjID != rmi.RegistryObjID || ref.Iface != rmi.RegistryIface {
+		t.Fatalf("SystemRef = %+v", ref)
+	}
+}
+
+func TestUnexportedMethodsHidden(t *testing.T) {
+	client, ref := kitchenPair(t)
+	if _, err := client.Call(context.Background(), ref, "remoteObject"); err == nil {
+		t.Fatal("marker method callable remotely")
+	}
+}

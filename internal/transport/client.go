@@ -1,0 +1,280 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client issues requests to a single endpoint over one shared connection,
+// multiplexing concurrent calls by request id. It redials transparently
+// after a connection failure. Safe for concurrent use.
+type Client struct {
+	network  Network
+	endpoint string
+
+	mu      sync.Mutex
+	conn    net.Conn
+	writer  *frameWriter
+	nextID  uint64
+	pending map[uint64]chan response
+	closed  bool
+	readers sync.WaitGroup
+}
+
+type response struct {
+	payload []byte
+	err     error
+}
+
+// NewClient creates a client for endpoint. No connection is opened until
+// the first Call.
+func NewClient(network Network, endpoint string) *Client {
+	return &Client{
+		network:  network,
+		endpoint: endpoint,
+		pending:  make(map[uint64]chan response),
+	}
+}
+
+// Endpoint returns the endpoint this client dials.
+func (c *Client) Endpoint() string { return c.endpoint }
+
+// Call sends payload and blocks until the response, a connection failure,
+// or ctx cancellation. On cancellation the pending entry is abandoned; a
+// late response is discarded.
+func (c *Client) Call(ctx context.Context, payload []byte) ([]byte, error) {
+	ch, id, fw, err := c.register(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := fw.write(frameRequest, id, payload); err != nil {
+		c.unregister(id)
+		c.dropConn(fw)
+		return nil, fmt.Errorf("transport: send to %s: %w", c.endpoint, err)
+	}
+	select {
+	case resp := <-ch:
+		return resp.payload, resp.err
+	case <-ctx.Done():
+		c.unregister(id)
+		return nil, ctx.Err()
+	}
+}
+
+// CallOneWay sends payload without waiting for a response. Used by the DGC
+// substrate for clean calls on shutdown paths.
+func (c *Client) CallOneWay(ctx context.Context, payload []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	fw, err := c.connLocked(ctx)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	id := c.nextID
+	c.nextID++
+	c.mu.Unlock()
+
+	if err := fw.write(frameOneWay, id, payload); err != nil {
+		c.dropConn(fw)
+		return fmt.Errorf("transport: send to %s: %w", c.endpoint, err)
+	}
+	return nil
+}
+
+// register allocates a request id, ensures a live connection, and installs
+// the response channel.
+func (c *Client) register(ctx context.Context) (chan response, uint64, *frameWriter, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, 0, nil, ErrClosed
+	}
+	fw, err := c.connLocked(ctx)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	id := c.nextID
+	c.nextID++
+	ch := make(chan response, 1)
+	c.pending[id] = ch
+	return ch, id, fw, nil
+}
+
+func (c *Client) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// connLocked returns the current frame writer, dialing if necessary.
+// Caller holds c.mu.
+func (c *Client) connLocked(ctx context.Context) (*frameWriter, error) {
+	if c.conn != nil {
+		return c.writer, nil
+	}
+	conn, err := c.network.Dial(ctx, c.endpoint)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", c.endpoint, err)
+	}
+	c.conn = conn
+	c.writer = newFrameWriter(conn)
+	c.readers.Add(1)
+	go c.readLoop(conn)
+	return c.writer, nil
+}
+
+// readLoop delivers responses until the connection dies, then fails all
+// pending calls that were issued on that connection.
+func (c *Client) readLoop(conn net.Conn) {
+	defer c.readers.Done()
+	for {
+		kind, id, payload, err := readFrame(conn)
+		if err != nil {
+			c.failConn(conn, fmt.Errorf("transport: connection to %s lost: %w", c.endpoint, err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		if ok {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if !ok {
+			continue // canceled call; drop late response
+		}
+		switch kind {
+		case frameRespOK:
+			ch <- response{payload: payload}
+		case frameRespErr:
+			ch <- response{err: &HandlerError{Endpoint: c.endpoint, Msg: string(payload)}}
+		default:
+			ch <- response{err: fmt.Errorf("transport: unexpected frame kind %d from %s", kind, c.endpoint)}
+		}
+	}
+}
+
+// failConn tears down conn (if still current) and fails all pending calls.
+func (c *Client) failConn(conn net.Conn, err error) {
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+		c.writer = nil
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan response)
+	c.mu.Unlock()
+
+	_ = conn.Close()
+	for _, ch := range pending {
+		ch <- response{err: err}
+	}
+}
+
+// dropConn closes the connection behind fw if it is still current, forcing
+// the next call to redial.
+func (c *Client) dropConn(fw *frameWriter) {
+	c.mu.Lock()
+	var conn net.Conn
+	if c.writer == fw {
+		conn = c.conn
+		c.conn = nil
+		c.writer = nil
+	}
+	c.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// Close terminates the connection and fails outstanding calls with
+// ErrClosed. Idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.readers.Wait()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	c.writer = nil
+	pending := c.pending
+	c.pending = make(map[uint64]chan response)
+	c.mu.Unlock()
+
+	if conn != nil {
+		_ = conn.Close()
+	}
+	for _, ch := range pending {
+		ch <- response{err: ErrClosed}
+	}
+	c.readers.Wait()
+	return nil
+}
+
+// Pool caches one Client per endpoint, mirroring RMI's connection reuse.
+// Safe for concurrent use.
+type Pool struct {
+	network Network
+
+	mu      sync.Mutex
+	clients map[string]*Client
+	closed  bool
+}
+
+// NewPool creates an empty client pool over network.
+func NewPool(network Network) *Pool {
+	return &Pool{network: network, clients: make(map[string]*Client)}
+}
+
+// Get returns the pooled client for endpoint, creating it if needed.
+func (p *Pool) Get(endpoint string) (*Client, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if c, ok := p.clients[endpoint]; ok {
+		return c, nil
+	}
+	c := NewClient(p.network, endpoint)
+	p.clients[endpoint] = c
+	return c, nil
+}
+
+// Call is shorthand for Get(endpoint).Call(ctx, payload).
+func (p *Pool) Call(ctx context.Context, endpoint string, payload []byte) ([]byte, error) {
+	c, err := p.Get(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	return c.Call(ctx, payload)
+}
+
+// Close closes every pooled client.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	clients := make([]*Client, 0, len(p.clients))
+	for _, c := range p.clients {
+		clients = append(clients, c)
+	}
+	p.clients = nil
+	p.mu.Unlock()
+
+	for _, c := range clients {
+		_ = c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// frameWriter serializes frame writes onto a shared connection.
+type frameWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+}
+
+func newFrameWriter(w io.Writer) *frameWriter {
+	return &frameWriter{w: w}
+}
+
+// write sends one frame. It is safe for concurrent use.
+func (fw *frameWriter) write(kind byte, id uint64, payload []byte) error {
+	n := frameHeader + len(payload)
+	if n > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	fw.buf = fw.buf[:0]
+	fw.buf = binary.BigEndian.AppendUint32(fw.buf, uint32(n))
+	fw.buf = append(fw.buf, kind)
+	fw.buf = binary.BigEndian.AppendUint64(fw.buf, id)
+	fw.buf = append(fw.buf, payload...)
+	_, err := fw.w.Write(fw.buf)
+	return err
+}
+
+// readFrame reads one frame from r. The returned payload is freshly
+// allocated and safe to retain.
+func readFrame(r io.Reader) (kind byte, id uint64, payload []byte, err error) {
+	var hdr [4 + frameHeader]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrameSize {
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	if n < frameHeader {
+		return 0, 0, nil, fmt.Errorf("transport: short frame (%d bytes)", n)
+	}
+	kind = hdr[4]
+	id = binary.BigEndian.Uint64(hdr[5:])
+	payload = make([]byte, n-frameHeader)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return kind, id, payload, nil
+}

@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+)
+
+// Server accepts connections from a Network listener and dispatches request
+// frames to a Handler. Responses may complete out of order; the request id
+// correlates them.
+type Server struct {
+	handler Handler
+	logf    func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	wg sync.WaitGroup // accept loop + per-conn loops + in-flight handlers
+
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithLogf routes server diagnostics (connection failures) to logf instead
+// of the standard logger. Pass a no-op to silence.
+func WithLogf(logf func(format string, args ...any)) ServerOption {
+	return func(s *Server) { s.logf = logf }
+}
+
+// NewServer creates a Server that dispatches to handler.
+func NewServer(handler Handler, opts ...ServerOption) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		handler: handler,
+		logf:    log.Printf,
+		conns:   make(map[net.Conn]struct{}),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Serve begins accepting connections on l. It returns immediately; use
+// Close to stop. Serve may be called once per server.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.listener != nil {
+		s.mu.Unlock()
+		return errors.New("transport: Serve called twice")
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !s.track(conn) {
+			_ = conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(conn)
+	defer conn.Close()
+
+	fw := newFrameWriter(conn)
+	for {
+		kind, id, payload, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrClosedPipe) {
+				s.logf("transport: server read: %v", err)
+			}
+			return
+		}
+		switch kind {
+		case frameRequest, frameOneWay:
+			s.wg.Add(1)
+			go s.dispatch(fw, kind, id, payload)
+		default:
+			s.logf("transport: server ignoring frame kind %d", kind)
+		}
+	}
+}
+
+func (s *Server) dispatch(fw *frameWriter, kind byte, id uint64, payload []byte) {
+	defer s.wg.Done()
+	resp, err := s.handler(s.ctx, payload)
+	if kind == frameOneWay {
+		return
+	}
+	if err != nil {
+		if werr := fw.write(frameRespErr, id, []byte(err.Error())); werr != nil {
+			s.logf("transport: server write error response: %v", werr)
+		}
+		return
+	}
+	if werr := fw.write(frameRespOK, id, resp); werr != nil {
+		s.logf("transport: server write response: %v", werr)
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for in-flight
+// handlers to drain. It is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	s.cancel()
+	if l != nil {
+		_ = l.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

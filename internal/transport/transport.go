@@ -1,0 +1,89 @@
+// Package transport implements the message transport beneath the RMI
+// substrate: length-framed, request-ID-multiplexed request/response exchange
+// over any net.Conn provider.
+//
+// It plays the role JRMP (the RMI wire protocol) plays for Java RMI. The
+// payloads are opaque byte slices; internal/rmi encodes its call frames with
+// internal/wire and hands them to a Client, and serves them via a Server.
+//
+// A Network abstracts connection establishment so the same client/server
+// code runs over real TCP (TCPNetwork) or the simulated links provided by
+// internal/netsim.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+)
+
+// Network provides connections between named endpoints. Implementations:
+// TCPNetwork (host:port endpoints) and netsim.Network (in-memory simulated
+// links). Implementations must be safe for concurrent use.
+type Network interface {
+	// Dial opens a connection to the named endpoint.
+	Dial(ctx context.Context, endpoint string) (net.Conn, error)
+	// Listen starts accepting connections at the named endpoint.
+	Listen(endpoint string) (net.Listener, error)
+}
+
+// Frame layout (after the 4-byte big-endian length prefix):
+//
+//	1 byte  kind (request / response-ok / response-error)
+//	8 bytes request id (big endian)
+//	N bytes payload
+const (
+	frameRequest byte = 1
+	frameRespOK  byte = 2
+	frameRespErr byte = 3 // payload is a UTF-8 error string
+	frameOneWay  byte = 4 // request with no response expected
+	frameHeader       = 1 + 8
+)
+
+// MaxFrameSize bounds a single message. Frames beyond this are rejected on
+// both send and receive, protecting against corrupt length prefixes.
+const MaxFrameSize = 64 << 20
+
+// Exported errors.
+var (
+	// ErrClosed reports use of a closed client or server.
+	ErrClosed = errors.New("transport: closed")
+
+	// ErrTooLarge reports a frame exceeding MaxFrameSize.
+	ErrTooLarge = errors.New("transport: frame too large")
+)
+
+// HandlerError is the client-side form of an error string returned by the
+// remote handler at the transport level (the request never reached, or blew
+// up inside, the application dispatcher).
+type HandlerError struct {
+	Endpoint string
+	Msg      string
+}
+
+func (e *HandlerError) Error() string {
+	return fmt.Sprintf("transport: remote handler at %s: %s", e.Endpoint, e.Msg)
+}
+
+// Handler processes one request payload and returns the response payload.
+// Handlers run concurrently; they must be safe for concurrent use. A
+// returned error is transported to the caller as a HandlerError.
+type Handler func(ctx context.Context, payload []byte) ([]byte, error)
+
+// TCPNetwork implements Network over the operating system's TCP stack.
+// Endpoints are "host:port" strings.
+type TCPNetwork struct{}
+
+var _ Network = TCPNetwork{}
+
+// Dial implements Network.
+func (TCPNetwork) Dial(ctx context.Context, endpoint string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", endpoint)
+}
+
+// Listen implements Network.
+func (TCPNetwork) Listen(endpoint string) (net.Listener, error) {
+	return net.Listen("tcp", endpoint)
+}

@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// As adapts a wire-decoded dynamic value (int64, uint64, float64, string,
+// []any, ...) to the static type T. Generated stubs and typed futures use it
+// to give callers the declared result types back.
+func As[T any](v any) (T, error) {
+	var zero T
+	if v == nil {
+		return zero, nil
+	}
+	if t, ok := v.(T); ok {
+		return t, nil
+	}
+	want := reflect.TypeOf(zero)
+	if want == nil {
+		// T is a non-empty interface the dynamic value does not implement.
+		return zero, fmt.Errorf("wire: value %T does not implement %T", v, zero)
+	}
+	rv := reflect.ValueOf(v)
+	if isNumericKind(rv.Kind()) && isNumericKind(want.Kind()) {
+		return rv.Convert(want).Interface().(T), nil
+	}
+	if rv.Kind() == want.Kind() && rv.Type().ConvertibleTo(want) {
+		return rv.Convert(want).Interface().(T), nil
+	}
+	if rv.Kind() == reflect.Slice && want.Kind() == reflect.Slice {
+		out := reflect.MakeSlice(want, rv.Len(), rv.Len())
+		et := want.Elem()
+		for i := 0; i < rv.Len(); i++ {
+			el := rv.Index(i).Interface()
+			if el == nil {
+				continue
+			}
+			ev := reflect.ValueOf(el)
+			switch {
+			case ev.Type().AssignableTo(et):
+				out.Index(i).Set(ev)
+			case isNumericKind(ev.Kind()) && isNumericKind(et.Kind()):
+				out.Index(i).Set(ev.Convert(et))
+			default:
+				return zero, fmt.Errorf("wire: cannot convert element %d (%T) to %s", i, el, et)
+			}
+		}
+		return out.Interface().(T), nil
+	}
+	return zero, fmt.Errorf("wire: cannot convert %T to %s", v, want)
+}
+
+func isNumericKind(k reflect.Kind) bool {
+	switch k {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestAsExactType(t *testing.T) {
+	if v, err := As[string]("x"); err != nil || v != "x" {
+		t.Fatalf("got %q %v", v, err)
+	}
+	if v, err := As[int64](int64(7)); err != nil || v != 7 {
+		t.Fatalf("got %d %v", v, err)
+	}
+}
+
+func TestAsNilYieldsZero(t *testing.T) {
+	if v, err := As[int](nil); err != nil || v != 0 {
+		t.Fatalf("got %d %v", v, err)
+	}
+	if v, err := As[string](nil); err != nil || v != "" {
+		t.Fatalf("got %q %v", v, err)
+	}
+	if v, err := As[[]int](nil); err != nil || v != nil {
+		t.Fatalf("got %v %v", v, err)
+	}
+}
+
+func TestAsNumericConversions(t *testing.T) {
+	if v, err := As[int](int64(42)); err != nil || v != 42 {
+		t.Fatalf("int: %d %v", v, err)
+	}
+	if v, err := As[int32](int64(-9)); err != nil || v != -9 {
+		t.Fatalf("int32: %d %v", v, err)
+	}
+	if v, err := As[float64](int64(3)); err != nil || v != 3.0 {
+		t.Fatalf("float64: %v %v", v, err)
+	}
+	if v, err := As[uint16](uint64(65535)); err != nil || v != 65535 {
+		t.Fatalf("uint16: %d %v", v, err)
+	}
+	if v, err := As[float32](3.5); err != nil || v != 3.5 {
+		t.Fatalf("float32: %v %v", v, err)
+	}
+}
+
+func TestAsNamedTypes(t *testing.T) {
+	type level int
+	if v, err := As[level](int64(3)); err != nil || v != 3 {
+		t.Fatalf("named int: %v %v", v, err)
+	}
+	type name string
+	if v, err := As[name]("hi"); err != nil || v != "hi" {
+		t.Fatalf("named string: %v %v", v, err)
+	}
+	if v, err := As[time.Duration](int64(5)); err != nil || v != 5 {
+		t.Fatalf("duration from int64: %v %v", v, err)
+	}
+}
+
+func TestAsStringIntNotConfused(t *testing.T) {
+	// int→string would be a rune conversion; it must be rejected.
+	if _, err := As[string](int64(65)); err == nil {
+		t.Fatal("int64 converted to string")
+	}
+	if _, err := As[int]("65"); err == nil {
+		t.Fatal("string converted to int")
+	}
+}
+
+func TestAsSlices(t *testing.T) {
+	got, err := As[[]int]([]any{int64(1), int64(2), int64(3)})
+	if err != nil || !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("got %v %v", got, err)
+	}
+	gs, err := As[[]string]([]any{"a", "b"})
+	if err != nil || !reflect.DeepEqual(gs, []string{"a", "b"}) {
+		t.Fatalf("got %v %v", gs, err)
+	}
+	if _, err := As[[]int]([]any{"not-an-int"}); err == nil {
+		t.Fatal("mixed slice converted")
+	}
+	// nil elements stay zero.
+	gz, err := As[[]int]([]any{nil, int64(2)})
+	if err != nil || !reflect.DeepEqual(gz, []int{0, 2}) {
+		t.Fatalf("got %v %v", gz, err)
+	}
+}
+
+func TestAsInterfaceMismatch(t *testing.T) {
+	if _, err := As[error]("not an error"); err == nil {
+		t.Fatal("non-error converted to error")
+	}
+	var e error = &RemoteError{Message: "x"}
+	if v, err := As[error](e); err != nil || v == nil {
+		t.Fatalf("error identity: %v %v", v, err)
+	}
+}
+
+func TestAsAny(t *testing.T) {
+	if v, err := As[any]("passthrough"); err != nil || v != "passthrough" {
+		t.Fatalf("got %v %v", v, err)
+	}
+}
+
+func TestAsStructMismatch(t *testing.T) {
+	if _, err := As[Ref]("nope"); err == nil {
+		t.Fatal("string converted to Ref")
+	}
+	r := Ref{Endpoint: "e"}
+	if v, err := As[Ref](r); err != nil || v != r {
+		t.Fatalf("got %v %v", v, err)
+	}
+}

@@ -1,0 +1,608 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"time"
+)
+
+// Unmarshal decodes a message produced by Marshal. The dynamic type of the
+// result depends on the wire kind: integers decode as int64 (uint64 for
+// unsigned), structs decode as their registered Go type (pointer form when
+// registered from a pointer sample), kErr decodes as *RemoteError.
+func Unmarshal(data []byte) (any, error) {
+	d := decoder{data: data}
+	v, err := d.value()
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(d.data) {
+		return nil, &CorruptError{Offset: d.pos, Detail: "trailing bytes"}
+	}
+	return v, nil
+}
+
+// UnmarshalValues decodes a message produced by MarshalValues.
+func UnmarshalValues(data []byte) ([]any, error) {
+	d := decoder{data: data}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(data)) {
+		return nil, &CorruptError{Offset: d.pos, Detail: "value count exceeds message size"}
+	}
+	out := make([]any, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, err := d.value()
+		if err != nil {
+			return nil, fmt.Errorf("value %d: %w", i, err)
+		}
+		out = append(out, v)
+	}
+	if d.pos != len(d.data) {
+		return nil, &CorruptError{Offset: d.pos, Detail: "trailing bytes"}
+	}
+	return out, nil
+}
+
+type decoder struct {
+	data  []byte
+	pos   int
+	types map[uint64]*structPlan
+}
+
+func (d *decoder) corrupt(detail string) error {
+	return &CorruptError{Offset: d.pos, Detail: detail}
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.data) {
+		return 0, ErrTruncated
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.pos += n
+	return u, nil
+}
+
+func (d *decoder) take(n uint64) ([]byte, error) {
+	if n > uint64(len(d.data)-d.pos) {
+		return nil, ErrTruncated
+	}
+	b := d.data[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+func (d *decoder) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.take(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// value decodes one value generically.
+func (d *decoder) value() (any, error) {
+	tag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case kNil:
+		return nil, nil
+	case kFalse:
+		return false, nil
+	case kTrue:
+		return true, nil
+	case kInt:
+		u, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return unzigzag(u), nil
+	case kUint:
+		return d.uvarint()
+	case kFloat64:
+		b, err := d.take(8)
+		if err != nil {
+			return nil, err
+		}
+		return bitsToFloat64(binary.BigEndian.Uint64(b)), nil
+	case kFloat32:
+		b, err := d.take(4)
+		if err != nil {
+			return nil, err
+		}
+		return bitsToFloat32(binary.BigEndian.Uint32(b)), nil
+	case kString:
+		return d.string()
+	case kBytes:
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.take(n)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out, nil
+	case kSlice:
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(d.data)) {
+			return nil, d.corrupt("slice length exceeds message size")
+		}
+		out := make([]any, 0, n)
+		for i := uint64(0); i < n; i++ {
+			v, err := d.value()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case kMap:
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(d.data)) {
+			return nil, d.corrupt("map length exceeds message size")
+		}
+		out := make(map[any]any, n)
+		for i := uint64(0); i < n; i++ {
+			k, err := d.value()
+			if err != nil {
+				return nil, err
+			}
+			v, err := d.value()
+			if err != nil {
+				return nil, err
+			}
+			kk, ok := mapKey(k)
+			if !ok {
+				return nil, d.corrupt("uncomparable map key")
+			}
+			out[kk] = v
+		}
+		return out, nil
+	case kTypeDef:
+		if err := d.typeDef(); err != nil {
+			return nil, err
+		}
+		return d.value()
+	case kStruct:
+		return d.structValue()
+	case kRef:
+		var r Ref
+		if r.Endpoint, err = d.string(); err != nil {
+			return nil, err
+		}
+		if r.ObjID, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if r.Iface, err = d.string(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case kTime:
+		b, err := d.take(12)
+		if err != nil {
+			return nil, err
+		}
+		sec := int64(binary.BigEndian.Uint64(b[:8]))
+		nsec := int64(binary.BigEndian.Uint32(b[8:]))
+		return time.Unix(sec, nsec).UTC(), nil
+	case kErr:
+		typeName, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		msg, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		return &RemoteError{TypeName: typeName, Message: msg}, nil
+	case kDur:
+		u, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return time.Duration(unzigzag(u)), nil
+	default:
+		return nil, d.corrupt(fmt.Sprintf("unknown tag %d", tag))
+	}
+}
+
+func (d *decoder) typeDef() error {
+	id, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	name, err := d.string()
+	if err != nil {
+		return err
+	}
+	plan, ok := planForName(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnregistered, name)
+	}
+	if d.types == nil {
+		d.types = make(map[uint64]*structPlan, 4)
+	}
+	d.types[id] = plan
+	return nil
+}
+
+func (d *decoder) structValue() (any, error) {
+	id, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	plan, ok := d.types[id]
+	if !ok {
+		return nil, d.corrupt(fmt.Sprintf("struct with undefined type id %d", id))
+	}
+	nFields, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	pv := reflect.New(plan.typ) // *T
+	sv := pv.Elem()
+	for i := uint64(0); i < nFields; i++ {
+		if i < uint64(len(plan.fields)) {
+			f := plan.fields[i]
+			if err := d.into(sv.Field(f.index)); err != nil {
+				return nil, fmt.Errorf("%s.%s: %w", plan.name, f.name, err)
+			}
+			continue
+		}
+		// Sender had more fields than we know; discard generically.
+		if _, err := d.value(); err != nil {
+			return nil, err
+		}
+	}
+	if decodeAsPointer(plan.typ) {
+		return pv.Interface(), nil
+	}
+	return sv.Interface(), nil
+}
+
+// into decodes the next value directly into the typed destination rv.
+func (d *decoder) into(rv reflect.Value) error {
+	switch rv.Kind() {
+	case reflect.Pointer:
+		// Peek for nil without consuming other tags.
+		if d.pos < len(d.data) && d.data[d.pos] == kNil {
+			d.pos++
+			rv.SetZero()
+			return nil
+		}
+		if rv.IsNil() {
+			rv.Set(reflect.New(rv.Type().Elem()))
+		}
+		return d.into(rv.Elem())
+	case reflect.Interface:
+		v, err := d.value()
+		if err != nil {
+			return err
+		}
+		if v == nil {
+			rv.SetZero()
+			return nil
+		}
+		vv := reflect.ValueOf(v)
+		if !vv.Type().AssignableTo(rv.Type()) {
+			return fmt.Errorf("wire: cannot assign %s to %s", vv.Type(), rv.Type())
+		}
+		rv.Set(vv)
+		return nil
+	}
+
+	tag, err := d.byte()
+	if err != nil {
+		return err
+	}
+	for tag == kTypeDef {
+		if err := d.typeDef(); err != nil {
+			return err
+		}
+		if tag, err = d.byte(); err != nil {
+			return err
+		}
+	}
+
+	switch rv.Kind() {
+	case reflect.Bool:
+		switch tag {
+		case kTrue:
+			rv.SetBool(true)
+		case kFalse:
+			rv.SetBool(false)
+		case kNil:
+			rv.SetBool(false)
+		default:
+			return d.corrupt("expected bool")
+		}
+		return nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if rv.Type() == reflect.TypeOf(time.Duration(0)) && tag == kDur {
+			u, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			rv.SetInt(unzigzag(u))
+			return nil
+		}
+		switch tag {
+		case kInt:
+			u, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			rv.SetInt(unzigzag(u))
+		case kUint:
+			u, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			rv.SetInt(int64(u))
+		case kNil:
+			rv.SetInt(0)
+		default:
+			return d.corrupt("expected integer")
+		}
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		switch tag {
+		case kUint:
+			u, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			rv.SetUint(u)
+		case kInt:
+			u, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			rv.SetUint(uint64(unzigzag(u)))
+		case kNil:
+			rv.SetUint(0)
+		default:
+			return d.corrupt("expected unsigned integer")
+		}
+		return nil
+	case reflect.Float32, reflect.Float64:
+		switch tag {
+		case kFloat64:
+			b, err := d.take(8)
+			if err != nil {
+				return err
+			}
+			rv.SetFloat(bitsToFloat64(binary.BigEndian.Uint64(b)))
+		case kFloat32:
+			b, err := d.take(4)
+			if err != nil {
+				return err
+			}
+			rv.SetFloat(float64(bitsToFloat32(binary.BigEndian.Uint32(b))))
+		case kInt:
+			u, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			rv.SetFloat(float64(unzigzag(u)))
+		case kNil:
+			rv.SetFloat(0)
+		default:
+			return d.corrupt("expected float")
+		}
+		return nil
+	case reflect.String:
+		if tag == kNil {
+			rv.SetString("")
+			return nil
+		}
+		if tag != kString {
+			return d.corrupt("expected string")
+		}
+		s, err := d.string()
+		if err != nil {
+			return err
+		}
+		rv.SetString(s)
+		return nil
+	case reflect.Slice:
+		if tag == kNil {
+			rv.SetZero()
+			return nil
+		}
+		if rv.Type().Elem().Kind() == reflect.Uint8 {
+			if tag != kBytes {
+				return d.corrupt("expected bytes")
+			}
+			n, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			b, err := d.take(n)
+			if err != nil {
+				return err
+			}
+			out := make([]byte, len(b))
+			copy(out, b)
+			rv.SetBytes(out)
+			return nil
+		}
+		if tag != kSlice {
+			return d.corrupt("expected slice")
+		}
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > uint64(len(d.data)) {
+			return d.corrupt("slice length exceeds message size")
+		}
+		out := reflect.MakeSlice(rv.Type(), int(n), int(n))
+		for i := 0; i < int(n); i++ {
+			if err := d.into(out.Index(i)); err != nil {
+				return fmt.Errorf("index %d: %w", i, err)
+			}
+		}
+		rv.Set(out)
+		return nil
+	case reflect.Map:
+		if tag == kNil {
+			rv.SetZero()
+			return nil
+		}
+		if tag != kMap {
+			return d.corrupt("expected map")
+		}
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > uint64(len(d.data)) {
+			return d.corrupt("map length exceeds message size")
+		}
+		out := reflect.MakeMapWithSize(rv.Type(), int(n))
+		kt, vt := rv.Type().Key(), rv.Type().Elem()
+		for i := uint64(0); i < n; i++ {
+			kv := reflect.New(kt).Elem()
+			if err := d.into(kv); err != nil {
+				return fmt.Errorf("map key: %w", err)
+			}
+			vv := reflect.New(vt).Elem()
+			if err := d.into(vv); err != nil {
+				return fmt.Errorf("map value: %w", err)
+			}
+			out.SetMapIndex(kv, vv)
+		}
+		rv.Set(out)
+		return nil
+	case reflect.Struct:
+		return d.structInto(rv, tag)
+	default:
+		return fmt.Errorf("%w: decode into %s", ErrUnsupported, rv.Type())
+	}
+}
+
+func (d *decoder) structInto(rv reflect.Value, tag byte) error {
+	t := rv.Type()
+	switch t {
+	case reflect.TypeOf(time.Time{}):
+		if tag == kNil {
+			rv.SetZero()
+			return nil
+		}
+		if tag != kTime {
+			return d.corrupt("expected time")
+		}
+		b, err := d.take(12)
+		if err != nil {
+			return err
+		}
+		sec := int64(binary.BigEndian.Uint64(b[:8]))
+		nsec := int64(binary.BigEndian.Uint32(b[8:]))
+		rv.Set(reflect.ValueOf(time.Unix(sec, nsec).UTC()))
+		return nil
+	case reflect.TypeOf(Ref{}):
+		if tag == kNil {
+			rv.SetZero()
+			return nil
+		}
+		if tag != kRef {
+			return d.corrupt("expected ref")
+		}
+		var r Ref
+		var err error
+		if r.Endpoint, err = d.string(); err != nil {
+			return err
+		}
+		if r.ObjID, err = d.uvarint(); err != nil {
+			return err
+		}
+		if r.Iface, err = d.string(); err != nil {
+			return err
+		}
+		rv.Set(reflect.ValueOf(r))
+		return nil
+	}
+	if tag == kNil {
+		rv.SetZero()
+		return nil
+	}
+	if tag != kStruct {
+		return d.corrupt("expected struct")
+	}
+	id, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	plan, ok := d.types[id]
+	if !ok {
+		return d.corrupt(fmt.Sprintf("struct with undefined type id %d", id))
+	}
+	if plan.typ != t {
+		return fmt.Errorf("wire: cannot decode %q into %s", plan.name, t)
+	}
+	nFields, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nFields; i++ {
+		if i < uint64(len(plan.fields)) {
+			f := plan.fields[i]
+			if err := d.into(rv.Field(f.index)); err != nil {
+				return fmt.Errorf("%s.%s: %w", plan.name, f.name, err)
+			}
+			continue
+		}
+		if _, err := d.value(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mapKey normalizes a decoded value for use as a generic map key.
+func mapKey(k any) (any, bool) {
+	switch k.(type) {
+	case nil, bool, int64, uint64, float64, string, time.Time, time.Duration, Ref:
+		return k, true
+	default:
+		// Structs are comparable only if all their fields are; trust but
+		// verify via reflect.
+		rv := reflect.ValueOf(k)
+		if rv.IsValid() && rv.Comparable() {
+			return k, true
+		}
+		return nil, false
+	}
+}
+
+func bitsToFloat64(b uint64) float64 { return math.Float64frombits(b) }
+func bitsToFloat32(b uint32) float32 { return math.Float32frombits(b) }

@@ -1,0 +1,292 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"time"
+)
+
+// Marshal encodes v into a self-contained message. Struct values must use
+// registered types (see Register). Marshal never retains v.
+func Marshal(v any) ([]byte, error) {
+	e := encoder{typeIDs: nil}
+	if err := e.value(v); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+// MarshalValues encodes a sequence of values into one message, in order.
+// The counterpart is UnmarshalValues.
+func MarshalValues(vs []any) ([]byte, error) {
+	e := encoder{}
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(vs)))
+	for i, v := range vs {
+		if err := e.value(v); err != nil {
+			return nil, fmt.Errorf("value %d: %w", i, err)
+		}
+	}
+	return e.buf, nil
+}
+
+type encoder struct {
+	buf     []byte
+	typeIDs map[string]uint64
+}
+
+func (e *encoder) value(v any) error {
+	if v == nil {
+		e.buf = append(e.buf, kNil)
+		return nil
+	}
+	// Fast paths for common concrete types, including the special forms that
+	// bypass reflection entirely.
+	switch x := v.(type) {
+	case bool:
+		if x {
+			e.buf = append(e.buf, kTrue)
+		} else {
+			e.buf = append(e.buf, kFalse)
+		}
+		return nil
+	case int:
+		e.putInt(int64(x))
+		return nil
+	case int64:
+		e.putInt(x)
+		return nil
+	case int32:
+		e.putInt(int64(x))
+		return nil
+	case int16:
+		e.putInt(int64(x))
+		return nil
+	case int8:
+		e.putInt(int64(x))
+		return nil
+	case uint:
+		e.putUint(uint64(x))
+		return nil
+	case uint64:
+		e.putUint(x)
+		return nil
+	case uint32:
+		e.putUint(uint64(x))
+		return nil
+	case uint16:
+		e.putUint(uint64(x))
+		return nil
+	case uint8:
+		e.putUint(uint64(x))
+		return nil
+	case float64:
+		e.buf = append(e.buf, kFloat64)
+		e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(x))
+		return nil
+	case float32:
+		e.buf = append(e.buf, kFloat32)
+		e.buf = binary.BigEndian.AppendUint32(e.buf, math.Float32bits(x))
+		return nil
+	case string:
+		e.buf = append(e.buf, kString)
+		e.putString(x)
+		return nil
+	case []byte:
+		e.buf = append(e.buf, kBytes)
+		e.buf = binary.AppendUvarint(e.buf, uint64(len(x)))
+		e.buf = append(e.buf, x...)
+		return nil
+	case time.Time:
+		e.buf = append(e.buf, kTime)
+		e.buf = binary.BigEndian.AppendUint64(e.buf, uint64(x.Unix()))
+		e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(x.Nanosecond()))
+		return nil
+	case time.Duration:
+		e.buf = append(e.buf, kDur)
+		e.buf = binary.AppendUvarint(e.buf, zigzag(int64(x)))
+		return nil
+	case Ref:
+		e.buf = append(e.buf, kRef)
+		e.putString(x.Endpoint)
+		e.buf = binary.AppendUvarint(e.buf, x.ObjID)
+		e.putString(x.Iface)
+		return nil
+	case *Ref:
+		if x == nil {
+			e.buf = append(e.buf, kNil)
+			return nil
+		}
+		return e.value(*x)
+	case *RemoteError:
+		if x == nil {
+			e.buf = append(e.buf, kNil)
+			return nil
+		}
+		e.buf = append(e.buf, kErr)
+		e.putString(x.TypeName)
+		e.putString(x.Message)
+		return nil
+	}
+
+	// Errors: registered error types travel as structs (typed); everything
+	// else degrades to a generic RemoteError that preserves the type name.
+	if err, ok := v.(error); ok {
+		rv := reflect.ValueOf(v)
+		base := rv.Type()
+		if base.Kind() == reflect.Pointer {
+			base = base.Elem()
+		}
+		if _, registered := planForType(base); !registered {
+			e.buf = append(e.buf, kErr)
+			e.putString(TypeNameOf(v))
+			e.putString(err.Error())
+			return nil
+		}
+		// fall through to struct encoding below
+	}
+
+	return e.reflectValue(reflect.ValueOf(v))
+}
+
+func (e *encoder) reflectValue(rv reflect.Value) error {
+	switch rv.Kind() {
+	case reflect.Pointer:
+		if rv.IsNil() {
+			e.buf = append(e.buf, kNil)
+			return nil
+		}
+		return e.reflectValue(rv.Elem())
+	case reflect.Interface:
+		if rv.IsNil() {
+			e.buf = append(e.buf, kNil)
+			return nil
+		}
+		return e.value(rv.Interface())
+	case reflect.Bool:
+		if rv.Bool() {
+			e.buf = append(e.buf, kTrue)
+		} else {
+			e.buf = append(e.buf, kFalse)
+		}
+		return nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		e.putInt(rv.Int())
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		e.putUint(rv.Uint())
+		return nil
+	case reflect.Float32:
+		e.buf = append(e.buf, kFloat32)
+		e.buf = binary.BigEndian.AppendUint32(e.buf, math.Float32bits(float32(rv.Float())))
+		return nil
+	case reflect.Float64:
+		e.buf = append(e.buf, kFloat64)
+		e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(rv.Float()))
+		return nil
+	case reflect.String:
+		e.buf = append(e.buf, kString)
+		e.putString(rv.String())
+		return nil
+	case reflect.Slice, reflect.Array:
+		if rv.Kind() == reflect.Slice && rv.IsNil() {
+			e.buf = append(e.buf, kNil)
+			return nil
+		}
+		if rv.Kind() == reflect.Slice && rv.Type().Elem().Kind() == reflect.Uint8 {
+			return e.value(rv.Bytes())
+		}
+		n := rv.Len()
+		e.buf = append(e.buf, kSlice)
+		e.buf = binary.AppendUvarint(e.buf, uint64(n))
+		for i := 0; i < n; i++ {
+			if err := e.reflectValue(rv.Index(i)); err != nil {
+				return fmt.Errorf("index %d: %w", i, err)
+			}
+		}
+		return nil
+	case reflect.Map:
+		if rv.IsNil() {
+			e.buf = append(e.buf, kNil)
+			return nil
+		}
+		e.buf = append(e.buf, kMap)
+		e.buf = binary.AppendUvarint(e.buf, uint64(rv.Len()))
+		iter := rv.MapRange()
+		for iter.Next() {
+			if err := e.reflectValue(iter.Key()); err != nil {
+				return fmt.Errorf("map key: %w", err)
+			}
+			if err := e.reflectValue(iter.Value()); err != nil {
+				return fmt.Errorf("map value: %w", err)
+			}
+		}
+		return nil
+	case reflect.Struct:
+		return e.structValue(rv)
+	default:
+		return fmt.Errorf("%w: %s", ErrUnsupported, rv.Type())
+	}
+}
+
+func (e *encoder) structValue(rv reflect.Value) error {
+	t := rv.Type()
+	if t == reflect.TypeOf(time.Time{}) {
+		return e.value(rv.Interface())
+	}
+	if t == reflect.TypeOf(Ref{}) {
+		return e.value(rv.Interface())
+	}
+	plan, ok := planForType(t)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnregistered, t)
+	}
+	id, defined := e.typeID(plan.name)
+	if !defined {
+		e.buf = append(e.buf, kTypeDef)
+		e.buf = binary.AppendUvarint(e.buf, id)
+		e.putString(plan.name)
+	}
+	e.buf = append(e.buf, kStruct)
+	e.buf = binary.AppendUvarint(e.buf, id)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(plan.fields)))
+	for _, f := range plan.fields {
+		if err := e.reflectValue(rv.Field(f.index)); err != nil {
+			return fmt.Errorf("%s.%s: %w", plan.name, f.name, err)
+		}
+	}
+	return nil
+}
+
+// typeID returns the stream-local id for name, allocating one if needed.
+// The boolean reports whether the id was already defined in this message.
+func (e *encoder) typeID(name string) (uint64, bool) {
+	if e.typeIDs == nil {
+		e.typeIDs = make(map[string]uint64, 4)
+	}
+	if id, ok := e.typeIDs[name]; ok {
+		return id, true
+	}
+	id := uint64(len(e.typeIDs) + 1)
+	e.typeIDs[name] = id
+	return id, false
+}
+
+func (e *encoder) putInt(x int64) {
+	e.buf = append(e.buf, kInt)
+	e.buf = binary.AppendUvarint(e.buf, zigzag(x))
+}
+
+func (e *encoder) putUint(x uint64) {
+	e.buf = append(e.buf, kUint)
+	e.buf = binary.AppendUvarint(e.buf, x)
+}
+
+func (e *encoder) putString(s string) {
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func zigzag(x int64) uint64   { return uint64(x<<1) ^ uint64(x>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// quickConfig keeps property tests fast but meaningful.
+var quickConfig = &quick.Config{MaxCount: 300}
+
+func TestQuickInt64RoundTrip(t *testing.T) {
+	f := func(x int64) bool {
+		got := roundTripQ(t, x)
+		return got == x
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUint64RoundTrip(t *testing.T) {
+	f := func(x uint64) bool {
+		return roundTripQ(t, x) == x
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFloat64RoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		got := roundTripQ(t, x).(float64)
+		if math.IsNaN(x) {
+			return math.IsNaN(got)
+		}
+		return got == x
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		return roundTripQ(t, s) == s
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(b []byte) bool {
+		got := roundTripQ(t, b)
+		if b == nil {
+			return got == nil
+		}
+		return reflect.DeepEqual(got, b)
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRefRoundTrip(t *testing.T) {
+	f := func(endpoint string, objID uint64, iface string) bool {
+		in := Ref{Endpoint: endpoint, ObjID: objID, Iface: iface}
+		return roundTripQ(t, in) == in
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStructRoundTrip(t *testing.T) {
+	f := func(name string, x, y int32, tags []string, blob []byte, ratio float64, flag bool) bool {
+		if math.IsNaN(ratio) {
+			ratio = 0
+		}
+		in := testNested{
+			Name:  name,
+			Point: testPoint{X: int(x), Y: int(y)},
+			Tags:  tags,
+			Blob:  blob,
+			When:  time.Unix(1245666600, 42).UTC(),
+			Took:  time.Duration(x) * time.Millisecond,
+			Ratio: ratio,
+			Flag:  flag,
+		}
+		got, ok := roundTripQ(t, in).(testNested)
+		return ok && reflect.DeepEqual(got, in)
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeNeverPanics feeds arbitrary bytes into Unmarshal: it may
+// fail, but it must never panic or hang.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on input %x: %v", data, r)
+				ok = false
+			}
+		}()
+		_, _ = Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEncodeDecodeEncodeStable checks encode∘decode∘encode == encode.
+func TestQuickEncodeDecodeEncodeStable(t *testing.T) {
+	f := func(x int64, s string, b []byte) bool {
+		in := []any{x, s, b}
+		d1, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		mid, err := Unmarshal(d1)
+		if err != nil {
+			return false
+		}
+		d2, err := Marshal(mid)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(d1, d2)
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func roundTripQ(t *testing.T, v any) any {
+	t.Helper()
+	data, err := Marshal(v)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	return got
+}

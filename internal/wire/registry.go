@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// structPlan caches the encodable field layout of a registered struct type.
+type structPlan struct {
+	name   string
+	typ    reflect.Type // the struct type (never a pointer)
+	fields []fieldPlan
+}
+
+type fieldPlan struct {
+	name  string
+	index int
+}
+
+// registry maps wire names to struct types and back. It is global, like
+// gob's type registry: wire names must be process-wide unique.
+type registry struct {
+	mu      sync.RWMutex
+	byName  map[string]*structPlan
+	byType  map[reflect.Type]*structPlan
+	asPtr   map[reflect.Type]bool // decode as *T rather than T
+	errName map[string]bool       // names registered via RegisterError
+}
+
+var defaultRegistry = &registry{
+	byName: make(map[string]*structPlan),
+	byType: make(map[reflect.Type]*structPlan),
+	asPtr:  make(map[reflect.Type]bool),
+
+	errName: make(map[string]bool),
+}
+
+// Register associates name with the struct type of sample so values of that
+// type (and pointers to it) can be encoded and decoded. If sample is a
+// pointer, decoded values are produced as pointers; otherwise as values.
+// Registering the same (name, type) pair again is a no-op; conflicting
+// re-registration returns an error.
+func Register(name string, sample any) error {
+	if name == "" {
+		return fmt.Errorf("wire: register: empty name")
+	}
+	t := reflect.TypeOf(sample)
+	if t == nil {
+		return fmt.Errorf("wire: register %q: nil sample", name)
+	}
+	wantPtr := false
+	if t.Kind() == reflect.Pointer {
+		wantPtr = true
+		t = t.Elem()
+	}
+	if t.Kind() != reflect.Struct {
+		return fmt.Errorf("wire: register %q: %s is not a struct", name, t)
+	}
+	plan, err := buildPlan(name, t)
+	if err != nil {
+		return err
+	}
+
+	r := defaultRegistry
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[name]; ok {
+		if prev.typ != t {
+			return fmt.Errorf("wire: register %q: already bound to %s", name, prev.typ)
+		}
+		r.asPtr[t] = wantPtr
+		return nil
+	}
+	if prev, ok := r.byType[t]; ok && prev.name != name {
+		return fmt.Errorf("wire: register %q: type %s already registered as %q", name, t, prev.name)
+	}
+	r.byName[name] = plan
+	r.byType[t] = plan
+	r.asPtr[t] = wantPtr
+	return nil
+}
+
+// MustRegister is Register but panics on error. Intended for package init.
+func MustRegister(name string, sample any) {
+	if err := Register(name, sample); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterError registers an error type for typed round-tripping. sample must
+// be a struct or pointer-to-struct implementing error. The receiving side
+// decodes values back into the concrete type so errors.As keeps working.
+func RegisterError(name string, sample error) error {
+	if err := Register(name, sample); err != nil {
+		return err
+	}
+	r := defaultRegistry
+	r.mu.Lock()
+	r.errName[name] = true
+	r.mu.Unlock()
+	return nil
+}
+
+// MustRegisterError is RegisterError but panics on error.
+func MustRegisterError(name string, sample error) {
+	if err := RegisterError(name, sample); err != nil {
+		panic(err)
+	}
+}
+
+// TypeNameOf returns the registered wire name for v's type, or the reflect
+// type string when unregistered. BRMI exception policies match on this name.
+func TypeNameOf(v any) string {
+	if v == nil {
+		return ""
+	}
+	if re, ok := v.(*RemoteError); ok && re.TypeName != "" {
+		return re.TypeName
+	}
+	t := reflect.TypeOf(v)
+	base := t
+	if base.Kind() == reflect.Pointer {
+		base = base.Elem()
+	}
+	r := defaultRegistry
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if p, ok := r.byType[base]; ok {
+		return p.name
+	}
+	return t.String()
+}
+
+func buildPlan(name string, t reflect.Type) (*structPlan, error) {
+	plan := &structPlan{name: name, typ: t}
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		if tag := f.Tag.Get("wire"); tag == "-" {
+			continue
+		}
+		plan.fields = append(plan.fields, fieldPlan{name: f.Name, index: i})
+	}
+	return plan, nil
+}
+
+func planForType(t reflect.Type) (*structPlan, bool) {
+	r := defaultRegistry
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.byType[t]
+	return p, ok
+}
+
+func planForName(name string) (*structPlan, bool) {
+	r := defaultRegistry
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.byName[name]
+	return p, ok
+}
+
+func decodeAsPointer(t reflect.Type) bool {
+	r := defaultRegistry
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.asPtr[t]
+}
