@@ -1,14 +1,16 @@
 // Command benchfig regenerates the paper's evaluation: every figure of
-// §5.2-§5.4 (Figures 5-13) plus the ablations called out in DESIGN.md, in
-// the same rows/series layout the paper plots.
+// §5.2-§5.4 (Figures 5-13), the ablations called out in DESIGN.md, and the
+// cluster fan-out benchmark, in the same rows/series layout the paper plots.
 //
 // Usage:
 //
 //	benchfig -all                  # every figure and ablation
 //	benchfig -fig 5 -fig 12        # selected figures
 //	benchfig -fig a1               # ablations (a1, a2, a3)
+//	benchfig -fig cluster          # multi-server fan-out (internal/cluster)
 //	benchfig -scale 1 -reps 10     # full-fidelity wireless latency (slow)
 //	benchfig -csv out/             # additionally write CSV per figure
+//	benchfig -json out/            # additionally write BENCH_<fig>.json series
 //
 // Absolute milliseconds depend on the simulated-link scale (-scale divides
 // the wireless RTT; see netsim.Profile.Scaled); shapes are scale-invariant.
@@ -34,6 +36,7 @@ type figSpec struct {
 type config struct {
 	lan      bench.Config
 	wireless bench.Config
+	wan      bench.Config
 	instant  bench.Config
 }
 
@@ -65,6 +68,10 @@ var figures = []figSpec{
 		return bench.RunAblationBatchSize(c.lan, 40, []int{1, 2, 4, 8, 20, 40})
 	},
 		"ablation: flush granularity"},
+	{"cluster", func(c config) (*bench.Table, error) {
+		return bench.RunFanout(c.wan, 64, []int{1, 2, 4, 8})
+	},
+		"cluster fan-out: 64 calls over K servers, WAN (internal/cluster)"},
 }
 
 func main() {
@@ -91,6 +98,7 @@ func run(args []string) error {
 	reps := fs.Int("reps", 5, "measured repetitions per point")
 	warmup := fs.Int("warmup", 1, "warm-up runs per point")
 	csvDir := fs.String("csv", "", "directory to write per-figure CSV files")
+	jsonDir := fs.String("json", "", "directory to write per-figure BENCH_<fig>.json series")
 	list := fs.Bool("list", false, "list available figures and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,6 +122,7 @@ func run(args []string) error {
 	cfg := config{
 		lan:      bench.Config{Profile: netsim.LAN, Warmup: *warmup, Reps: *reps},
 		wireless: bench.Config{Profile: netsim.Wireless.Scaled(*scale), Warmup: *warmup, Reps: *reps},
+		wan:      bench.Config{Profile: netsim.WAN.Scaled(*scale), Warmup: *warmup, Reps: *reps},
 		instant:  bench.Config{Profile: netsim.Instant, Warmup: *warmup + 1, Reps: *reps + 5},
 	}
 
@@ -140,6 +149,11 @@ func run(args []string) error {
 				return err
 			}
 		}
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, id, table); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -163,6 +177,25 @@ func writeCSV(dir, id string, table *bench.Table) error {
 		return err
 	}
 	table.CSV(f)
+	return f.Close()
+}
+
+// writeJSON emits the machine-readable series file (BENCH_<fig>.json) used
+// to track perf trajectories across PRs, e.g. BENCH_cluster.json for the
+// fan-out figure.
+func writeJSON(dir, id string, table *bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+id+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := table.JSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
 	return f.Close()
 }
 

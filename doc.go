@@ -8,6 +8,9 @@
 // Layout:
 //
 //   - internal/core      BRMI: batches, futures, cursors, policies, chaining
+//   - internal/cluster   multi-server sharding: consistent-hash shard map,
+//     cluster naming, and cluster batches partitioned per destination and
+//     flushed in parallel
 //   - internal/rmi       distributed object runtime (the "Java RMI" role)
 //   - internal/wire      value serialization and remote references
 //   - internal/transport framed, multiplexed request/response transport
@@ -18,7 +21,7 @@
 //   - internal/bench     harness regenerating the paper's Figures 5-13
 //   - cmd/benchfig       prints every figure's series; cmd/brmigen generates
 //   - examples/          runnable applications (quickstart, file server,
-//     bank, translator, chained batches)
+//     bank, translator, chained batches, sharded multi-server cluster)
 //
 // The benchmarks in bench_test.go reproduce each figure as a testing.B
 // benchmark; `go run ./cmd/benchfig -all` prints the full evaluation.

@@ -92,6 +92,9 @@ func TestListNoBatchShape(t *testing.T) {
 }
 
 func TestSimulationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test; skipped in -short")
+	}
 	table, err := RunSimulation(fastCfg(), []int{2, 6})
 	if err != nil {
 		t.Fatal(err)
@@ -113,6 +116,9 @@ func TestSimulationShape(t *testing.T) {
 }
 
 func TestFileServerShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test; skipped in -short")
+	}
 	table, err := RunFileServer(fastCfg(), []int{1, 4})
 	if err != nil {
 		t.Fatal(err)
@@ -129,6 +135,9 @@ func TestFileServerShape(t *testing.T) {
 }
 
 func TestAblationIdentityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test; skipped in -short")
+	}
 	table, err := RunAblationIdentity(fastCfg(), []int{4})
 	if err != nil {
 		t.Fatal(err)
@@ -175,6 +184,49 @@ func TestAblationBatchSize(t *testing.T) {
 	if k8 >= k1 {
 		t.Errorf("full batch %.2fms not faster than per-call flush %.2fms", k8, k1)
 	}
+}
+
+// TestFanoutShape is the acceptance check of the cluster subsystem: on the
+// WAN profile with K=4 servers and 64 calls per batch, the parallel cluster
+// flush must complete in roughly max-of-servers rather than sum-of-servers
+// time — at least 2x faster than flushing the 4 per-server batches
+// sequentially, and far ahead of unbatched RMI.
+func TestFanoutShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test; skipped in -short")
+	}
+	cfg := Config{Profile: netsim.WAN.Scaled(10), Warmup: 1, Reps: 3}
+	table, err := RunFanout(cfg, 64, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trips: RMI one per call; both batched variants one per server.
+	assertRoundTrips(t, table, 4, []uint64{64, 4, 4})
+	rmiMs := tableCell(t, table, 4, 0).S.Millis()
+	seqMs := tableCell(t, table, 4, 1).S.Millis()
+	cluMs := tableCell(t, table, 4, 2).S.Millis()
+	if cluMs <= 0 {
+		t.Fatal("cluster variant measured zero time")
+	}
+	if seqMs/cluMs < 2 {
+		t.Errorf("cluster flush %.2fms vs sequential %.2fms: %.2fx, want >= 2x",
+			cluMs, seqMs, seqMs/cluMs)
+	}
+	if rmiMs/cluMs < 4 {
+		t.Errorf("cluster flush %.2fms vs RMI %.2fms: %.2fx, want >= 4x",
+			cluMs, rmiMs, rmiMs/cluMs)
+	}
+}
+
+func TestFanoutSingleServer(t *testing.T) {
+	// K=1 degenerate case: all three variants still work; both batched
+	// variants take exactly one round trip.
+	cfg := Config{Profile: netsim.Instant, Warmup: 0, Reps: 1}
+	table, err := RunFanout(cfg, 8, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRoundTrips(t, table, 1, []uint64{8, 1, 1})
 }
 
 func tableCell(t *testing.T, table *Table, x, col int) Cell {

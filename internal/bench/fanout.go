@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+// ClusterEnv is one client against K servers on a simulated network: the
+// sharded deployment the cluster fan-out workload measures. Every server
+// runs the BRMI executor and exports one NoopService.
+type ClusterEnv struct {
+	Network *netsim.Network
+	Servers []*rmi.Peer
+	Execs   []*core.Executor
+	Refs    []wire.Ref
+	Client  *rmi.Peer
+
+	cleanup []func()
+}
+
+// NewClusterEnv builds k serving peers (endpoints "server-0".."server-k-1")
+// plus a client peer on a network with the given profile.
+func NewClusterEnv(profile netsim.Profile, k int) (*ClusterEnv, error) {
+	network := netsim.New(profile)
+	env := &ClusterEnv{Network: network}
+	env.cleanup = append(env.cleanup, func() { _ = network.Close() })
+	for i := 0; i < k; i++ {
+		server := rmi.NewPeer(network, rmi.WithLogf(silentLogf))
+		if err := server.Serve(fmt.Sprintf("server-%d", i)); err != nil {
+			env.Close()
+			return nil, err
+		}
+		env.cleanup = append(env.cleanup, func() { _ = server.Close() })
+		exec, err := core.Install(server)
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		env.cleanup = append(env.cleanup, exec.Stop)
+		ref, err := server.Export(&NoopService{}, "bench.Noop")
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		env.Servers = append(env.Servers, server)
+		env.Execs = append(env.Execs, exec)
+		env.Refs = append(env.Refs, ref)
+	}
+	client := rmi.NewPeer(network, rmi.WithLogf(silentLogf))
+	env.Client = client
+	env.cleanup = append(env.cleanup, func() { _ = client.Close() })
+	return env, nil
+}
+
+// Close tears the environment down.
+func (e *ClusterEnv) Close() {
+	for i := len(e.cleanup) - 1; i >= 0; i-- {
+		e.cleanup[i]()
+	}
+	e.cleanup = nil
+}
+
+// FanoutVariants builds the three implementations of the fan-out workload:
+// totalCalls no-op calls spread evenly over the environment's K servers.
+//
+//   - "RMI" issues every call as its own round trip (totalCalls trips).
+//   - "BRMI-seq" records one core.Batch per server and flushes them one
+//     after another (K trips, paid sequentially) — the best a client can do
+//     with the single-server batch API alone.
+//   - "BRMI-cluster" records one cluster.Batch spanning all servers and
+//     flushes once (K trips, paid in parallel): wall-clock cost is the
+//     slowest server, not the sum.
+func FanoutVariants(env *ClusterEnv, totalCalls int) []Variant {
+	ctx := context.Background()
+	k := len(env.Refs)
+	// Spread totalCalls over the servers exactly: the first totalCalls%k
+	// servers take one extra call, so every cluster size runs the same
+	// total work and the series stay comparable.
+	share := func(s int) int {
+		n := totalCalls / k
+		if s < totalCalls%k {
+			n++
+		}
+		return n
+	}
+
+	rmiOp := func() error {
+		for s, ref := range env.Refs {
+			for i := 0; i < share(s); i++ {
+				if _, err := env.Client.Call(ctx, ref, "Noop"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	seqOp := func() error {
+		for s, ref := range env.Refs {
+			n := share(s)
+			if n == 0 {
+				continue
+			}
+			b := core.New(env.Client, ref)
+			root := b.Root()
+			var last *core.Future
+			for i := 0; i < n; i++ {
+				last = root.Call("Noop")
+			}
+			if err := b.Flush(ctx); err != nil {
+				return err
+			}
+			if err := last.Err(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	clusterOp := func() error {
+		b := cluster.New(env.Client)
+		var lasts []*cluster.Future
+		for s, ref := range env.Refs {
+			n := share(s)
+			if n == 0 {
+				continue
+			}
+			root := b.Root(ref)
+			var last *cluster.Future
+			for i := 0; i < n; i++ {
+				last = root.Call("Noop")
+			}
+			lasts = append(lasts, last)
+		}
+		if err := b.Flush(ctx); err != nil {
+			return err
+		}
+		for _, f := range lasts {
+			if err := f.Err(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	return []Variant{
+		{"RMI", rmiOp},
+		{"BRMI-seq", seqOp},
+		{"BRMI-cluster", clusterOp},
+	}
+}
+
+// RunFanout measures the fan-out workload over cluster sizes ks, keeping the
+// total call count fixed so the x-axis isolates how each strategy pays for
+// server count: RMI grows with totalCalls round trips regardless, BRMI-seq
+// grows linearly in K, BRMI-cluster stays at roughly one round trip of
+// wall-clock time.
+func RunFanout(cfg Config, totalCalls int, ks []int) (*Table, error) {
+	table := &Table{
+		Fig:     "Fig. C1",
+		Title:   fmt.Sprintf("Cluster fan-out (%d calls over K servers)", totalCalls),
+		XLabel:  "servers",
+		Profile: cfg.Profile.Name,
+	}
+	for _, k := range ks {
+		env, err := NewClusterEnv(cfg.Profile, k)
+		if err != nil {
+			return nil, err
+		}
+		variants := FanoutVariants(env, totalCalls)
+		if table.Columns == nil {
+			for _, v := range variants {
+				table.Columns = append(table.Columns, v.Name)
+			}
+		}
+		row := Row{X: k}
+		for _, v := range variants {
+			before := env.Client.CallCount()
+			if err := v.Op(); err != nil {
+				env.Close()
+				return nil, fmt.Errorf("fanout k=%d %s: %w", k, v.Name, err)
+			}
+			calls := env.Client.CallCount() - before
+			stats, err := Measure(cfg.Warmup, cfg.Reps, v.Op)
+			if err != nil {
+				env.Close()
+				return nil, fmt.Errorf("fanout k=%d %s: %w", k, v.Name, err)
+			}
+			row.Cells = append(row.Cells, Cell{S: stats, Calls: calls})
+		}
+		table.Rows = append(table.Rows, row)
+		env.Close()
+	}
+	return table, nil
+}

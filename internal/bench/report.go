@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -48,6 +49,58 @@ func (t *Table) CSV(w io.Writer) {
 		}
 		fmt.Fprintln(w, strings.Join(fields, ","))
 	}
+}
+
+// jsonTable is the machine-readable form of a Table, stable across PRs so
+// external tooling can diff benchmark series over time.
+type jsonTable struct {
+	Fig     string    `json:"fig"`
+	Title   string    `json:"title"`
+	XLabel  string    `json:"xlabel"`
+	Profile string    `json:"profile"`
+	Columns []string  `json:"columns"`
+	Rows    []jsonRow `json:"rows"`
+}
+
+type jsonRow struct {
+	X     int        `json:"x"`
+	Cells []jsonCell `json:"cells"`
+}
+
+type jsonCell struct {
+	Ms         float64 `json:"ms"`
+	StdMs      float64 `json:"std_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	RoundTrips uint64  `json:"roundtrips"`
+}
+
+// JSON renders the table as a machine-readable series (one JSON object),
+// the format benchfig -json emits so future PRs can track a performance
+// trajectory file like BENCH_cluster.json.
+func (t *Table) JSON(w io.Writer) error {
+	jt := jsonTable{
+		Fig:     t.Fig,
+		Title:   t.Title,
+		XLabel:  t.XLabel,
+		Profile: t.Profile,
+		Columns: t.Columns,
+		Rows:    make([]jsonRow, 0, len(t.Rows)),
+	}
+	for _, row := range t.Rows {
+		jr := jsonRow{X: row.X, Cells: make([]jsonCell, 0, len(row.Cells))}
+		for _, cell := range row.Cells {
+			jr.Cells = append(jr.Cells, jsonCell{
+				Ms:         cell.S.Millis(),
+				StdMs:      float64(cell.S.Std) / 1e6,
+				P95Ms:      float64(cell.S.P95) / 1e6,
+				RoundTrips: cell.Calls,
+			})
+		}
+		jt.Rows = append(jt.Rows, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jt)
 }
 
 // Shape summarizes the qualitative comparison the paper's figures make:

@@ -1,0 +1,420 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+// Exported errors of the cluster batch layer.
+var (
+	// ErrCrossServer reports a cross-server data dependency: a proxy
+	// recorded on one server used as an argument of a call bound for a
+	// different server. Replaying it would need the first server's result
+	// shipped to the second mid-batch; this version rejects the recording
+	// instead (DESIGN.md, "Cluster partitioning rules"). Dependencies
+	// between objects on the SAME server are fine, whatever root they hang
+	// off: the partitioner folds them into one multi-root sub-batch.
+	ErrCrossServer = errors.New("cluster: cross-server data dependency")
+
+	// ErrNoEndpoint reports a Root ref that carries no server endpoint.
+	ErrNoEndpoint = errors.New("cluster: root ref has no endpoint")
+)
+
+// Batch is a cluster-wide recording session: the multi-server analogue of
+// core.Batch. One Batch records calls against proxies rooted on any number
+// of servers; Flush partitions the recording into per-destination
+// sub-batches (per-server program order preserved), executes one core.Batch
+// per destination in parallel, and merges the futures back, so the caller
+// observes a single batch whose flush costs roughly the slowest server's
+// round trip.
+//
+// Like core.Batch, a Batch records one batch at a time and is not meant to
+// be shared by concurrent client goroutines; the implementation is
+// internally synchronized, so misuse corrupts no memory, only recording
+// order.
+type Batch struct {
+	peer   *rmi.Peer
+	policy *core.Policy
+
+	mu     sync.Mutex
+	groups map[string]*group // keyed by server endpoint
+	calls  []*recordedCall
+	closed bool
+	// recErr is a sticky recording violation, reported by Flush.
+	recErr error
+	// failure poisons every future when recording failed; per-server flush
+	// failures stay per-group instead (see Flush).
+	failure error
+}
+
+// Option configures a cluster Batch.
+type Option func(*Batch)
+
+// WithPolicy sets the exception policy applied within every per-server
+// sub-batch (default core.AbortPolicy, scoped per server: a failure on one
+// server never aborts another server's sub-batch).
+func WithPolicy(p *core.Policy) Option {
+	return func(b *Batch) { b.policy = p }
+}
+
+// New creates an empty cluster batch. Add destinations with Root.
+func New(peer *rmi.Peer, opts ...Option) *Batch {
+	b := &Batch{
+		peer:   peer,
+		groups: make(map[string]*group),
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// Root returns the recording proxy for the remote object ref, registering
+// its server as a destination of this batch. Any number of roots may share
+// a server; they all fold into that destination's single sub-batch. Calling
+// Root twice with the same ref returns the same proxy.
+func (b *Batch) Root(ref wire.Ref) *Proxy {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g, ok := b.groups[ref.Endpoint]
+	if !ok {
+		g = &group{
+			endpoint:    ref.Endpoint,
+			rootProxies: make(map[wire.Ref]*Proxy),
+		}
+		if ref.Endpoint == "" {
+			b.fail(fmt.Errorf("%w: object %d", ErrNoEndpoint, ref.ObjID))
+		}
+		b.groups[ref.Endpoint] = g
+	}
+	if p, ok := g.rootProxies[ref]; ok {
+		return p
+	}
+	p := &Proxy{b: b, group: g, rootRef: ref, isRoot: true}
+	g.roots = append(g.roots, ref)
+	g.rootProxies[ref] = p
+	return p
+}
+
+// Peer returns the underlying RMI peer.
+func (b *Batch) Peer() *rmi.Peer { return b.peer }
+
+// PendingCalls returns the number of recorded, unflushed calls.
+func (b *Batch) PendingCalls() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.calls)
+}
+
+// Destinations returns the distinct server endpoints with recorded calls,
+// sorted. Its length is the number of round trips the flush will fan out.
+func (b *Batch) Destinations() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	seen := make(map[string]bool)
+	for _, c := range b.calls {
+		seen[c.group.endpoint] = true
+	}
+	out := make([]string, 0, len(seen))
+	for ep := range seen {
+		out = append(out, ep)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fail records a sticky recording violation. Caller holds b.mu.
+func (b *Batch) fail(err error) {
+	if b.recErr == nil {
+		b.recErr = err
+	}
+}
+
+// record validates and appends one invocation. Caller holds b.mu via the
+// public recording methods on Proxy.
+func (b *Batch) record(target *Proxy, kind int, method string, args []any) *recordedCall {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		b.fail(core.ErrBatchClosed)
+		return nil
+	}
+	if target.b != b {
+		b.fail(fmt.Errorf("%w: call %s", core.ErrForeignProxy, method))
+		return nil
+	}
+	if b.recErr != nil {
+		return nil
+	}
+	for i, a := range args {
+		ap, ok := a.(*Proxy)
+		if !ok {
+			continue
+		}
+		if ap.b != b {
+			b.fail(fmt.Errorf("%w: argument %d of %s", core.ErrForeignProxy, i, method))
+			return nil
+		}
+		if ap.group == target.group {
+			continue
+		}
+		b.fail(fmt.Errorf("%w: argument %d of %s was recorded on %q but the call targets %q; "+
+			"flush the producing batch first and pass the fetched value instead",
+			ErrCrossServer, i, method, ap.group.endpoint, target.group.endpoint))
+		return nil
+	}
+	c := &recordedCall{group: target.group, kind: kind, target: target, method: method, args: args}
+	b.calls = append(b.calls, c)
+	return c
+}
+
+// Flush partitions the recording into per-destination sub-batches, executes
+// them in parallel (one core.Batch round trip per destination), and settles
+// every future.
+//
+// A recording violation fails the whole batch: Flush returns the
+// *core.BatchError and every future rethrows it. Server failures stay
+// per-destination: Flush returns a *FlushError naming each failed server,
+// futures bound for those servers rethrow that server's error, and futures
+// bound for healthy servers still hold their values.
+func (b *Batch) Flush(ctx context.Context) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return core.ErrBatchClosed
+	}
+	b.closed = true
+	if b.recErr != nil {
+		err := &core.BatchError{Err: b.recErr}
+		b.failure = err
+		b.mu.Unlock()
+		return err
+	}
+
+	// Partition and translate each sub-batch into one multi-root core.Batch
+	// per destination, rewiring cluster proxies and futures onto their
+	// single-server counterparts.
+	subs := partition(b.calls)
+	batches := make([]*core.Batch, len(subs))
+	for i, sb := range subs {
+		var opts []core.Option
+		if b.policy != nil {
+			opts = append(opts, core.WithPolicy(b.policy))
+		}
+		cb := core.New(b.peer, sb.group.roots[0], opts...)
+		sb.group.rootProxies[sb.group.roots[0]].core = cb.Root()
+		for _, ref := range sb.group.roots[1:] {
+			cp, err := cb.AddRoot(ref)
+			if err != nil {
+				// Unreachable: every root in a group shares its endpoint.
+				ferr := &core.BatchError{Err: err}
+				b.failure = ferr
+				b.mu.Unlock()
+				return ferr
+			}
+			sb.group.rootProxies[ref].core = cp
+		}
+		for _, c := range sb.calls {
+			args := make([]any, len(c.args))
+			for j, a := range c.args {
+				if ap, ok := a.(*Proxy); ok {
+					args[j] = ap.core
+				} else {
+					args[j] = a
+				}
+			}
+			switch c.kind {
+			case kindRemote:
+				c.proxy.core = c.target.core.CallBatch(c.method, args...)
+			default: // kindValue
+				c.future.inner = c.target.core.Call(c.method, args...)
+			}
+		}
+		batches[i] = cb
+	}
+	b.calls = nil
+	b.mu.Unlock()
+
+	// Fan out: one flush per destination, concurrently. Wall-clock cost is
+	// the slowest destination, not the sum.
+	errs := make([]error, len(batches))
+	var wg sync.WaitGroup
+	for i := range batches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = batches[i].Flush(ctx)
+		}(i)
+	}
+	wg.Wait()
+
+	var ferr *FlushError
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if ferr == nil {
+			ferr = &FlushError{Servers: len(batches)}
+		}
+		ferr.Failures = append(ferr.Failures, ServerError{
+			Endpoint: subs[i].group.endpoint,
+			Err:      err,
+		})
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return nil
+}
+
+// FlushError reports the destinations whose sub-batch failed. Futures and
+// proxies of the failed destinations rethrow the per-server error; the rest
+// of the batch settled normally.
+type FlushError struct {
+	// Servers is how many destinations the flush fanned out to.
+	Servers int
+	// Failures lists each failed destination, in partition order.
+	Failures []ServerError
+}
+
+// ServerError is one destination's flush failure.
+type ServerError struct {
+	Endpoint string
+	Err      error
+}
+
+func (e *FlushError) Error() string {
+	parts := make([]string, len(e.Failures))
+	for i, f := range e.Failures {
+		parts[i] = fmt.Sprintf("%s: %v", f.Endpoint, f.Err)
+	}
+	return fmt.Sprintf("cluster: flush failed on %d of %d servers: %s",
+		len(e.Failures), e.Servers, strings.Join(parts, "; "))
+}
+
+// Unwrap exposes the per-server errors to errors.Is / errors.As.
+func (e *FlushError) Unwrap() []error {
+	out := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		out[i] = f.Err
+	}
+	return out
+}
+
+// Proxy is a cluster batch object: the recording stub for one remote object
+// on one destination server. It mirrors core.Proxy minus cursors.
+type Proxy struct {
+	b      *Batch
+	group  *group
+	isRoot bool
+	// rootRef is the exported object this proxy stands for (roots only).
+	rootRef wire.Ref
+	// core is the single-server proxy this cluster proxy was rewired to at
+	// flush time; nil before Flush.
+	core *core.Proxy
+}
+
+// Batch returns the cluster batch this proxy records into.
+func (p *Proxy) Batch() *Batch { return p.b }
+
+// Endpoint returns the destination server this proxy's calls are bound for.
+func (p *Proxy) Endpoint() string { return p.group.endpoint }
+
+// Call records a method invocation whose result is a value, returning its
+// future.
+func (p *Proxy) Call(method string, args ...any) *Future {
+	f := &Future{b: p.b}
+	if c := p.b.record(p, kindValue, method, args); c != nil {
+		c.future = f
+	}
+	return f
+}
+
+// CallBatch records a method invocation whose result is a remote object;
+// the result stays on its server and the returned proxy records further
+// calls on it.
+func (p *Proxy) CallBatch(method string, args ...any) *Proxy {
+	np := &Proxy{b: p.b, group: p.group}
+	if c := p.b.record(p, kindRemote, method, args); c != nil {
+		c.proxy = np
+	}
+	return np
+}
+
+// Ok rethrows any exception this batch object depends on. Before flush it
+// returns core.ErrPending for non-root proxies.
+func (p *Proxy) Ok() error {
+	p.b.mu.Lock()
+	failure, inner := p.b.failure, p.core
+	p.b.mu.Unlock()
+	if failure != nil {
+		return failure
+	}
+	if inner == nil {
+		if p.isRoot {
+			return nil
+		}
+		return core.ErrPending
+	}
+	return inner.Ok()
+}
+
+// Future is the placeholder for a cluster-batched call's result. It is
+// created at recording time and bound to its destination's core.Future at
+// flush.
+type Future struct {
+	b     *Batch
+	inner *core.Future
+}
+
+// Get returns the settled value. Before flush it returns core.ErrPending;
+// after a recording violation it returns the batch error; after a
+// destination failure it rethrows that server's error.
+func (f *Future) Get() (any, error) {
+	f.b.mu.Lock()
+	failure, inner := f.b.failure, f.inner
+	f.b.mu.Unlock()
+	if failure != nil {
+		return nil, failure
+	}
+	if inner == nil {
+		return nil, core.ErrPending
+	}
+	return inner.Get()
+}
+
+// Err returns only the error part of Get, for void methods.
+func (f *Future) Err() error {
+	_, err := f.Get()
+	return err
+}
+
+// Typed views f as producing values of type T, converting wire-decoded
+// dynamic values like core.TypedFuture does.
+func Typed[T any](f *Future) TypedFuture[T] { return TypedFuture[T]{f: f} }
+
+// TypedFuture wraps a cluster Future with a concrete result type.
+type TypedFuture[T any] struct {
+	f *Future
+}
+
+// Get returns the settled, typed value.
+func (tf TypedFuture[T]) Get() (T, error) {
+	var zero T
+	v, err := tf.f.Get()
+	if err != nil {
+		return zero, err
+	}
+	return core.Convert[T](v)
+}
+
+// Future returns the underlying dynamic future.
+func (tf TypedFuture[T]) Future() *Future { return tf.f }

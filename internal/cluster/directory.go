@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/registry"
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+// ErrNoServers reports a naming or batch operation against an empty ring.
+var ErrNoServers = errors.New("cluster: no servers in the shard map")
+
+// Directory is the cluster-aware naming layer: it combines the shard map
+// with the per-server registries so that one logical namespace spans the
+// whole cluster. A name's home server is decided by the ring; Bind and
+// Lookup then talk to the ordinary internal/registry service on that server,
+// so a single-server deployment degenerates to plain registry use.
+type Directory struct {
+	peer *rmi.Peer
+	ring *Ring
+}
+
+// NewDirectory creates a directory routing over the given server endpoints.
+// Each endpoint must run a registry (registry.Start) for naming calls to
+// succeed.
+func NewDirectory(peer *rmi.Peer, endpoints []string, opts ...RingOption) *Directory {
+	return &Directory{peer: peer, ring: NewRing(endpoints, opts...)}
+}
+
+// Ring exposes the underlying shard map (e.g. to add servers at runtime).
+func (d *Directory) Ring() *Ring { return d.ring }
+
+// Servers returns the cluster members, sorted.
+func (d *Directory) Servers() []string { return d.ring.Endpoints() }
+
+// Home returns the endpoint that owns name.
+func (d *Directory) Home(name string) (string, error) {
+	ep := d.ring.Route(name)
+	if ep == "" {
+		return "", ErrNoServers
+	}
+	return ep, nil
+}
+
+// Bind binds name to ref in the registry of name's home server.
+func (d *Directory) Bind(ctx context.Context, name string, ref wire.Ref) error {
+	ep, err := d.Home(name)
+	if err != nil {
+		return err
+	}
+	return registry.Bind(ctx, d.peer, ep, name, ref)
+}
+
+// Rebind binds name to ref at its home server, replacing any existing
+// binding.
+func (d *Directory) Rebind(ctx context.Context, name string, ref wire.Ref) error {
+	ep, err := d.Home(name)
+	if err != nil {
+		return err
+	}
+	return registry.Rebind(ctx, d.peer, ep, name, ref)
+}
+
+// Lookup resolves name at its home server's registry.
+func (d *Directory) Lookup(ctx context.Context, name string) (wire.Ref, error) {
+	ep, err := d.Home(name)
+	if err != nil {
+		return wire.Ref{}, err
+	}
+	ref, err := registry.Lookup(ctx, d.peer, ep, name)
+	if err != nil {
+		return wire.Ref{}, fmt.Errorf("cluster: lookup %q at %s: %w", name, ep, err)
+	}
+	return ref, nil
+}
+
+// Unbind removes name's binding at its home server.
+func (d *Directory) Unbind(ctx context.Context, name string) error {
+	ep, err := d.Home(name)
+	if err != nil {
+		return err
+	}
+	return registry.Unbind(ctx, d.peer, ep, name)
+}
+
+// List returns every name bound anywhere in the cluster, keyed by server
+// endpoint. The per-server registries are queried in parallel, so the call
+// costs one round trip of wall-clock time, like a cluster batch flush.
+func (d *Directory) List(ctx context.Context) (map[string][]string, error) {
+	servers := d.ring.Endpoints()
+	if len(servers) == 0 {
+		return nil, ErrNoServers
+	}
+	out := make(map[string][]string, len(servers))
+	errs := make([]error, len(servers))
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	for i, ep := range servers {
+		wg.Add(1)
+		go func(i int, ep string) {
+			defer wg.Done()
+			names, err := registry.List(ctx, d.peer, ep)
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: list %s: %w", ep, err)
+				return
+			}
+			mu.Lock()
+			out[ep] = names
+			mu.Unlock()
+		}(i, ep)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

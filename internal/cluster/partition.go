@@ -1,0 +1,66 @@
+package cluster
+
+import "repro/internal/wire"
+
+// Call kinds a cluster recording can hold. They mirror the core package's
+// value/remote split; cluster batches do not record cursors (use a
+// single-server core.Batch for cursor workloads).
+const (
+	kindValue  = 1 // result returns to a Future
+	kindRemote = 2 // result is a remote object kept server-side
+)
+
+// recordedCall is one entry of the cluster-wide recording log, in global
+// recording order.
+type recordedCall struct {
+	group  *group
+	kind   int
+	target *Proxy
+	method string
+	args   []any
+	future *Future // kindValue: the future the caller holds
+	proxy  *Proxy  // kindRemote: the proxy the caller holds
+}
+
+// group is one batch destination: a server endpoint and everything recorded
+// against objects living there. All of a group's roots fold into one
+// multi-root core.Batch (core.Batch.AddRoot), so a destination always costs
+// exactly one round trip at flush no matter how many objects it serves.
+type group struct {
+	endpoint string
+	// roots are the group's batch roots in registration order; rootProxies
+	// maps each root ref to the proxy handed to the caller.
+	roots       []wire.Ref
+	rootProxies map[wire.Ref]*Proxy
+}
+
+// subBatch is one partition of the recording: every call bound for one
+// destination, in the order it was recorded.
+type subBatch struct {
+	group *group
+	calls []*recordedCall
+}
+
+// partition splits the global recording log into per-destination sub-batches.
+// It is a stable partition: within each sub-batch the calls keep their
+// global recording order, which preserves per-server program order — the
+// invariant that makes server-side replay of each sub-batch equivalent to
+// the original interleaved program. Sub-batches are ordered by the first
+// appearance of their destination in the log.
+//
+// Cross-destination data dependencies were already rejected at record time,
+// so the sub-batches are independent and may execute concurrently.
+func partition(calls []*recordedCall) []*subBatch {
+	var order []*subBatch
+	byGroup := make(map[*group]*subBatch)
+	for _, c := range calls {
+		sb, ok := byGroup[c.group]
+		if !ok {
+			sb = &subBatch{group: c.group}
+			byGroup[c.group] = sb
+			order = append(order, sb)
+		}
+		sb.calls = append(sb.calls, c)
+	}
+	return order
+}

@@ -1,0 +1,176 @@
+// Package cluster layers multi-server sharding on top of the single-server
+// BRMI core: a consistent-hash shard map that routes object names to peer
+// endpoints, a cluster-aware naming layer over internal/registry, and a
+// cluster Batch whose one recording session may span proxies living on
+// different servers. At flush the recording is partitioned into
+// per-destination sub-batches (per-server program order preserved) and
+// executed as one core.Batch per peer in parallel, so a cluster flush costs
+// roughly the slowest server's round trip instead of the sum of all of them.
+//
+// Cross-server data dependencies — a result recorded on server A used as the
+// target or argument of a call on server B — cannot be replayed server-side
+// without an extra hop, so this version detects them at record time and
+// rejects them with ErrCrossServer (see DESIGN.md, "Cluster partitioning
+// rules").
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultVirtualNodes is how many points each endpoint occupies on the ring.
+// More points smooth the key distribution at the cost of a larger sorted
+// table; 128 keeps the imbalance across a handful of servers within a few
+// percent.
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash shard map over peer endpoints. Keys (object
+// names) are routed to the endpoint owning the first ring point at or after
+// the key's hash. Adding an endpoint moves only the keys that land on the
+// new endpoint; every other key keeps its home, which is the property that
+// makes incremental cluster growth cheap.
+//
+// Ring is safe for concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	vnodes   int
+	points   []uint64          // sorted hash points
+	owners   map[uint64]string // point -> endpoint
+	members  map[string]bool
+	endpoint []string // sorted member list, kept for Endpoints
+}
+
+// RingOption configures a Ring.
+type RingOption func(*Ring)
+
+// WithVirtualNodes sets the points per endpoint (default
+// DefaultVirtualNodes).
+func WithVirtualNodes(n int) RingOption {
+	return func(r *Ring) {
+		if n > 0 {
+			r.vnodes = n
+		}
+	}
+}
+
+// NewRing creates a ring containing the given endpoints.
+func NewRing(endpoints []string, opts ...RingOption) *Ring {
+	r := &Ring{
+		vnodes:  DefaultVirtualNodes,
+		owners:  make(map[uint64]string),
+		members: make(map[string]bool),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	for _, ep := range endpoints {
+		r.add(ep)
+	}
+	return r
+}
+
+// Add inserts an endpoint into the ring. Adding an existing member is a
+// no-op.
+func (r *Ring) Add(endpoint string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.add(endpoint)
+}
+
+func (r *Ring) add(endpoint string) {
+	if r.members[endpoint] {
+		return
+	}
+	r.members[endpoint] = true
+	for i := 0; i < r.vnodes; i++ {
+		h := hashKey(fmt.Sprintf("%s#%d", endpoint, i))
+		// Collisions across 64-bit FNV points are vanishingly rare; if one
+		// happens the first owner keeps the point, which only skews the
+		// distribution by one vnode.
+		if _, taken := r.owners[h]; taken {
+			continue
+		}
+		r.owners[h] = endpoint
+		r.points = append(r.points, h)
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i] < r.points[j] })
+	r.endpoint = append(r.endpoint, endpoint)
+	sort.Strings(r.endpoint)
+}
+
+// Remove deletes an endpoint from the ring. Keys it owned redistribute to
+// the remaining members.
+func (r *Ring) Remove(endpoint string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[endpoint] {
+		return
+	}
+	delete(r.members, endpoint)
+	kept := r.points[:0]
+	for _, h := range r.points {
+		if r.owners[h] == endpoint {
+			delete(r.owners, h)
+			continue
+		}
+		kept = append(kept, h)
+	}
+	r.points = kept
+	for i, ep := range r.endpoint {
+		if ep == endpoint {
+			r.endpoint = append(r.endpoint[:i], r.endpoint[i+1:]...)
+			break
+		}
+	}
+}
+
+// Route returns the endpoint owning key, or "" for an empty ring.
+func (r *Ring) Route(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around
+	}
+	return r.owners[r.points[i]]
+}
+
+// Endpoints returns the current members, sorted.
+func (r *Ring) Endpoints() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.endpoint))
+	copy(out, r.endpoint)
+	return out
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// hashKey is 64-bit FNV-1a with a murmur-style finalizer. FNV alone leaves
+// keys that differ only in trailing characters (obj-00, obj-01, ...) in a
+// narrow band of the 64-bit space, which parks whole key families on one
+// ring arc; the finalizer's avalanche spreads them. Deterministic across
+// processes, unlike Go's map hash.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -23,6 +23,7 @@ type Batch struct {
 	root wire.Ref
 
 	mu      sync.Mutex
+	extra   []wire.Ref // additional roots (AddRoot), same endpoint as root
 	policy  *Policy
 	nextSeq int64
 	calls   []invocationData
@@ -74,6 +75,38 @@ func New(peer *rmi.Peer, root wire.Ref, opts ...Option) *Batch {
 func (b *Batch) Root() *Proxy {
 	return &Proxy{b: b, seq: RootTarget, settled: true}
 }
+
+// AddRoot registers another exported remote object as an additional root of
+// this batch and returns its recording proxy. The object must live on the
+// same server as the batch's root: a batch is one round trip to one server.
+// Adding the same ref twice returns a proxy for the same root. The cluster
+// layer uses this to fold every call bound for one server into a single
+// sub-batch regardless of how many objects the calls target.
+func (b *Batch) AddRoot(ref wire.Ref) (*Proxy, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrBatchClosed
+	}
+	if ref.Endpoint != b.root.Endpoint {
+		return nil, fmt.Errorf("%w: root %d lives on %q, batch targets %q",
+			ErrForeignRoot, ref.ObjID, ref.Endpoint, b.root.Endpoint)
+	}
+	if ref == b.root {
+		return &Proxy{b: b, seq: RootTarget, settled: true}, nil
+	}
+	for i, r := range b.extra {
+		if r == ref {
+			return &Proxy{b: b, seq: extraRootSeq(i), settled: true}, nil
+		}
+	}
+	b.extra = append(b.extra, ref)
+	return &Proxy{b: b, seq: extraRootSeq(len(b.extra) - 1), settled: true}, nil
+}
+
+// extraRootSeq is the wire sequence number addressing extra root i
+// (RootTarget-1, RootTarget-2, ...).
+func extraRootSeq(i int) int64 { return RootTarget - 1 - int64(i) }
 
 // Peer returns the underlying RMI peer.
 func (b *Batch) Peer() *rmi.Peer { return b.peer }
@@ -292,6 +325,12 @@ func (b *Batch) flush(ctx context.Context, keep bool) error {
 		Root:        b.root.ObjID,
 		KeepSession: keep,
 		Calls:       b.calls,
+	}
+	if len(b.extra) > 0 {
+		req.Roots = make([]uint64, len(b.extra))
+		for i, r := range b.extra {
+			req.Roots[i] = r.ObjID
+		}
 	}
 	if !b.sentPol {
 		req.Policy = b.policy

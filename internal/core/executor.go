@@ -42,6 +42,7 @@ type Executor struct {
 // the failure of each failed call for dependency propagation.
 type session struct {
 	root     any
+	extras   []any // additional roots, addressed at RootTarget-1-i
 	policy   *Policy
 	objects  map[int64]any
 	failures map[int64]error
@@ -160,11 +161,22 @@ func (e *Executor) InvokeBatch(ctx context.Context, req *batchRequest) (*batchRe
 func (e *Executor) resolveSession(req *batchRequest) (*session, uint64, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Extra roots are re-resolved on every flush: a chained batch may add
+	// roots between flushes, and ids are stable while exported.
+	extras := make([]any, len(req.Roots))
+	for i, id := range req.Roots {
+		obj, ok := e.peer.LocalObject(id)
+		if !ok {
+			return nil, 0, &rmi.NoSuchObjectError{ObjID: id}
+		}
+		extras[i] = obj
+	}
 	if req.Session != 0 {
 		sess, ok := e.sessions[req.Session]
 		if !ok {
 			return nil, 0, &SessionExpiredError{Session: req.Session}
 		}
+		sess.extras = extras
 		return sess, req.Session, nil
 	}
 	root, ok := e.peer.LocalObject(req.Root)
@@ -178,6 +190,7 @@ func (e *Executor) resolveSession(req *batchRequest) (*session, uint64, error) {
 	e.nextID++
 	sess := &session{
 		root:     root,
+		extras:   extras,
 		policy:   policy,
 		objects:  make(map[int64]any),
 		failures: make(map[int64]error),
@@ -491,6 +504,14 @@ func (e *Executor) runCursor(ctx context.Context, sess *session, st *execState, 
 func (e *Executor) resolve(sess *session, overlay map[int64]any, seq int64) (any, error) {
 	if seq == RootTarget {
 		return sess.root, nil
+	}
+	if seq < RootTarget {
+		// Bounds-check in int64: a far-out-of-range Target must not
+		// truncate into a valid index on 32-bit platforms.
+		if i := RootTarget - seq - 1; i < int64(len(sess.extras)) {
+			return sess.extras[i], nil
+		}
+		return nil, fmt.Errorf("brmi: unknown batch root %d", seq)
 	}
 	if overlay != nil {
 		if v, ok := overlay[seq]; ok {

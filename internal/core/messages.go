@@ -54,6 +54,11 @@ type batchRequest struct {
 	// Root is the export id of the batch's root remote object; used when
 	// Session == 0 to create the server context.
 	Root uint64
+	// Roots are the export ids of additional roots (Batch.AddRoot): other
+	// exported objects on the same server addressable within this batch.
+	// Calls target extra root i with sequence number RootTarget-1-i. Sent on
+	// every flush so chained batches can add roots between flushes.
+	Roots []uint64
 	// KeepSession requests that the server retain the object table for a
 	// chained batch (§3.5).
 	KeepSession bool

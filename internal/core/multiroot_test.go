@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+// TestAddRootSingleRoundTrip checks the multi-root extension: a second
+// exported object on the same server joins the batch, calls on both roots
+// ride one flush, and a data dependency from one root's result into the
+// other root's call replays server-side.
+func TestAddRootSingleRoundTrip(t *testing.T) {
+	fx := newFixture(t)
+	ctx := context.Background()
+
+	// A second, independently exported directory.
+	dir2 := &directory{}
+	dir2.files = append(dir2.files, &file{dir: dir2, name: "other.txt", size: 9, date: baseDate(4)})
+	dir2Ref, err := fx.server.Export(dir2, "coretest.Directory")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := fx.client.CallCount()
+	b := core.New(fx.client, fx.dirRef)
+	root := b.Root()
+	root2, err := b.AddRoot(dir2Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name1 := root.CallBatch("GetFile", "A.txt").Call("GetName")
+	name2 := root2.CallBatch("GetFile", "other.txt").Call("GetName")
+	if err := b.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rounds := fx.client.CallCount() - before; rounds != 1 {
+		t.Fatalf("two-root batch used %d round trips, want 1", rounds)
+	}
+	if got, err := core.Typed[string](name1).Get(); err != nil || got != "A.txt" {
+		t.Errorf("root 1 = %q, %v", got, err)
+	}
+	if got, err := core.Typed[string](name2).Get(); err != nil || got != "other.txt" {
+		t.Errorf("root 2 = %q, %v", got, err)
+	}
+}
+
+func TestAddRootDedupes(t *testing.T) {
+	fx := newFixture(t)
+	b := core.New(fx.client, fx.dirRef)
+
+	// Adding the primary root's own ref yields a root-equivalent proxy.
+	p, err := b.AddRoot(fx.dirRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.CallBatch("GetFile", "A.txt").Call("GetName")
+	if err := b.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := core.Typed[string](f).Get(); err != nil || got != "A.txt" {
+		t.Errorf("primary-as-extra root = %q, %v", got, err)
+	}
+}
+
+func TestAddRootForeignEndpointRejected(t *testing.T) {
+	fx := newFixture(t)
+	b := core.New(fx.client, fx.dirRef)
+	_, err := b.AddRoot(wire.Ref{Endpoint: "elsewhere", ObjID: 99, Iface: "coretest.Directory"})
+	if !errors.Is(err, core.ErrForeignRoot) {
+		t.Fatalf("AddRoot on foreign endpoint = %v, want ErrForeignRoot", err)
+	}
+}
+
+func TestAddRootUnknownObject(t *testing.T) {
+	fx := newFixture(t)
+	ctx := context.Background()
+	b := core.New(fx.client, fx.dirRef)
+	p, err := b.AddRoot(wire.Ref{Endpoint: fx.dirRef.Endpoint, ObjID: 4242, Iface: "coretest.Directory"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Call("AllFiles")
+	err = b.Flush(ctx)
+	var nso *rmi.NoSuchObjectError
+	if !errors.As(err, &nso) || nso.ObjID != 4242 {
+		t.Fatalf("flush with unknown extra root = %v, want NoSuchObjectError{4242}", err)
+	}
+}
+
+// TestAddRootChained checks that an extra root added between chained
+// flushes is usable in the continuation.
+func TestAddRootChained(t *testing.T) {
+	fx := newFixture(t)
+	ctx := context.Background()
+
+	dir2 := &directory{}
+	dir2.files = append(dir2.files, &file{dir: dir2, name: "late.txt", size: 1, date: baseDate(5)})
+	dir2Ref, err := fx.server.Export(dir2, "coretest.Directory")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := core.New(fx.client, fx.dirRef)
+	first := b.Root().CallBatch("GetFile", "A.txt").Call("GetName")
+	if err := b.FlushAndContinue(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := core.Typed[string](first).Get(); err != nil || got != "A.txt" {
+		t.Fatalf("first flush = %q, %v", got, err)
+	}
+
+	root2, err := b.AddRoot(dir2Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := root2.CallBatch("GetFile", "late.txt").Call("GetName")
+	if err := b.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := core.Typed[string](second).Get(); err != nil || got != "late.txt" {
+		t.Errorf("chained extra-root call = %q, %v", got, err)
+	}
+}
+
+func TestAddRootAfterCloseFails(t *testing.T) {
+	fx := newFixture(t)
+	b := core.New(fx.client, fx.dirRef)
+	b.Root().Call("AllFiles")
+	if err := b.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddRoot(fx.dirRef); !errors.Is(err, core.ErrBatchClosed) {
+		t.Fatalf("AddRoot after flush = %v, want ErrBatchClosed", err)
+	}
+}

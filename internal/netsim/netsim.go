@@ -45,6 +45,11 @@ var (
 	// network (the figures label the link 48 Mbps; the text says 54 Mbps —
 	// we follow the figures).
 	Wireless = Profile{Name: "wireless", RTT: 252 * time.Millisecond, BitsPerSecond: 48e6}
+	// WAN models a cross-datacenter link (no counterpart in the paper, which
+	// measured a single client/server pair): 80 ms RTT, 100 Mbps. It is the
+	// profile where the cluster fan-out benchmark's parallelism matters most,
+	// since every sequential per-server round trip costs a full WAN RTT.
+	WAN = Profile{Name: "wan", RTT: 80 * time.Millisecond, BitsPerSecond: 100e6}
 )
 
 // Scaled returns a copy of p with latency divided by factor and bandwidth

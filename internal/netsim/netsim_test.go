@@ -295,6 +295,9 @@ func TestAddrs(t *testing.T) {
 // the window hit reliably enough to catch regressions; the watchdog turns
 // a hang into a failure.
 func TestManyRoundTripsNoLostWakeup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test (~7s); skipped in -short")
+	}
 	c, s := dialPair(t, Profile{Name: "t", RTT: 200 * time.Microsecond, BitsPerSecond: 1e9})
 	done := make(chan error, 1)
 	go func() {
