@@ -8,6 +8,7 @@
 //	benchfig -fig 5 -fig 12        # selected figures
 //	benchfig -fig a1               # ablations (a1, a2, a3)
 //	benchfig -fig cluster          # multi-server fan-out (internal/cluster)
+//	benchfig -fig pipeline         # staged cross-server dataflow (internal/cluster)
 //	benchfig -scale 1 -reps 10     # full-fidelity wireless latency (slow)
 //	benchfig -csv out/             # additionally write CSV per figure
 //	benchfig -json out/            # additionally write BENCH_<fig>.json series
@@ -72,6 +73,10 @@ var figures = []figSpec{
 		return bench.RunFanout(c.wan, 64, []int{1, 2, 4, 8})
 	},
 		"cluster fan-out: 64 calls over K servers, WAN (internal/cluster)"},
+	{"pipeline", func(c config) (*bench.Table, error) {
+		return bench.RunPipeline(c.wan, 4, 16, []int{1, 2, 3, 4})
+	},
+		"staged cross-server pipeline: 16 chains of depth D over 4 servers, WAN (internal/cluster)"},
 }
 
 func main() {

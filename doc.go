@@ -7,10 +7,13 @@
 //
 // Layout:
 //
-//   - internal/core      BRMI: batches, futures, cursors, policies, chaining
+//   - internal/core      BRMI: batches, futures, cursors, policies, chaining,
+//     and export-pinned batch results for cross-server forwarding
 //   - internal/cluster   multi-server sharding: consistent-hash shard map,
-//     cluster naming, and cluster batches partitioned per destination and
-//     flushed in parallel
+//     cluster naming, and staged cluster batches — one recording spanning
+//     many servers, planned into dependency stages and executed as one
+//     parallel round-trip wave per stage, forwarding results between
+//     servers by reference (pinned refs) or by value (spliced futures)
 //   - internal/rmi       distributed object runtime (the "Java RMI" role)
 //   - internal/wire      value serialization and remote references
 //   - internal/transport framed, multiplexed request/response transport
@@ -21,7 +24,8 @@
 //   - internal/bench     harness regenerating the paper's Figures 5-13
 //   - cmd/benchfig       prints every figure's series; cmd/brmigen generates
 //   - examples/          runnable applications (quickstart, file server,
-//     bank, translator, chained batches, sharded multi-server cluster)
+//     bank, translator, chained batches, sharded multi-server cluster,
+//     staged cross-server pipeline)
 //
 // The benchmarks in bench_test.go reproduce each figure as a testing.B
 // benchmark; `go run ./cmd/benchfig -all` prints the full evaluation.

@@ -330,3 +330,48 @@ func TestNewFileServer(t *testing.T) {
 		t.Error("zero files not empty")
 	}
 }
+
+// TestPipelineShape is the acceptance check of staged cross-server
+// dataflow: at depth 2 over 4 servers, the staged cluster flush costs 3
+// parallel round-trip waves (the variant itself asserts Waves == depth+1),
+// so it must be well ahead of the manual two-phase approach's sequential
+// per-server flushes and of per-call RMI.
+func TestPipelineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test; skipped in -short")
+	}
+	cfg := Config{Profile: netsim.WAN.Scaled(10), Warmup: 1, Reps: 3}
+	table, err := RunPipeline(cfg, 4, 8, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trips: RMI one per hop per chain (8*3); both batched variants
+	// one per server per level (4*3).
+	assertRoundTrips(t, table, 2, []uint64{24, 12, 12})
+	rmiMs := tableCell(t, table, 2, 0).S.Millis()
+	twoMs := tableCell(t, table, 2, 1).S.Millis()
+	stagedMs := tableCell(t, table, 2, 2).S.Millis()
+	if stagedMs <= 0 {
+		t.Fatal("staged variant measured zero time")
+	}
+	if twoMs/stagedMs < 2 {
+		t.Errorf("staged flush %.2fms vs two-phase %.2fms: %.2fx, want >= 2x",
+			stagedMs, twoMs, twoMs/stagedMs)
+	}
+	if rmiMs/stagedMs < 4 {
+		t.Errorf("staged flush %.2fms vs RMI %.2fms: %.2fx, want >= 4x",
+			stagedMs, rmiMs, rmiMs/stagedMs)
+	}
+}
+
+// TestPipelineDegenerate: depth 0 (no cross-server dataflow) is the plain
+// fan-out case — the staged variant must plan a single wave and all
+// variants must agree on results.
+func TestPipelineDegenerate(t *testing.T) {
+	cfg := Config{Profile: netsim.Instant, Warmup: 0, Reps: 1}
+	table, err := RunPipeline(cfg, 2, 4, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRoundTrips(t, table, 0, []uint64{4, 2, 2})
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+// StageService is the pipeline workload's per-server operator: Step
+// transforms a value, one hop of a cross-server dataflow chain.
+type StageService struct {
+	rmi.RemoteBase
+}
+
+// Step applies this server's transformation to x.
+func (s *StageService) Step(x int64) int64 { return x + 1 }
+
+// stageRefs exports one StageService per server of the environment.
+func stageRefs(env *ClusterEnv) ([]wire.Ref, error) {
+	refs := make([]wire.Ref, len(env.Servers))
+	for i, srv := range env.Servers {
+		ref, err := srv.Export(&StageService{}, "bench.Stage")
+		if err != nil {
+			return nil, err
+		}
+		refs[i] = ref
+	}
+	return refs, nil
+}
+
+// PipelineVariants builds the three implementations of the staged dataflow
+// workload: `chains` independent value chains, each depth+1 hops long, hop
+// s of chain c executing on server (c+s) mod K — so every hop after the
+// first consumes a result produced on a DIFFERENT server.
+//
+//   - "RMI" issues every hop as its own round trip, feeding each result
+//     into the next call by hand: chains*(depth+1) sequential trips.
+//   - "BRMI-2phase" is the best a programmer can do with single-server
+//     batches alone: one core.Batch per server per hop level, flushed
+//     sequentially, values carried forward between levels by hand —
+//     K*(depth+1) sequential trips.
+//   - "BRMI-staged" records the whole dataflow in one cluster.Batch
+//     (futures spliced between waves) and flushes once: the planner
+//     schedules depth+1 stages, each a parallel fan-out, so wall-clock cost
+//     is depth+1 round-trip WAVES, not O(calls).
+func PipelineVariants(env *ClusterEnv, refs []wire.Ref, chains, depth int) []Variant {
+	ctx := context.Background()
+	k := len(refs)
+	want := func(c int) int64 { return int64(c + depth + 1) }
+
+	rmiOp := func() error {
+		for c := 0; c < chains; c++ {
+			v := int64(c)
+			for s := 0; s <= depth; s++ {
+				res, err := env.Client.Call(ctx, refs[(c+s)%k], "Step", v)
+				if err != nil {
+					return err
+				}
+				v = res[0].(int64)
+			}
+			if v != want(c) {
+				return fmt.Errorf("chain %d ended at %d, want %d", c, v, want(c))
+			}
+		}
+		return nil
+	}
+
+	twoPhaseOp := func() error {
+		vals := make([]int64, chains)
+		for c := range vals {
+			vals[c] = int64(c)
+		}
+		for s := 0; s <= depth; s++ {
+			type level struct {
+				b      *core.Batch
+				chains []int
+				futs   []core.TypedFuture[int64]
+			}
+			byServer := make(map[int]*level)
+			var order []int
+			for c := 0; c < chains; c++ {
+				srv := (c + s) % k
+				lv, ok := byServer[srv]
+				if !ok {
+					lv = &level{b: core.New(env.Client, refs[srv])}
+					byServer[srv] = lv
+					order = append(order, srv)
+				}
+				lv.chains = append(lv.chains, c)
+				lv.futs = append(lv.futs, core.Typed[int64](lv.b.Root().Call("Step", vals[c])))
+			}
+			for _, srv := range order {
+				lv := byServer[srv]
+				if err := lv.b.Flush(ctx); err != nil {
+					return err
+				}
+				for i, c := range lv.chains {
+					v, err := lv.futs[i].Get()
+					if err != nil {
+						return err
+					}
+					vals[c] = v
+				}
+			}
+		}
+		for c, v := range vals {
+			if v != want(c) {
+				return fmt.Errorf("chain %d ended at %d, want %d", c, v, want(c))
+			}
+		}
+		return nil
+	}
+
+	stagedOp := func() error {
+		b := cluster.New(env.Client)
+		futs := make([]cluster.TypedFuture[int64], chains)
+		for c := 0; c < chains; c++ {
+			f := b.Root(refs[c%k]).Call("Step", int64(c))
+			for s := 1; s <= depth; s++ {
+				f = b.Root(refs[(c+s)%k]).Call("Step", f)
+			}
+			futs[c] = cluster.Typed[int64](f)
+		}
+		if err := b.Flush(ctx); err != nil {
+			return err
+		}
+		if w := b.Waves(); w != depth+1 {
+			return fmt.Errorf("depth-%d pipeline flushed in %d waves, want %d", depth, w, depth+1)
+		}
+		for c := range futs {
+			v, err := futs[c].Get()
+			if err != nil {
+				return err
+			}
+			if v != want(c) {
+				return fmt.Errorf("chain %d ended at %d, want %d", c, v, want(c))
+			}
+		}
+		return nil
+	}
+
+	return []Variant{
+		{"RMI", rmiOp},
+		{"BRMI-2phase", twoPhaseOp},
+		{"BRMI-staged", stagedOp},
+	}
+}
+
+// RunPipeline measures the pipeline workload over dependency depths with a
+// fixed cluster size and chain count: the x-axis isolates how each strategy
+// pays for dataflow depth. RMI and the manual two-phase approach pay
+// sequential trips per level; the staged cluster flush pays depth+1
+// parallel waves, so its curve grows with depth but stays a cluster-size
+// factor below the others.
+func RunPipeline(cfg Config, k, chains int, depths []int) (*Table, error) {
+	table := &Table{
+		Fig:     "Fig. C2",
+		Title:   fmt.Sprintf("Cross-server pipeline (%d chains over %d servers)", chains, k),
+		XLabel:  "pipeline depth",
+		Profile: cfg.Profile.Name,
+	}
+	for _, d := range depths {
+		env, err := NewClusterEnv(cfg.Profile, k)
+		if err != nil {
+			return nil, err
+		}
+		refs, err := stageRefs(env)
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		variants := PipelineVariants(env, refs, chains, d)
+		if table.Columns == nil {
+			for _, v := range variants {
+				table.Columns = append(table.Columns, v.Name)
+			}
+		}
+		row := Row{X: d}
+		for _, v := range variants {
+			before := env.Client.CallCount()
+			if err := v.Op(); err != nil {
+				env.Close()
+				return nil, fmt.Errorf("pipeline depth=%d %s: %w", d, v.Name, err)
+			}
+			calls := env.Client.CallCount() - before
+			stats, err := Measure(cfg.Warmup, cfg.Reps, v.Op)
+			if err != nil {
+				env.Close()
+				return nil, fmt.Errorf("pipeline depth=%d %s: %w", d, v.Name, err)
+			}
+			row.Cells = append(row.Cells, Cell{S: stats, Calls: calls})
+		}
+		table.Rows = append(table.Rows, row)
+		env.Close()
+	}
+	return table, nil
+}

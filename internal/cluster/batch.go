@@ -15,13 +15,14 @@ import (
 
 // Exported errors of the cluster batch layer.
 var (
-	// ErrCrossServer reports a cross-server data dependency: a proxy
-	// recorded on one server used as an argument of a call bound for a
-	// different server. Replaying it would need the first server's result
-	// shipped to the second mid-batch; this version rejects the recording
-	// instead (DESIGN.md, "Cluster partitioning rules"). Dependencies
-	// between objects on the SAME server are fine, whatever root they hang
-	// off: the partitioner folds them into one multi-root sub-batch.
+	// ErrCrossServer reports a staged data dependency rejected by a
+	// single-stage batch (WithSingleStage): a proxy recorded on one server
+	// used as an argument of a call bound for a different server, or a
+	// future's value spliced into a later call. Replaying either needs an
+	// extra round-trip wave; single-stage batches keep the strict
+	// one-round-trip-per-destination guarantee and reject the recording
+	// instead. Default batches accept both and stage the flush
+	// (DESIGN.md, "Cluster staging rules").
 	ErrCrossServer = errors.New("cluster: cross-server data dependency")
 
 	// ErrNoEndpoint reports a Root ref that carries no server endpoint.
@@ -29,25 +30,42 @@ var (
 )
 
 // Batch is a cluster-wide recording session: the multi-server analogue of
-// core.Batch. One Batch records calls against proxies rooted on any number
-// of servers; Flush partitions the recording into per-destination
-// sub-batches (per-server program order preserved), executes one core.Batch
-// per destination in parallel, and merges the futures back, so the caller
-// observes a single batch whose flush costs roughly the slowest server's
-// round trip.
+// core.Batch, flushed as a record → plan → execute pipeline.
+//
+// Record: calls against proxies rooted on any number of servers go into one
+// global log. A result produced on server A may feed a call bound for
+// server B — as a proxy argument (the result stays remote and is forwarded
+// by reference) or as a future argument (the settled value is spliced in).
+//
+// Plan: Flush builds the dependency DAG over the log and schedules it into
+// stages — stage 0 holds every call with no staged inputs, stage k the
+// calls whose staged inputs settle in earlier waves — each stage
+// partitioned per destination exactly like a single-stage batch.
+//
+// Execute: stages run in order; within a stage every destination's
+// sub-batch is one core.Batch round trip, fanned out in parallel, so a
+// stage costs the slowest server's round trip and a depth-D pipeline costs
+// D+1 round-trip waves instead of one per call. A dependency-free
+// recording plans to a single stage and behaves exactly like the
+// single-stage flush (one parallel wave; one round trip per destination).
 //
 // Like core.Batch, a Batch records one batch at a time and is not meant to
 // be shared by concurrent client goroutines; the implementation is
 // internally synchronized, so misuse corrupts no memory, only recording
 // order.
 type Batch struct {
-	peer   *rmi.Peer
-	policy *core.Policy
+	peer        *rmi.Peer
+	policy      *core.Policy
+	singleStage bool
 
 	mu     sync.Mutex
 	groups map[string]*group // keyed by server endpoint
 	calls  []*recordedCall
 	closed bool
+	// waves counts the parallel fan-out barriers the flush executed.
+	waves int
+	// held are the exported result refs this batch leased between stages.
+	held []wire.Ref
 	// recErr is a sticky recording violation, reported by Flush.
 	recErr error
 	// failure poisons every future when recording failed; per-server flush
@@ -63,6 +81,17 @@ type Option func(*Batch)
 // server never aborts another server's sub-batch).
 func WithPolicy(p *core.Policy) Option {
 	return func(b *Batch) { b.policy = p }
+}
+
+// WithSingleStage restores the strict one-wave flush: any recording that
+// would need staged execution — a cross-server RESULT proxy argument, or a
+// future's value spliced into a later call — is rejected at record time
+// with ErrCrossServer, so a flush is guaranteed to cost exactly one
+// parallel round-trip wave (one round trip per destination). Cross-server
+// ROOT proxies stay legal as arguments: their refs splice in statically
+// without an extra wave.
+func WithSingleStage() Option {
+	return func(b *Batch) { b.singleStage = true }
 }
 
 // New creates an empty cluster batch. Add destinations with Root.
@@ -115,7 +144,7 @@ func (b *Batch) PendingCalls() int {
 }
 
 // Destinations returns the distinct server endpoints with recorded calls,
-// sorted. Its length is the number of round trips the flush will fan out.
+// sorted.
 func (b *Batch) Destinations() []string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -131,6 +160,16 @@ func (b *Batch) Destinations() []string {
 	return out
 }
 
+// Waves returns the number of round-trip waves (parallel fan-out barriers)
+// the flush executed: the stage count of the plan, minus stages that
+// settled entirely locally. A dependency-free recording flushes in one
+// wave; a depth-D pipeline in D+1.
+func (b *Batch) Waves() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.waves
+}
+
 // fail records a sticky recording violation. Caller holds b.mu.
 func (b *Batch) fail(err error) {
 	if b.recErr == nil {
@@ -138,8 +177,9 @@ func (b *Batch) fail(err error) {
 	}
 }
 
-// record validates and appends one invocation. Caller holds b.mu via the
-// public recording methods on Proxy.
+// record validates and appends one invocation. The argument scan classifies
+// staged inputs: cross-server proxies and futures are legal by default (the
+// planner schedules the extra waves) and rejected under WithSingleStage.
 func (b *Batch) record(target *Proxy, kind int, method string, args []any) *recordedCall {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -155,36 +195,67 @@ func (b *Batch) record(target *Proxy, kind int, method string, args []any) *reco
 		return nil
 	}
 	for i, a := range args {
-		ap, ok := a.(*Proxy)
-		if !ok {
-			continue
+		switch x := a.(type) {
+		case *Proxy:
+			if x.b != b {
+				b.fail(fmt.Errorf("%w: argument %d of %s", core.ErrForeignProxy, i, method))
+				return nil
+			}
+			if x.group == target.group {
+				continue
+			}
+			if x.origin == nil {
+				// A root on another server needs no staged execution: its
+				// ref is known statically and splices into the sub-batch
+				// as-is, so even single-stage batches accept it.
+				continue
+			}
+			if b.singleStage {
+				b.fail(fmt.Errorf("%w: argument %d of %s was recorded on %q but the call targets %q; "+
+					"this batch is single-stage (WithSingleStage) — drop the option to let the "+
+					"planner forward the result between waves",
+					ErrCrossServer, i, method, x.group.endpoint, target.group.endpoint))
+				return nil
+			}
+		case *Future:
+			if x.b != b {
+				b.fail(fmt.Errorf("%w: argument %d of %s", core.ErrForeignProxy, i, method))
+				return nil
+			}
+			if b.singleStage {
+				b.fail(fmt.Errorf("%w: argument %d of %s splices a future's value, which settles only "+
+					"after its producing wave; this batch is single-stage (WithSingleStage)",
+					ErrCrossServer, i, method))
+				return nil
+			}
+			if x.origin == nil {
+				b.fail(fmt.Errorf("cluster: argument %d of %s is an unrecorded future", i, method))
+				return nil
+			}
 		}
-		if ap.b != b {
-			b.fail(fmt.Errorf("%w: argument %d of %s", core.ErrForeignProxy, i, method))
-			return nil
-		}
-		if ap.group == target.group {
-			continue
-		}
-		b.fail(fmt.Errorf("%w: argument %d of %s was recorded on %q but the call targets %q; "+
-			"flush the producing batch first and pass the fetched value instead",
-			ErrCrossServer, i, method, ap.group.endpoint, target.group.endpoint))
-		return nil
 	}
-	c := &recordedCall{group: target.group, kind: kind, target: target, method: method, args: args}
+	c := &recordedCall{
+		index:  len(b.calls),
+		group:  target.group,
+		kind:   kind,
+		target: target,
+		method: method,
+		args:   args,
+	}
 	b.calls = append(b.calls, c)
 	return c
 }
 
-// Flush partitions the recording into per-destination sub-batches, executes
-// them in parallel (one core.Batch round trip per destination), and settles
-// every future.
+// Flush runs the plan/execute pipeline over the recording: plan the stage
+// schedule, then execute the stages in order, fanning each stage out to its
+// destinations in parallel and forwarding results between waves.
 //
 // A recording violation fails the whole batch: Flush returns the
 // *core.BatchError and every future rethrows it. Server failures stay
-// per-destination: Flush returns a *FlushError naming each failed server,
-// futures bound for those servers rethrow that server's error, and futures
-// bound for healthy servers still hold their values.
+// per-destination: Flush returns a *FlushError naming each failed server
+// (and the stage it failed in), futures depending — directly or through
+// the dataflow — on a failed server rethrow that server's error, and
+// independent futures still hold their values.
 func (b *Batch) Flush(ctx context.Context) error {
 	b.mu.Lock()
 	if b.closed {
@@ -198,103 +269,42 @@ func (b *Batch) Flush(ctx context.Context) error {
 		b.mu.Unlock()
 		return err
 	}
-
-	// Partition and translate each sub-batch into one multi-root core.Batch
-	// per destination, rewiring cluster proxies and futures onto their
-	// single-server counterparts.
-	subs := partition(b.calls)
-	batches := make([]*core.Batch, len(subs))
-	for i, sb := range subs {
-		var opts []core.Option
-		if b.policy != nil {
-			opts = append(opts, core.WithPolicy(b.policy))
-		}
-		cb := core.New(b.peer, sb.group.roots[0], opts...)
-		sb.group.rootProxies[sb.group.roots[0]].core = cb.Root()
-		for _, ref := range sb.group.roots[1:] {
-			cp, err := cb.AddRoot(ref)
-			if err != nil {
-				// Unreachable: every root in a group shares its endpoint.
-				ferr := &core.BatchError{Err: err}
-				b.failure = ferr
-				b.mu.Unlock()
-				return ferr
-			}
-			sb.group.rootProxies[ref].core = cp
-		}
-		for _, c := range sb.calls {
-			args := make([]any, len(c.args))
-			for j, a := range c.args {
-				if ap, ok := a.(*Proxy); ok {
-					args[j] = ap.core
-				} else {
-					args[j] = a
-				}
-			}
-			switch c.kind {
-			case kindRemote:
-				c.proxy.core = c.target.core.CallBatch(c.method, args...)
-			default: // kindValue
-				c.future.inner = c.target.core.Call(c.method, args...)
-			}
-		}
-		batches[i] = cb
+	nstages, err := planStages(b.calls)
+	if err != nil {
+		ferr := &core.BatchError{Err: err}
+		b.failure = ferr
+		b.mu.Unlock()
+		return ferr
 	}
+	stages := buildStages(b.calls, nstages)
 	b.calls = nil
 	b.mu.Unlock()
 
-	// Fan out: one flush per destination, concurrently. Wall-clock cost is
-	// the slowest destination, not the sum.
-	errs := make([]error, len(batches))
-	var wg sync.WaitGroup
-	for i := range batches {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = batches[i].Flush(ctx)
-		}(i)
-	}
-	wg.Wait()
-
-	var ferr *FlushError
-	for i, err := range errs {
-		if err == nil {
-			continue
-		}
-		if ferr == nil {
-			ferr = &FlushError{Servers: len(batches)}
-		}
-		ferr.Failures = append(ferr.Failures, ServerError{
-			Endpoint: subs[i].group.endpoint,
-			Err:      err,
-		})
-	}
-	if ferr != nil {
-		return ferr
-	}
-	return nil
+	return b.execute(ctx, stages)
 }
 
-// FlushError reports the destinations whose sub-batch failed. Futures and
-// proxies of the failed destinations rethrow the per-server error; the rest
-// of the batch settled normally.
+// FlushError reports the destinations whose sub-batch failed, and in which
+// stage. Futures and proxies depending on a failed destination rethrow the
+// per-server error; the rest of the batch settled normally.
 type FlushError struct {
-	// Servers is how many destinations the flush fanned out to.
+	// Servers is how many destinations the flush planned to reach.
 	Servers int
-	// Failures lists each failed destination, in partition order.
+	// Failures lists each failed destination, in failure order.
 	Failures []ServerError
 }
 
 // ServerError is one destination's flush failure.
 type ServerError struct {
 	Endpoint string
-	Err      error
+	// Stage is the pipeline stage (round-trip wave) the failure occurred in.
+	Stage int
+	Err   error
 }
 
 func (e *FlushError) Error() string {
 	parts := make([]string, len(e.Failures))
 	for i, f := range e.Failures {
-		parts[i] = fmt.Sprintf("%s: %v", f.Endpoint, f.Err)
+		parts[i] = fmt.Sprintf("%s (stage %d): %v", f.Endpoint, f.Stage, f.Err)
 	}
 	return fmt.Sprintf("cluster: flush failed on %d of %d servers: %s",
 		len(e.Failures), e.Servers, strings.Join(parts, "; "))
@@ -317,9 +327,16 @@ type Proxy struct {
 	isRoot bool
 	// rootRef is the exported object this proxy stands for (roots only).
 	rootRef wire.Ref
-	// core is the single-server proxy this cluster proxy was rewired to at
-	// flush time; nil before Flush.
+	// origin is the recorded call that produces this proxy's object (nil
+	// for roots). The planner reads it to build the dependency DAG.
+	origin *recordedCall
+	// core is the single-server proxy this cluster proxy was rewired to
+	// when its stage was translated; nil before that.
 	core *core.Proxy
+	// failedLocal is set when the call settled client-side without reaching
+	// its server: a failed dependency, or a destination that failed in an
+	// earlier stage.
+	failedLocal error
 }
 
 // Batch returns the cluster batch this proxy records into.
@@ -329,22 +346,28 @@ func (p *Proxy) Batch() *Batch { return p.b }
 func (p *Proxy) Endpoint() string { return p.group.endpoint }
 
 // Call records a method invocation whose result is a value, returning its
-// future.
+// future. The future may itself be passed as an argument of a later call —
+// on any server — and the flush splices the settled value in, costing one
+// extra round-trip wave.
 func (p *Proxy) Call(method string, args ...any) *Future {
 	f := &Future{b: p.b}
 	if c := p.b.record(p, kindValue, method, args); c != nil {
 		c.future = f
+		f.origin = c
 	}
 	return f
 }
 
 // CallBatch records a method invocation whose result is a remote object;
 // the result stays on its server and the returned proxy records further
-// calls on it.
+// calls on it. Passing the proxy as an argument of a call bound for a
+// DIFFERENT server makes the flush pin the result as an exported reference
+// and forward it by reference in the next wave.
 func (p *Proxy) CallBatch(method string, args ...any) *Proxy {
 	np := &Proxy{b: p.b, group: p.group}
 	if c := p.b.record(p, kindRemote, method, args); c != nil {
 		c.proxy = np
+		np.origin = c
 	}
 	return np
 }
@@ -353,10 +376,13 @@ func (p *Proxy) CallBatch(method string, args ...any) *Proxy {
 // returns core.ErrPending for non-root proxies.
 func (p *Proxy) Ok() error {
 	p.b.mu.Lock()
-	failure, inner := p.b.failure, p.core
+	failure, local, inner := p.b.failure, p.failedLocal, p.core
 	p.b.mu.Unlock()
 	if failure != nil {
 		return failure
+	}
+	if local != nil {
+		return local
 	}
 	if inner == nil {
 		if p.isRoot {
@@ -368,22 +394,30 @@ func (p *Proxy) Ok() error {
 }
 
 // Future is the placeholder for a cluster-batched call's result. It is
-// created at recording time and bound to its destination's core.Future at
-// flush.
+// created at recording time and bound to its destination's core.Future when
+// its stage is translated.
 type Future struct {
-	b     *Batch
-	inner *core.Future
+	b *Batch
+	// origin is the recorded call producing this future's value.
+	origin *recordedCall
+	inner  *core.Future
+	// err is set when the call settled client-side without reaching its
+	// server (failed dependency or failed destination in an earlier stage).
+	err error
 }
 
 // Get returns the settled value. Before flush it returns core.ErrPending;
 // after a recording violation it returns the batch error; after a
-// destination failure it rethrows that server's error.
+// destination or dependency failure it rethrows the originating error.
 func (f *Future) Get() (any, error) {
 	f.b.mu.Lock()
-	failure, inner := f.b.failure, f.inner
+	failure, local, inner := f.b.failure, f.err, f.inner
 	f.b.mu.Unlock()
 	if failure != nil {
 		return nil, failure
+	}
+	if local != nil {
+		return nil, local
 	}
 	if inner == nil {
 		return nil, core.ErrPending

@@ -39,6 +39,26 @@ func (c *counter) Get() int64 {
 
 func (c *counter) Self() *counter { return c }
 
+// Fork returns a fresh counter seeded with seed — a new remote object, so a
+// cross-server consumer receives a freshly pinned exported ref.
+func (c *counter) Fork(seed int64) *counter { return &counter{n: seed} }
+
+// AddRemote adds the value read from another counter, wherever it lives.
+// When the source was forwarded from a different server (the staged
+// pipeline's by-reference splice), src arrives as a stub and the read is a
+// server-to-server call.
+func (c *counter) AddRemote(ctx context.Context, src rmi.Invoker) (int64, error) {
+	res, err := src.Invoke(ctx, "Get")
+	if err != nil {
+		return 0, err
+	}
+	n, ok := res[0].(int64)
+	if !ok {
+		return 0, fmt.Errorf("Get returned %T", res[0])
+	}
+	return c.Add(n), nil
+}
+
 // Absorb adds another counter's total into this one; used to exercise a
 // data dependency between two batch roots on the same server.
 func (c *counter) Absorb(o *counter) int64 {
@@ -203,14 +223,18 @@ func TestRingRemoveAndEmpty(t *testing.T) {
 
 // --- recording validation ----------------------------------------------------
 
-func TestCrossServerDependencyRejected(t *testing.T) {
+// TestSingleStageRejectsCrossServer checks the opt-in strictness mode: a
+// WithSingleStage batch rejects cross-server dataflow at record time with
+// ErrCrossServer, preserving the one-round-trip-per-destination guarantee
+// staged batches trade away.
+func TestSingleStageRejectsCrossServer(t *testing.T) {
 	tc := newTestCluster(t, 2)
-	b := New(tc.client)
+	b := New(tc.client, WithSingleStage())
 	a := b.Root(tc.refs[0])
 	c := b.Root(tc.refs[1])
 
-	onA := a.CallBatch("Self")       // remote result living on server-0
-	f := c.Call("Add", int64(1), onA) // fed into a call on server-1
+	onA := a.CallBatch("Self")    // remote result living on server-0
+	f := c.Call("AddRemote", onA) // fed into a call on server-1
 
 	err := b.Flush(context.Background())
 	var be *core.BatchError
@@ -223,6 +247,44 @@ func TestCrossServerDependencyRejected(t *testing.T) {
 	// The counter on server-1 must not have executed anything.
 	if got := tc.counters[1].Get(); got != 0 {
 		t.Errorf("server-1 counter = %d after rejected batch, want 0", got)
+	}
+}
+
+// TestSingleStageAllowsCrossServerRootArg: a ROOT proxy from another
+// server needs no staged execution — its ref splices in statically — so
+// even single-stage batches accept it and still flush in one wave.
+func TestSingleStageAllowsCrossServerRootArg(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	b := New(tc.client, WithSingleStage())
+	r0 := b.Root(tc.refs[0])
+	r1 := b.Root(tc.refs[1])
+	f := r0.Call("AddRemote", r1) // server-1's ROOT as an argument on server-0
+
+	if err := b.Flush(context.Background()); err != nil {
+		t.Fatalf("single-stage flush with root arg = %v, want nil", err)
+	}
+	if w := b.Waves(); w != 1 {
+		t.Errorf("flush took %d waves, want 1", w)
+	}
+	if got, err := Typed[int64](f).Get(); err != nil || got != 0 {
+		t.Errorf("AddRemote(root-1) = %d, %v; want 0 (fresh counter)", got, err)
+	}
+}
+
+// TestSingleStageRejectsFutureSplice: a future's value splice needs its
+// producing wave to settle first, so single-stage batches reject it too —
+// even between two calls on the same server.
+func TestSingleStageRejectsFutureSplice(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	b := New(tc.client, WithSingleStage())
+	r := b.Root(tc.refs[0])
+	f := r.Call("Get")
+	r.Call("Add", f)
+	if err := b.Flush(context.Background()); !errors.Is(err, ErrCrossServer) {
+		t.Fatalf("flush error = %v, want ErrCrossServer", err)
+	}
+	if got := tc.counters[0].Get(); got != 0 {
+		t.Errorf("counter = %d after rejected batch, want 0", got)
 	}
 }
 
@@ -337,6 +399,9 @@ func TestSingleServerMatchesCoreBatch(t *testing.T) {
 	if rt := tc.client.CallCount() - before; rt != 1 {
 		t.Errorf("cluster flush used %d round trips, want 1", rt)
 	}
+	if w := b.Waves(); w != 1 {
+		t.Errorf("single-server flush took %d waves, want 1", w)
+	}
 
 	// The counter ran both batches; the cluster run starts 15 higher.
 	for i, pair := range []struct {
@@ -398,6 +463,9 @@ func TestMultiServerFanout(t *testing.T) {
 	}
 	if rt := tc.client.CallCount() - before; rt != 3 {
 		t.Errorf("flush used %d round trips, want 3 (one per server)", rt)
+	}
+	if w := b.Waves(); w != 1 {
+		t.Errorf("dependency-free multi-server flush took %d waves, want 1", w)
 	}
 
 	for i := range roots {

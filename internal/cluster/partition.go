@@ -11,8 +11,14 @@ const (
 )
 
 // recordedCall is one entry of the cluster-wide recording log, in global
-// recording order.
+// recording order. The planner annotates it (stage, export) and the staged
+// executor threads its client-side settlement through it.
 type recordedCall struct {
+	// index is the call's position in the global recording log. Recording
+	// order is a topological order of the dependency DAG — a proxy or
+	// future must be returned before it can be passed — which is what lets
+	// the planner schedule in one forward pass.
+	index  int
 	group  *group
 	kind   int
 	target *Proxy
@@ -20,12 +26,23 @@ type recordedCall struct {
 	args   []any
 	future *Future // kindValue: the future the caller holds
 	proxy  *Proxy  // kindRemote: the proxy the caller holds
+
+	// stage is the round-trip wave this call executes in (planner).
+	stage int
+	// export marks a kindRemote call whose result a later wave forwards to
+	// a different server: the sub-batch asks the server to pin the result
+	// as an exported ref (core.Proxy.CallBatchExport).
+	export bool
+	// failed is the error this call settled with client-side, when a
+	// dependency or its destination failed before the call could execute.
+	failed error
 }
 
 // group is one batch destination: a server endpoint and everything recorded
 // against objects living there. All of a group's roots fold into one
-// multi-root core.Batch (core.Batch.AddRoot), so a destination always costs
-// exactly one round trip at flush no matter how many objects it serves.
+// multi-root core.Batch (core.Batch.AddRoot), so a destination costs one
+// round trip per stage it participates in, no matter how many objects it
+// serves.
 type group struct {
 	endpoint string
 	// roots are the group's batch roots in registration order; rootProxies
@@ -34,22 +51,22 @@ type group struct {
 	rootProxies map[wire.Ref]*Proxy
 }
 
-// subBatch is one partition of the recording: every call bound for one
-// destination, in the order it was recorded.
+// subBatch is one partition of a stage: every call of that stage bound for
+// one destination, in the order it was recorded.
 type subBatch struct {
 	group *group
 	calls []*recordedCall
 }
 
-// partition splits the global recording log into per-destination sub-batches.
-// It is a stable partition: within each sub-batch the calls keep their
-// global recording order, which preserves per-server program order — the
-// invariant that makes server-side replay of each sub-batch equivalent to
-// the original interleaved program. Sub-batches are ordered by the first
-// appearance of their destination in the log.
+// partition splits a slice of the recording log into per-destination
+// sub-batches. It is a stable partition: within each sub-batch the calls
+// keep their global recording order, which preserves per-server program
+// order within the stage — the invariant that makes server-side replay of
+// each sub-batch equivalent to the original interleaved program.
+// Sub-batches are ordered by the first appearance of their destination.
 //
-// Cross-destination data dependencies were already rejected at record time,
-// so the sub-batches are independent and may execute concurrently.
+// Sub-batches of one stage have no mutual dependencies (the planner put
+// every staged input in an earlier stage), so they execute concurrently.
 func partition(calls []*recordedCall) []*subBatch {
 	var order []*subBatch
 	byGroup := make(map[*group]*subBatch)

@@ -1,0 +1,116 @@
+package cluster
+
+import "fmt"
+
+// plan.go is the "plan" phase of the cluster flush pipeline: it turns the
+// global recording log into a stage schedule. Stage 0 holds every call
+// whose inputs are all immediate (roots, plain values, same-server
+// proxies); stage k holds the calls whose staged inputs settle in waves
+// < k. Each stage is then partitioned per destination exactly like a
+// single-stage flush, so a stage costs one parallel fan-out.
+
+// input is one resolved dependency (an edge of the dataflow DAG): the call
+// that produces a value this call consumes.
+type input struct {
+	producer *recordedCall
+	// staged is true when the consumer can only run in a wave after the
+	// producer's: the producer's result has to cross the network between
+	// stages (a proxy forwarded to a different server, or a future's value
+	// spliced back through the client).
+	staged bool
+	// export is true when the producer's result must be pinned as an
+	// exported reference so the next wave can forward it by reference.
+	export bool
+}
+
+// inputs enumerates c's dependencies: the call that created its target
+// proxy, plus every proxy or future argument. Root proxies contribute
+// nothing — their refs exist before the batch does.
+func (c *recordedCall) inputs() []input {
+	var in []input
+	if o := c.target.origin; o != nil {
+		// The target is always on the call's own server: same-stage
+		// sub-batches resolve it by sequence number, chained sessions
+		// across stages too, so the edge is never staged.
+		in = append(in, input{producer: o})
+	}
+	for _, a := range c.args {
+		switch x := a.(type) {
+		case *Proxy:
+			if x.origin == nil {
+				continue
+			}
+			cross := x.group != c.group
+			in = append(in, input{producer: x.origin, staged: cross, export: cross})
+		case *Future:
+			if x.origin == nil {
+				continue
+			}
+			// A spliced value settles at the client only after the
+			// producer's wave returns, whichever server it came from.
+			in = append(in, input{producer: x.origin, staged: true})
+		}
+	}
+	return in
+}
+
+// planStages assigns every call its execution stage and returns the stage
+// count — the number of round-trip waves the flush needs:
+//
+//	stage(c) = max over inputs i of stage(i.producer) + (1 if i.staged)
+//
+// (0 with no inputs). It also marks producers whose results must be pinned
+// server-side for cross-server forwarding (recordedCall.export).
+//
+// Recording order is necessarily a topological order of the dependency
+// DAG — a proxy or future must be returned by a recording call before it
+// can be passed as a target or argument — so a cyclic recording is
+// impossible by construction and one forward pass settles every stage.
+// planStages asserts the invariant and reports an internal error rather
+// than scheduling nonsense if a caller ever violates it.
+func planStages(calls []*recordedCall) (int, error) {
+	stages := 0
+	for i, c := range calls {
+		if c.index != i {
+			return 0, fmt.Errorf("cluster: internal: call %s has log index %d, expected %d",
+				c.method, c.index, i)
+		}
+		s := 0
+		for _, in := range c.inputs() {
+			if in.producer.index >= c.index {
+				return 0, fmt.Errorf("cluster: internal: recording is not topologically ordered: "+
+					"%s (call %d) consumes the result of %s (call %d)",
+					c.method, c.index, in.producer.method, in.producer.index)
+			}
+			if in.export {
+				in.producer.export = true
+			}
+			earliest := in.producer.stage
+			if in.staged {
+				earliest++
+			}
+			if earliest > s {
+				s = earliest
+			}
+		}
+		c.stage = s
+		if s+1 > stages {
+			stages = s + 1
+		}
+	}
+	return stages, nil
+}
+
+// buildStages groups the recording by stage, preserving global recording
+// order within each stage, and partitions every stage per destination.
+func buildStages(calls []*recordedCall, stages int) [][]*subBatch {
+	byStage := make([][]*recordedCall, stages)
+	for _, c := range calls {
+		byStage[c.stage] = append(byStage[c.stage], c)
+	}
+	out := make([][]*subBatch, stages)
+	for s, cs := range byStage {
+		out[s] = partition(cs)
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// stage.go is the "execute" phase of the cluster flush pipeline: it runs
+// the planned stages in order. Each destination keeps ONE core.Batch across
+// all its stages, flushed with FlushAndContinue between stages and Flush on
+// its last — the chained-batch session (§3.5) is what lets a later stage
+// reference a same-server result from an earlier one by sequence number,
+// with no extra traffic. Between stages the executor materializes staged
+// inputs: exported refs of remote results are pulled from the response and
+// forwarded by reference; future values are spliced in by value.
+
+// destState is one destination's execution state across stages.
+type destState struct {
+	group *group
+	cb    *core.Batch
+	// lastStage is the last stage this destination participates in; its
+	// flush there closes the server session.
+	lastStage int
+	// sessionOpen is true after a FlushAndContinue left a server session
+	// behind.
+	sessionOpen bool
+	// failed poisons the destination: every call of its later stages
+	// settles locally with this error.
+	failed error
+}
+
+// open creates the destination's multi-root core.Batch and rewires the
+// group's root proxies onto it. Caller holds b.mu.
+func (ds *destState) open(b *Batch) error {
+	var opts []core.Option
+	if b.policy != nil {
+		opts = append(opts, core.WithPolicy(b.policy))
+	}
+	cb := core.New(b.peer, ds.group.roots[0], opts...)
+	ds.group.rootProxies[ds.group.roots[0]].core = cb.Root()
+	for _, ref := range ds.group.roots[1:] {
+		cp, err := cb.AddRoot(ref)
+		if err != nil {
+			// Unreachable: every root in a group shares its endpoint.
+			return err
+		}
+		ds.group.rootProxies[ref].core = cp
+	}
+	ds.cb = cb
+	return nil
+}
+
+// execute runs the stage schedule. Per stage: translate each destination's
+// sub-batch into its core.Batch (resolving staged inputs from earlier
+// waves), fan the destinations out in parallel, then harvest exported
+// result refs for the next wave. Wall-clock cost per stage is the slowest
+// destination's round trip; total cost is one wave per stage.
+func (b *Batch) execute(ctx context.Context, stages [][]*subBatch) error {
+	dests := make(map[*group]*destState)
+	for s, subs := range stages {
+		for _, sb := range subs {
+			ds := dests[sb.group]
+			if ds == nil {
+				ds = &destState{group: sb.group}
+				dests[sb.group] = ds
+			}
+			ds.lastStage = s
+		}
+	}
+
+	var flushErr *FlushError
+	reportFailure := func(ds *destState, stage int, err error) {
+		ds.failed = err
+		if flushErr == nil {
+			flushErr = &FlushError{Servers: len(dests)}
+		}
+		flushErr.Failures = append(flushErr.Failures, ServerError{
+			Endpoint: ds.group.endpoint,
+			Stage:    stage,
+			Err:      err,
+		})
+	}
+
+	for s, subs := range stages {
+		// Translate this stage under the batch lock, so concurrent readers
+		// of futures and proxies observe a consistent rewiring.
+		b.mu.Lock()
+		var wave []*destState
+		keep := make(map[*destState]bool)
+		for _, sb := range subs {
+			ds := dests[sb.group]
+			if ds.failed != nil {
+				settleSub(sb, ds.failed)
+				continue
+			}
+			if ds.cb == nil {
+				if err := ds.open(b); err != nil {
+					reportFailure(ds, s, err)
+					settleSub(sb, err)
+					continue
+				}
+			}
+			b.translate(ds, sb)
+			// Flush when the stage recorded calls for this destination, or
+			// when an earlier wave left a session open and this is the
+			// destination's last chance to close it.
+			if ds.cb.PendingCalls() > 0 || (s == ds.lastStage && ds.sessionOpen) {
+				keep[ds] = s < ds.lastStage
+				wave = append(wave, ds)
+			}
+		}
+		b.mu.Unlock()
+		if len(wave) == 0 {
+			continue
+		}
+
+		// Fan out: one flush per destination, concurrently; barrier before
+		// the next stage may consume this one's results.
+		errs := make([]error, len(wave))
+		var wg sync.WaitGroup
+		for i, ds := range wave {
+			wg.Add(1)
+			go func(i int, ds *destState) {
+				defer wg.Done()
+				if keep[ds] {
+					errs[i] = ds.cb.FlushAndContinue(ctx)
+				} else {
+					errs[i] = ds.cb.Flush(ctx)
+				}
+			}(i, ds)
+		}
+		wg.Wait()
+
+		b.mu.Lock()
+		b.waves++
+		for i, ds := range wave {
+			if errs[i] != nil {
+				reportFailure(ds, s, errs[i])
+				continue
+			}
+			ds.sessionOpen = keep[ds]
+		}
+		// Harvest the refs of results pinned in this wave and lease them
+		// (rmi.Peer.HoldRef) so they outlive the server's marshal grace for
+		// as long as the pipeline still needs them.
+		for _, sb := range subs {
+			if dests[sb.group].failed != nil {
+				continue
+			}
+			for _, c := range sb.calls {
+				if !c.export || c.failed != nil || c.proxy == nil || c.proxy.core == nil {
+					continue
+				}
+				ref, err := c.proxy.core.ExportedRef()
+				if err != nil {
+					continue // the call itself failed; consumers settle with its error
+				}
+				b.peer.HoldRef(ref)
+				b.held = append(b.held, ref)
+			}
+		}
+		b.mu.Unlock()
+	}
+
+	// The pipeline is done: drop the bridging leases in one batched DGC
+	// wave (one Clean per endpoint, endpoints in parallel). Destinations
+	// that received a forwarded ref hold their own lease while they retain
+	// the stub, and the lease-holder chain unwinds through DGC. Cleanup
+	// must outlive the flush's own context: a cancellation that aborted
+	// the waves is exactly when prompt lease release matters most.
+	b.mu.Lock()
+	held := b.held
+	b.held = nil
+	b.mu.Unlock()
+	if len(held) > 0 {
+		b.peer.ReleaseRefs(context.WithoutCancel(ctx), held)
+	}
+
+	if flushErr != nil {
+		return flushErr
+	}
+	return nil
+}
+
+// translate records one sub-batch's calls into the destination's
+// core.Batch, resolving staged inputs settled by earlier waves. A call
+// whose input failed settles locally with that error — the failure
+// propagates through the dataflow without aborting independent calls.
+// Caller holds b.mu.
+func (b *Batch) translate(ds *destState, sb *subBatch) {
+	for _, c := range sb.calls {
+		args, err := b.resolveInputs(c)
+		if err != nil {
+			settleLocal(c, err)
+			continue
+		}
+		switch c.kind {
+		case kindRemote:
+			if c.export {
+				c.proxy.core = c.target.core.CallBatchExport(c.method, args...)
+			} else {
+				c.proxy.core = c.target.core.CallBatch(c.method, args...)
+			}
+		default: // kindValue
+			c.future.inner = c.target.core.Call(c.method, args...)
+		}
+	}
+}
+
+// resolveInputs materializes c's arguments for its core.Batch:
+//
+//   - same-server proxies pass through as core proxies (the server resolves
+//     them by sequence number, across stages via the chained session);
+//   - cross-server root proxies pass as their refs (known statically);
+//   - cross-server result proxies pass as the exported ref pinned by the
+//     producer's wave — forwarded by reference, the destination sees a stub;
+//   - futures pass as their settled values — spliced by value.
+//
+// An error means a dependency failed and c must settle locally with it.
+func (b *Batch) resolveInputs(c *recordedCall) ([]any, error) {
+	if o := c.target.origin; o != nil && o.failed != nil {
+		return nil, o.failed
+	}
+	args := make([]any, len(c.args))
+	for i, a := range c.args {
+		switch x := a.(type) {
+		case *Proxy:
+			if x.origin != nil && x.origin.failed != nil {
+				return nil, x.origin.failed
+			}
+			if x.group == c.group {
+				args[i] = x.core
+				continue
+			}
+			if x.origin == nil {
+				args[i] = x.rootRef
+				continue
+			}
+			if x.core == nil {
+				return nil, fmt.Errorf("cluster: internal: argument %d of %s references an untranslated call", i, c.method)
+			}
+			ref, err := x.core.ExportedRef()
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ref
+		case *Future:
+			if x.origin != nil && x.origin.failed != nil {
+				return nil, x.origin.failed
+			}
+			v, err := x.inner.Get()
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		default:
+			args[i] = a
+		}
+	}
+	return args, nil
+}
+
+// settleLocal marks one call as settled client-side with err: its future
+// or proxy rethrows err, and calls consuming it settle the same way.
+// Caller holds b.mu.
+func settleLocal(c *recordedCall, err error) {
+	c.failed = err
+	if c.future != nil {
+		c.future.err = err
+	}
+	if c.proxy != nil {
+		c.proxy.failedLocal = err
+	}
+}
+
+// settleSub settles every call of a sub-batch locally (its destination
+// failed in an earlier stage). Caller holds b.mu.
+func settleSub(sb *subBatch, err error) {
+	for _, c := range sb.calls {
+		settleLocal(c, err)
+	}
+}

@@ -131,7 +131,7 @@ func (b *Batch) recordValue(target *Proxy, method string, args []any) *Future {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	st := &futureState{b: b}
-	seq, owner, ok := b.appendCall(target, method, kindValue, args)
+	seq, owner, ok := b.appendCall(target, method, kindValue, false, args)
 	if ok {
 		st.seq = seq
 		st.cursor = owner
@@ -140,12 +140,19 @@ func (b *Batch) recordValue(target *Proxy, method string, args []any) *Future {
 	return &Future{st: st}
 }
 
-func (b *Batch) recordRemote(target *Proxy, method string, args []any) *Proxy {
+func (b *Batch) recordRemote(target *Proxy, method string, export bool, args []any) *Proxy {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	p := &Proxy{b: b}
-	seq, owner, ok := b.appendCall(target, method, kindRemote, args)
+	seq, owner, ok := b.appendCall(target, method, kindRemote, export, args)
 	if ok {
+		if export && owner != nil {
+			// Exports are per-call, cursor sub-batches are per-element; the
+			// combination has no single ref to return. Ownership can come
+			// from the target OR any argument, so check appendCall's verdict.
+			b.fail(fmt.Errorf("brmi: CallBatchExport %s inside a cursor run", method))
+			return p
+		}
 		p.seq = seq
 		p.cursor = owner
 		b.pending[seq] = &callRecord{kind: kindRemote, proxy: p, owner: owner}
@@ -161,7 +168,7 @@ func (b *Batch) recordCursor(target *Proxy, method string, args []any) *Cursor {
 		b.fail(ErrNestedCursor)
 		return c
 	}
-	seq, owner, ok := b.appendCall(target, method, kindCursor, args)
+	seq, owner, ok := b.appendCall(target, method, kindCursor, false, args)
 	if ok {
 		if owner != nil {
 			b.fail(ErrNestedCursor)
@@ -177,7 +184,7 @@ func (b *Batch) recordCursor(target *Proxy, method string, args []any) *Cursor {
 // appendCall validates and stores one invocation. Caller holds b.mu.
 // It returns the assigned sequence number, the owning cursor (nil if none),
 // and whether recording succeeded (violations are sticky via b.recErr).
-func (b *Batch) appendCall(target *Proxy, method string, kind int64, args []any) (int64, *Cursor, bool) {
+func (b *Batch) appendCall(target *Proxy, method string, kind int64, export bool, args []any) (int64, *Cursor, bool) {
 	if b.closed {
 		b.fail(ErrBatchClosed)
 		return 0, nil, false
@@ -236,6 +243,7 @@ func (b *Batch) appendCall(target *Proxy, method string, kind int64, args []any)
 		Method:      method,
 		Kind:        kind,
 		CursorOwner: NoCursor,
+		Export:      export,
 	}
 	if owner != nil {
 		inv.CursorOwner = owner.seq
@@ -399,6 +407,7 @@ func (b *Batch) distribute(records map[int64]*callRecord, resp *batchResponse) {
 			p := rec.proxy
 			p.settled = true
 			p.failed = r.Err
+			p.exportRef = r.Ref
 			if rec.owner != nil {
 				p.base = r.Base
 			}

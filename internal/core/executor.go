@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/rmi"
+	"repro/internal/wire"
 )
 
 // serverSeqBase is where server-assigned ids (cursor elements, per-element
@@ -310,6 +311,27 @@ func (e *Executor) runCall(ctx context.Context, sess *session, st *execState, ca
 			res.Err = err
 			e.markFailure(sess, overlay, call.Seq, err)
 			return res
+		}
+		if call.Export && overlay == nil {
+			// Pin the result as an exported reference: marshalling a remote
+			// object yields its Ref, auto-exporting it under a marshal-grace
+			// DGC lease if it was not exported already. Runs BEFORE bind so
+			// a failed export leaves the call failed, not resolvable — a
+			// dependent call must never execute against a producer the
+			// client sees as failed.
+			w, werr := e.peer.ToWire(v)
+			if werr != nil {
+				res.Err = fmt.Errorf("brmi: export result of %s: %w", call.Method, werr)
+				e.markFailure(sess, overlay, call.Seq, res.Err)
+				return res
+			}
+			ref, ok := w.(wire.Ref)
+			if !ok {
+				res.Err = fmt.Errorf("brmi: result of %s did not marshal to a reference", call.Method)
+				e.markFailure(sess, overlay, call.Seq, res.Err)
+				return res
+			}
+			res.Ref = ref
 		}
 		e.bind(sess, overlay, call.Seq, v)
 	default: // kindValue

@@ -1,0 +1,164 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/rmi"
+)
+
+// TestCallBatchExportPinsResult: a call recorded with CallBatchExport
+// returns a pinned exported ref alongside the normal batch result, the ref
+// is directly callable from any peer, and further batched calls on the
+// proxy replay server-side as usual.
+func TestCallBatchExportPinsResult(t *testing.T) {
+	fx := newFixture(t)
+	ctx := context.Background()
+
+	b := core.New(fx.client, fx.dirRef)
+	p := b.Root().CallBatchExport("GetFile", "A.txt")
+	name := p.Call("GetName") // the exported proxy still records normally
+	plain := b.Root().CallBatch("GetFile", "B.txt")
+
+	if _, err := p.ExportedRef(); !errors.Is(err, core.ErrPending) {
+		t.Fatalf("ExportedRef before flush = %v, want ErrPending", err)
+	}
+	if err := b.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := core.Typed[string](name).Get(); err != nil || got != "A.txt" {
+		t.Fatalf("batched GetName = %q, %v", got, err)
+	}
+
+	ref, err := p.ExportedRef()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.IsZero() || ref.Endpoint != "server" {
+		t.Fatalf("exported ref = %+v", ref)
+	}
+	// The pinned ref is a first-class remote reference: plain RMI reaches it.
+	res, err := fx.client.Call(ctx, ref, "GetName")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res[0].(string); got != "A.txt" {
+		t.Errorf("direct call on exported ref = %q, want A.txt", got)
+	}
+
+	// Plain CallBatch results stay session-only.
+	if _, err := plain.ExportedRef(); !errors.Is(err, core.ErrNotExported) {
+		t.Errorf("plain CallBatch ExportedRef = %v, want ErrNotExported", err)
+	}
+}
+
+// TestCallBatchExportFailedCall: the export ref of a failed call rethrows
+// the call's error.
+func TestCallBatchExportFailedCall(t *testing.T) {
+	fx := newFixture(t)
+	b := core.New(fx.client, fx.dirRef)
+	p := b.Root().CallBatchExport("GetFile", "missing.txt")
+	if err := b.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var nf *fileNotFoundError
+	if _, err := p.ExportedRef(); !errors.As(err, &nf) {
+		t.Errorf("ExportedRef of failed call = %v, want fileNotFoundError", err)
+	}
+}
+
+// TestCallBatchExportInsideCursorRejected: exports are per-call, cursor
+// sub-batches per-element; the combination is a recording violation —
+// whether the cursor owns the TARGET or sneaks in through an ARGUMENT.
+func TestCallBatchExportInsideCursorRejected(t *testing.T) {
+	fx := newFixture(t)
+	ctx := context.Background()
+
+	b := core.New(fx.client, fx.dirRef)
+	cur := b.Root().CallCursor("AllFiles")
+	cur.CallBatchExport("GetName")
+	var be *core.BatchError
+	if err := b.Flush(ctx); !errors.As(err, &be) {
+		t.Fatalf("flush = %v, want BatchError", err)
+	}
+
+	// Cursor ownership via an argument proxy must be rejected too, not
+	// silently skipped server-side.
+	b2 := core.New(fx.client, fx.dirRef)
+	cur2 := b2.Root().CallCursor("AllFiles")
+	b2.Root().CallBatchExport("GetFile", cur2)
+	if err := b2.Flush(ctx); !errors.As(err, &be) {
+		t.Fatalf("flush with cursor-owned argument = %v, want BatchError", err)
+	}
+}
+
+// TestExportedRefLeaseLifecycle: a pinned result lives under DGC — the
+// marshal-grace lease hands off to the client's HoldRef, renewal keeps the
+// export alive well past the lease period, and ReleaseRef lets the server
+// collect it.
+func TestExportedRefLeaseLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lease timing test")
+	}
+	ctx := context.Background()
+	network := netsim.New(netsim.Instant)
+	t.Cleanup(func() { _ = network.Close() })
+	const lease = 50 * time.Millisecond
+	server := rmi.NewPeer(network, rmi.WithLogf(silentLogf), rmi.WithLease(lease))
+	if err := server.Serve("server"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = server.Close() })
+	exec, err := core.Install(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(exec.Stop)
+	client := rmi.NewPeer(network, rmi.WithLogf(silentLogf))
+	t.Cleanup(func() { _ = client.Close() })
+
+	dir := &directory{}
+	dir.files = append(dir.files, &file{dir: dir, name: "A.txt", size: 1, date: baseDate(1)})
+	dirRef, err := server.Export(dir, "coretest.Directory")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := core.New(client, dirRef)
+	p := b.Root().CallBatchExport("GetFile", "A.txt")
+	if err := b.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := p.ExportedRef()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.HoldRef(ref)
+
+	// The client's renewal keeps the auto-export alive far beyond both the
+	// marshal grace and the lease period.
+	time.Sleep(4 * lease)
+	if _, err := client.Call(ctx, ref, "GetName"); err != nil {
+		t.Fatalf("held export unreachable after 4 lease periods: %v", err)
+	}
+
+	// Releasing the last hold lets the lease table report the object
+	// collectable and the export table drop it.
+	client.ReleaseRef(ctx, ref)
+	deadline := time.Now().Add(4 * lease)
+	for {
+		_, err := client.Call(ctx, ref, "GetName")
+		var nso *rmi.NoSuchObjectError
+		if errors.As(err, &nso) {
+			break // collected
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("export still reachable %v after release (last err %v)", 4*lease, err)
+		}
+		time.Sleep(lease / 4)
+	}
+}

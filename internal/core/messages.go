@@ -29,6 +29,12 @@ type invocationData struct {
 	// CursorOwner is the Seq of the cursor this call belongs to, or
 	// NoCursor. Cursor-owned calls execute once per array element.
 	CursorOwner int64
+	// Export asks the server to pin this call's remote result as a fresh
+	// exported reference and return it in the call's result (kindRemote
+	// only, outside cursors). The cluster layer uses it to forward a
+	// result produced on one server into a later-stage sub-batch bound
+	// for another server.
+	Export bool
 }
 
 // RootTarget marks a call on the batch root object.
@@ -95,6 +101,11 @@ type callResult struct {
 	BlockErrs []any
 	// Attempts counts executions when ActionRepeat was applied (>=1).
 	Attempts int64
+	// Ref is the pinned exported reference of this call's result, set when
+	// the request marked the call for export (invocationData.Export). The
+	// export is lease-backed: the server's marshal-grace lease protects it
+	// until a client dirty arrives (internal/dgc).
+	Ref wire.Ref
 }
 
 // batchResponse is the reply to a flush.

@@ -333,28 +333,46 @@ func (p *Peer) trackHold(ref wire.Ref) {
 // releaseHold decrements the refcount for ref and sends a DGC clean call
 // when it reaches zero.
 func (p *Peer) releaseHold(ctx context.Context, ref wire.Ref) {
-	if ref.ObjID < FirstUserObjID || ref.Endpoint == "" {
-		return
-	}
+	p.releaseHolds(ctx, []wire.Ref{ref})
+}
+
+// releaseHolds decrements the refcount of each ref, batching the resulting
+// DGC clean calls — one Clean per endpoint (the protocol takes a list of
+// object ids), sent in parallel across endpoints.
+func (p *Peer) releaseHolds(ctx context.Context, refs []wire.Ref) {
 	p.mu.Lock()
-	m := p.holds[ref.Endpoint]
-	clean := false
-	if m != nil && m[ref.ObjID] > 0 {
+	toClean := make(map[string][]uint64)
+	for _, ref := range refs {
+		if ref.ObjID < FirstUserObjID || ref.Endpoint == "" {
+			continue
+		}
+		m := p.holds[ref.Endpoint]
+		if m == nil || m[ref.ObjID] == 0 {
+			continue
+		}
 		m[ref.ObjID]--
 		if m[ref.ObjID] == 0 {
 			delete(m, ref.ObjID)
-			clean = true
+			toClean[ref.Endpoint] = append(toClean[ref.Endpoint], ref.ObjID)
 		}
 	}
 	closed := p.closed
 	p.mu.Unlock()
-	if !clean || closed {
+	if closed || len(toClean) == 0 {
 		return
 	}
-	dgcRef := SystemRef(ref.Endpoint, DGCObjID, DGCIface)
-	if _, err := p.Call(ctx, dgcRef, "Clean", p.clientID, p.dgcSeq.Add(1), []uint64{ref.ObjID}); err != nil {
-		p.opts.logf("rmi: dgc clean %s/%d: %v", ref.Endpoint, ref.ObjID, err)
+	var wg sync.WaitGroup
+	for endpoint, ids := range toClean {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dgcRef := SystemRef(endpoint, DGCObjID, DGCIface)
+			if _, err := p.Call(ctx, dgcRef, "Clean", p.clientID, p.dgcSeq.Add(1), ids); err != nil {
+				p.opts.logf("rmi: dgc clean %s%v: %v", endpoint, ids, err)
+			}
+		}()
 	}
+	wg.Wait()
 }
 
 // renewLoop renews leases for all held references. It wakes on a timer
@@ -429,6 +447,22 @@ func (p *Peer) renewAll() {
 
 // RenewNow synchronously renews all held leases once. Exposed for tests.
 func (p *Peer) RenewNow() { p.renewAll() }
+
+// HoldRef begins DGC lease tracking for ref without materializing a stub:
+// the peer dirties the reference immediately and keeps renewing its lease
+// until a matching ReleaseRef. The cluster layer uses it to keep pinned
+// batch results (core.Proxy.ExportedRef) alive between pipeline stages.
+func (p *Peer) HoldRef(ref wire.Ref) { p.trackHold(ref) }
+
+// ReleaseRef drops one HoldRef (or stub) hold on ref, sending the DGC clean
+// call when the last local hold disappears.
+func (p *Peer) ReleaseRef(ctx context.Context, ref wire.Ref) { p.releaseHold(ctx, ref) }
+
+// ReleaseRefs drops one hold on each ref, batching the DGC clean traffic:
+// one Clean call per endpoint, endpoints in parallel. The cluster layer
+// uses it to unwind a whole pipeline's pinned-result leases in a single
+// round-trip wave.
+func (p *Peer) ReleaseRefs(ctx context.Context, refs []wire.Ref) { p.releaseHolds(ctx, refs) }
 
 // CallCount returns the number of application-level remote invocations this
 // peer has issued (DGC housekeeping excluded). One invocation is one
