@@ -9,6 +9,7 @@
 //	benchfig -fig a1               # ablations (a1, a2, a3)
 //	benchfig -fig cluster          # multi-server fan-out (internal/cluster)
 //	benchfig -fig pipeline         # staged cross-server dataflow (internal/cluster)
+//	benchfig -fig rebalance        # live re-sharding during scale-out (internal/cluster)
 //	benchfig -scale 1 -reps 10     # full-fidelity wireless latency (slow)
 //	benchfig -csv out/             # additionally write CSV per figure
 //	benchfig -json out/            # additionally write BENCH_<fig>.json series
@@ -77,6 +78,10 @@ var figures = []figSpec{
 		return bench.RunPipeline(c.wan, 4, 16, []int{1, 2, 3, 4})
 	},
 		"staged cross-server pipeline: 16 chains of depth D over 4 servers, WAN (internal/cluster)"},
+	{"rebalance", func(c config) (*bench.Table, error) {
+		return bench.RunRebalance(c.wan, []int{4, 16, 64})
+	},
+		"live re-sharding: scale-out 3 -> 4 servers, batched vs per-object migration, WAN (internal/cluster)"},
 }
 
 func main() {

@@ -9,11 +9,15 @@
 //
 //   - internal/core      BRMI: batches, futures, cursors, policies, chaining,
 //     and export-pinned batch results for cross-server forwarding
-//   - internal/cluster   multi-server sharding: consistent-hash shard map,
-//     cluster naming, and staged cluster batches — one recording spanning
-//     many servers, planned into dependency stages and executed as one
-//     parallel round-trip wave per stage, forwarding results between
-//     servers by reference (pinned refs) or by value (spliced futures)
+//   - internal/cluster   multi-server sharding: epoch-versioned
+//     consistent-hash shard map, cluster naming, staged cluster batches —
+//     one recording spanning many servers, planned into dependency stages
+//     and executed as one parallel round-trip wave per stage, forwarding
+//     results between servers by reference (pinned refs) or by value
+//     (spliced futures) — and elastic membership: servers join and leave
+//     under live traffic, moved objects migrate in batched round trips
+//     (Movable snapshot/restore), and stale routes fail with a typed
+//     wrong-home error that epoch-aware lookups and flushes retry once
 //   - internal/rmi       distributed object runtime (the "Java RMI" role)
 //   - internal/wire      value serialization and remote references
 //   - internal/transport framed, multiplexed request/response transport
@@ -25,7 +29,7 @@
 //   - cmd/benchfig       prints every figure's series; cmd/brmigen generates
 //   - examples/          runnable applications (quickstart, file server,
 //     bank, translator, chained batches, sharded multi-server cluster,
-//     staged cross-server pipeline)
+//     staged cross-server pipeline, live re-sharding under traffic)
 //
 // The benchmarks in bench_test.go reproduce each figure as a testing.B
 // benchmark; `go run ./cmd/benchfig -all` prints the full evaluation.

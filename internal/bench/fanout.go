@@ -7,19 +7,23 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/registry"
 	"repro/internal/rmi"
 	"repro/internal/wire"
 )
 
 // ClusterEnv is one client against K servers on a simulated network: the
-// sharded deployment the cluster fan-out workload measures. Every server
-// runs the BRMI executor and exports one NoopService.
+// sharded deployment the cluster workloads measure. Every server runs the
+// BRMI executor, a registry, a cluster node service (so rebalancing works),
+// and exports one NoopService.
 type ClusterEnv struct {
-	Network *netsim.Network
-	Servers []*rmi.Peer
-	Execs   []*core.Executor
-	Refs    []wire.Ref
-	Client  *rmi.Peer
+	Network    *netsim.Network
+	Servers    []*rmi.Peer
+	Execs      []*core.Executor
+	Registries []*registry.Service
+	Nodes      []*cluster.Node
+	Refs       []wire.Ref
+	Client     *rmi.Peer
 
 	cleanup []func()
 }
@@ -43,6 +47,16 @@ func NewClusterEnv(profile netsim.Profile, k int) (*ClusterEnv, error) {
 			return nil, err
 		}
 		env.cleanup = append(env.cleanup, exec.Stop)
+		reg, err := registry.Start(server)
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		node, err := cluster.StartNode(server, reg, nil)
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
 		ref, err := server.Export(&NoopService{}, "bench.Noop")
 		if err != nil {
 			env.Close()
@@ -50,6 +64,8 @@ func NewClusterEnv(profile netsim.Profile, k int) (*ClusterEnv, error) {
 		}
 		env.Servers = append(env.Servers, server)
 		env.Execs = append(env.Execs, exec)
+		env.Registries = append(env.Registries, reg)
+		env.Nodes = append(env.Nodes, node)
 		env.Refs = append(env.Refs, ref)
 	}
 	client := rmi.NewPeer(network, rmi.WithLogf(silentLogf))

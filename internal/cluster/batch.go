@@ -57,6 +57,7 @@ type Batch struct {
 	peer        *rmi.Peer
 	policy      *core.Policy
 	singleStage bool
+	dir         *Directory
 
 	mu     sync.Mutex
 	groups map[string]*group // keyed by server endpoint
@@ -68,6 +69,8 @@ type Batch struct {
 	held []wire.Ref
 	// recErr is a sticky recording violation, reported by Flush.
 	recErr error
+	// retried is set once the flush has spent its single stale-route retry.
+	retried bool
 	// failure poisons every future when recording failed; per-server flush
 	// failures stay per-group instead (see Flush).
 	failure error
@@ -92,6 +95,15 @@ func WithPolicy(p *core.Policy) Option {
 // without an extra wave.
 func WithSingleStage() Option {
 	return func(b *Batch) { b.singleStage = true }
+}
+
+// WithDirectory makes the batch epoch-aware: roots may be addressed by
+// cluster-wide name (RootNamed), and a flush that hits a wrong-home
+// rejection — the target migrated to a new home after recording started —
+// refreshes the shard map from the directory, re-partitions the affected
+// calls to their new homes, and retries once instead of failing.
+func WithDirectory(d *Directory) Option {
+	return func(b *Batch) { b.dir = d }
 }
 
 // New creates an empty cluster batch. Add destinations with Root.
@@ -131,6 +143,23 @@ func (b *Batch) Root(ref wire.Ref) *Proxy {
 	g.roots = append(g.roots, ref)
 	g.rootProxies[ref] = p
 	return p
+}
+
+// RootNamed resolves a cluster-wide name through the batch's directory
+// (WithDirectory) and returns its recording proxy, remembering the name so
+// a stale-route flush failure can re-resolve the root at its new home and
+// retry. It is the epoch-aware way to address rebalanceable objects.
+func (b *Batch) RootNamed(ctx context.Context, name string) (*Proxy, error) {
+	if b.dir == nil {
+		return nil, errors.New("cluster: RootNamed requires a batch built with WithDirectory")
+	}
+	ref, err := b.dir.Lookup(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	p := b.Root(ref)
+	p.key = name
+	return p, nil
 }
 
 // Peer returns the underlying RMI peer.
@@ -327,6 +356,9 @@ type Proxy struct {
 	isRoot bool
 	// rootRef is the exported object this proxy stands for (roots only).
 	rootRef wire.Ref
+	// key is the cluster-wide name this root was resolved from (RootNamed);
+	// it is what lets a stale-route retry re-resolve the root's new home.
+	key string
 	// origin is the recorded call that produces this proxy's object (nil
 	// for roots). The planner reads it to build the dependency DAG.
 	origin *recordedCall

@@ -84,6 +84,7 @@ func silentLogf(string, ...any) {}
 type testCluster struct {
 	network  *netsim.Network
 	servers  []*rmi.Peer
+	execs    []*core.Executor
 	counters []*counter
 	refs     []wire.Ref
 	client   *rmi.Peer
@@ -113,6 +114,7 @@ func newTestCluster(t *testing.T, k int) *testCluster {
 			t.Fatal(err)
 		}
 		tc.servers = append(tc.servers, srv)
+		tc.execs = append(tc.execs, exec)
 		tc.counters = append(tc.counters, c)
 		tc.refs = append(tc.refs, ref)
 	}

@@ -34,6 +34,9 @@ func NewDirectory(peer *rmi.Peer, endpoints []string, opts ...RingOption) *Direc
 // Ring exposes the underlying shard map (e.g. to add servers at runtime).
 func (d *Directory) Ring() *Ring { return d.ring }
 
+// Epoch returns this directory's view of the membership version.
+func (d *Directory) Epoch() uint64 { return d.ring.Epoch() }
+
 // Servers returns the cluster members, sorted.
 func (d *Directory) Servers() []string { return d.ring.Endpoints() }
 
@@ -65,8 +68,25 @@ func (d *Directory) Rebind(ctx context.Context, name string, ref wire.Ref) error
 	return registry.Rebind(ctx, d.peer, ep, name, ref)
 }
 
-// Lookup resolves name at its home server's registry.
+// Lookup resolves name at its home server's registry. A wrong-home failure
+// — the name migrated after this directory last saw the ring — refreshes
+// the shard map from the cluster nodes and retries once at the new home.
 func (d *Directory) Lookup(ctx context.Context, name string) (wire.Ref, error) {
+	ref, err := d.lookupOnce(ctx, name)
+	if err == nil {
+		return ref, nil
+	}
+	var wrong *rmi.WrongHomeError
+	if !errors.As(err, &wrong) {
+		return wire.Ref{}, err
+	}
+	if rerr := d.Refresh(ctx); rerr != nil {
+		return wire.Ref{}, fmt.Errorf("%w (ring refresh failed: %v)", err, rerr)
+	}
+	return d.lookupOnce(ctx, name)
+}
+
+func (d *Directory) lookupOnce(ctx context.Context, name string) (wire.Ref, error) {
 	ep, err := d.Home(name)
 	if err != nil {
 		return wire.Ref{}, err
@@ -76,6 +96,43 @@ func (d *Directory) Lookup(ctx context.Context, name string) (wire.Ref, error) {
 		return wire.Ref{}, fmt.Errorf("cluster: lookup %q at %s: %w", name, ep, err)
 	}
 	return ref, nil
+}
+
+// Refresh polls the cluster nodes for their ring state and adopts the
+// newest epoch seen, bringing a stale directory back in sync after a
+// membership change it did not witness. It fails only when no node is
+// reachable.
+func (d *Directory) Refresh(ctx context.Context) error {
+	members := d.ring.Endpoints()
+	if len(members) == 0 {
+		return ErrNoServers
+	}
+	snaps := make([]*RingSnapshot, len(members))
+	err := eachEndpoint(members, func(i int, ep string) error {
+		res, err := d.peer.Call(ctx, NodeRef(ep), "RingState")
+		if err != nil {
+			return fmt.Errorf("cluster: ring state from %s: %w", ep, err)
+		}
+		if len(res) == 1 {
+			if snap, ok := res[0].(*RingSnapshot); ok {
+				snaps[i] = snap
+			}
+		}
+		return nil
+	})
+	var best *RingSnapshot
+	for _, snap := range snaps {
+		if snap != nil && (best == nil || snap.Epoch > best.Epoch) {
+			best = snap
+		}
+	}
+	if best == nil {
+		return fmt.Errorf("cluster: refresh: no node reachable: %w", err)
+	}
+	if best.Epoch > d.ring.Epoch() {
+		d.ring.Reset(best.Members, best.Epoch)
+	}
+	return nil
 }
 
 // Unbind removes name's binding at its home server.
@@ -96,30 +153,37 @@ func (d *Directory) List(ctx context.Context) (map[string][]string, error) {
 		return nil, ErrNoServers
 	}
 	out := make(map[string][]string, len(servers))
-	errs := make([]error, len(servers))
-	var (
-		wg sync.WaitGroup
-		mu sync.Mutex
-	)
-	for i, ep := range servers {
+	var mu sync.Mutex
+	err := eachEndpoint(servers, func(_ int, ep string) error {
+		names, err := registry.List(ctx, d.peer, ep)
+		if err != nil {
+			return fmt.Errorf("cluster: list %s: %w", ep, err)
+		}
+		mu.Lock()
+		out[ep] = names
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// eachEndpoint runs fn once per endpoint, all in parallel, and joins the
+// failures. It is the fan-out shape every cluster-wide control operation
+// (listing, ring broadcast/refresh, migration planning) shares: one round
+// trip of wall-clock time regardless of cluster size.
+func eachEndpoint(endpoints []string, fn func(i int, ep string) error) error {
+	errs := make([]error, len(endpoints))
+	var wg sync.WaitGroup
+	for i, ep := range endpoints {
 		wg.Add(1)
 		go func(i int, ep string) {
 			defer wg.Done()
-			names, err := registry.List(ctx, d.peer, ep)
-			if err != nil {
-				errs[i] = fmt.Errorf("cluster: list %s: %w", ep, err)
-				return
-			}
-			mu.Lock()
-			out[ep] = names
-			mu.Unlock()
+			errs[i] = fn(i, ep)
 		}(i, ep)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return errors.Join(errs...)
 }

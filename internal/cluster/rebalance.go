@@ -1,0 +1,413 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+// Rebalancer re-shards a live cluster when its membership changes: after an
+// Add it drains the keys the new ring routes to the new server, after a
+// Remove it drains everything off the departing server, migrating bindings
+// (and object state, for Movable types) from old home to new home.
+//
+// The moves themselves are batched through BRMI: per (source, destination)
+// pair one multi-root core.Batch snapshots every moving object in a single
+// round trip, one batch restores them all at the destination, and one batch
+// departs every moving name at the source — K objects move in 3 round
+// trips, not 3K, in copy-then-tombstone order so a partial failure never
+// loses state and a retried rebalance converges. Old homes are left with
+// wrong-home tombstones (registry forwards + export tombstones) carrying
+// the new epoch, so stale callers fail with rmi.WrongHomeError, refresh
+// their shard map, and re-route.
+//
+// The rebalancer assumes every name in each member's registry is
+// directory-routed (bound via Directory.Bind); names bound outside the ring
+// discipline would be relocated like any other.
+type Rebalancer struct {
+	dir       *Directory
+	perObject bool
+}
+
+// RebalanceOption configures a Rebalancer.
+type RebalanceOption func(*Rebalancer)
+
+// WithPerObjectMigration disables migration batching: every moving object
+// pays its own snapshot/depart/arrive round trips. This is the ablation
+// baseline the rebalance benchmark measures BRMI-batched migration against;
+// production callers should never want it.
+func WithPerObjectMigration() RebalanceOption {
+	return func(r *Rebalancer) { r.perObject = true }
+}
+
+// NewRebalancer creates a rebalancer over the directory's ring and servers.
+func NewRebalancer(dir *Directory, opts ...RebalanceOption) *Rebalancer {
+	r := &Rebalancer{dir: dir}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// RebalanceStats summarizes one membership change.
+type RebalanceStats struct {
+	// Epoch is the ring epoch after the change.
+	Epoch uint64
+	// Moved is how many names changed home.
+	Moved int
+	// Pairs is how many (source, destination) migration flows ran.
+	Pairs int
+}
+
+// move is one name leaving its old home, with the reference it was bound to.
+type move struct {
+	name string
+	ref  wire.Ref
+}
+
+// pairKey identifies one migration flow.
+type pairKey struct{ src, dst string }
+
+// AddServer grows the cluster: the endpoint joins the ring (bumping the
+// epoch), the new membership is broadcast to every node, and the keys the
+// new ring routes to the new server are migrated there. The endpoint must
+// already be serving with a registry, a BRMI executor, and a cluster node
+// service.
+//
+// AddServer is idempotent and retryable: calling it for an existing member
+// does not bump the epoch but still re-broadcasts the ring state and
+// migrates any keys not yet at their ring-assigned home — so a run that
+// failed partway (a node transiently unreachable, say) is completed by
+// simply calling it again.
+func (r *Rebalancer) AddServer(ctx context.Context, endpoint string) (*RebalanceStats, error) {
+	// Adopt the cluster's authoritative epoch before minting the next one:
+	// a rebalancer whose directory was built fresh against a long-lived
+	// cluster would otherwise broadcast an epoch every node rejects.
+	if err := r.dir.Refresh(ctx); err != nil {
+		return nil, err
+	}
+	ring := r.dir.Ring()
+	joined := ring.Contains(endpoint)
+	// Plan and migrate against the grown target ring while the live ring
+	// keeps serving the old routes (mirroring RemoveServer's drain): with
+	// copy-then-tombstone migration, a name stays reachable at its old home
+	// until its new home holds it, so clients on the old ring never hit a
+	// NotBound window. (A client that explicitly refreshes mid-migration
+	// adopts the broadcast grown ring early and can transiently see
+	// NotBound for a not-yet-arrived name — see DESIGN.md, "In-flight
+	// windows".) The live ring adopts the new membership only after the
+	// migration lands.
+	target := ring
+	epoch := ring.Epoch()
+	if !joined {
+		target = NewRing(append(ring.Endpoints(), endpoint), WithVirtualNodes(ring.vnodes))
+		epoch++
+	}
+	members := target.Endpoints()
+	// Broadcast before migrating: the tombstones the migration leaves behind
+	// point stale callers at the nodes for a fresh ring, so the nodes must
+	// know the new membership by the time the first tombstone exists.
+	if err := r.broadcast(ctx, members, members, epoch); err != nil {
+		return nil, err
+	}
+	// Scan every member (not just the pre-change set): on a retry, the plan
+	// is whatever is still mis-homed.
+	plan, moved, err := r.plan(ctx, members, target)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.migrate(ctx, plan, epoch); err != nil {
+		return nil, err
+	}
+	if !joined {
+		ring.Add(endpoint)
+	}
+	return &RebalanceStats{Epoch: epoch, Moved: moved, Pairs: len(plan)}, nil
+}
+
+// RemoveServer shrinks the cluster: every name homed on the endpoint is
+// migrated to its new home under the shrunken ring, then the endpoint
+// leaves the ring. The new membership is broadcast — to the departing
+// server too, so it can still point stragglers at the survivors — BEFORE
+// the first tombstone exists, like AddServer, so wrong-home retries during
+// the drain find a node that already knows the new epoch. Removing a
+// non-member is a no-op once the server is confirmed drained (its manifest
+// must be readable and empty of mis-homed names); a run that failed partway
+// is completed by calling RemoveServer again — whether the endpoint is
+// still a member (already-departed names are no longer in its manifest) or
+// already out of the ring (the leftover drain below).
+func (r *Rebalancer) RemoveServer(ctx context.Context, endpoint string) (*RebalanceStats, error) {
+	// Adopt the cluster's authoritative epoch first, like AddServer.
+	if err := r.dir.Refresh(ctx); err != nil {
+		return nil, err
+	}
+	ring := r.dir.Ring()
+	if !ring.Contains(endpoint) {
+		// Not a member: nothing to remove. A prior RemoveServer may still
+		// have failed after the membership broadcast was adopted, so finish
+		// draining any names left on the endpoint. The manifest check must
+		// surface failures rather than assume the server is gone: a
+		// transient error here could hide stranded, tombstone-less names
+		// behind a success return.
+		epoch := ring.Epoch()
+		plan, moved, err := r.plan(ctx, []string{endpoint}, ring)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: remove %s: cannot confirm the server is drained: %w", endpoint, err)
+		}
+		if len(plan) == 0 {
+			return &RebalanceStats{Epoch: epoch}, nil
+		}
+		if err := r.migrate(ctx, plan, epoch); err != nil {
+			return nil, err
+		}
+		return &RebalanceStats{Epoch: epoch, Moved: moved, Pairs: len(plan)}, nil
+	}
+	if ring.Size() == 1 {
+		return nil, errors.New("cluster: cannot remove the last server")
+	}
+	// Route against the shrunken ring before mutating the live one, so the
+	// directory keeps serving lookups for not-yet-moved names during the
+	// drain. The epoch of the move is what Remove will bump to.
+	var survivors []string
+	for _, ep := range ring.Endpoints() {
+		if ep != endpoint {
+			survivors = append(survivors, ep)
+		}
+	}
+	target := NewRing(survivors, WithVirtualNodes(ring.vnodes))
+	epoch := ring.Epoch() + 1
+	if err := r.broadcast(ctx, append(survivors, endpoint), survivors, epoch); err != nil {
+		return nil, err
+	}
+	plan, moved, err := r.plan(ctx, []string{endpoint}, target)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.migrate(ctx, plan, epoch); err != nil {
+		return nil, err
+	}
+	ring.Remove(endpoint)
+	return &RebalanceStats{Epoch: epoch, Moved: moved, Pairs: len(plan)}, nil
+}
+
+// plan reads each source server's name table (one Manifest round trip per
+// server, in parallel) and groups the names the routing ring sends
+// elsewhere into per-(source, destination) move lists.
+func (r *Rebalancer) plan(ctx context.Context, sources []string, routing *Ring) (map[pairKey][]move, int, error) {
+	manifests := make([][]Binding, len(sources))
+	err := eachEndpoint(sources, func(i int, src string) error {
+		var ferr error
+		manifests[i], ferr = fetchManifest(ctx, r.dir.peer, src)
+		return ferr
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	plan := make(map[pairKey][]move)
+	moved := 0
+	for i, src := range sources {
+		for _, b := range manifests[i] {
+			dst := routing.Route(b.Name)
+			if dst == "" || dst == src {
+				continue
+			}
+			plan[pairKey{src, dst}] = append(plan[pairKey{src, dst}], move{name: b.Name, ref: b.Ref})
+			moved++
+		}
+	}
+	return plan, moved, nil
+}
+
+// fetchManifest calls Node.Manifest on endpoint and decodes the table.
+func fetchManifest(ctx context.Context, peer *rmi.Peer, endpoint string) ([]Binding, error) {
+	res, err := peer.Call(ctx, NodeRef(endpoint), "Manifest")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: manifest %s: %w", endpoint, err)
+	}
+	if len(res) == 0 || res[0] == nil {
+		return nil, nil
+	}
+	generic, ok := res[0].([]any)
+	if !ok {
+		return nil, fmt.Errorf("cluster: manifest %s: unexpected result %T", endpoint, res[0])
+	}
+	out := make([]Binding, 0, len(generic))
+	for _, v := range generic {
+		b, ok := v.(*Binding)
+		if !ok {
+			return nil, fmt.Errorf("cluster: manifest %s: unexpected element %T", endpoint, v)
+		}
+		out = append(out, *b)
+	}
+	return out, nil
+}
+
+// migrate runs every (source, destination) flow of the plan, flows in
+// parallel.
+func (r *Rebalancer) migrate(ctx context.Context, plan map[pairKey][]move, epoch uint64) error {
+	if len(plan) == 0 {
+		return nil
+	}
+	errs := make([]error, 0, len(plan))
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	for pair, moves := range plan {
+		wg.Add(1)
+		go func(pair pairKey, moves []move) {
+			defer wg.Done()
+			var err error
+			if r.perObject {
+				err = r.migratePairPerObject(ctx, pair.src, pair.dst, moves, epoch)
+			} else {
+				err = r.migratePair(ctx, pair.src, pair.dst, moves, epoch)
+			}
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("cluster: migrate %s -> %s: %w", pair.src, pair.dst, err))
+				mu.Unlock()
+			}
+		}(pair, moves)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// migratePair moves one (source, destination) flow in three batched round
+// trips, ordered copy-then-tombstone so a failure at any point is
+// recoverable by retrying AddServer/RemoveServer:
+//
+//  1. a multi-root core.Batch on the source — one root per moving Movable
+//     object — records every Snapshot;
+//  2. a batch on the destination node records an Arrive per name, splicing
+//     in the snapshot values (idempotent: an already-adopted copy is kept);
+//  3. a batch on the source node records a Depart per name, installing the
+//     wrong-home forwards and export tombstones.
+//
+// K objects move in three round trips, not 3K. Until step 3 lands both
+// homes hold the name — stale-ring writes in that window land on the old
+// copy and are superseded by the tombstone — whereas tombstoning first
+// would destroy the only copy of the state if the arrive trip failed.
+func (r *Rebalancer) migratePair(ctx context.Context, src, dst string, moves []move, epoch uint64) error {
+	peer := r.dir.peer
+
+	movable := make([]bool, len(moves))
+	states := make([]*core.Future, len(moves))
+	var sb *core.Batch
+	for i, m := range moves {
+		if !movableAt(m.ref, src) {
+			continue
+		}
+		movable[i] = true
+		if sb == nil {
+			sb = core.New(peer, NodeRef(src))
+		}
+		p, err := sb.AddRoot(m.ref)
+		if err != nil {
+			return err
+		}
+		states[i] = p.Call("Snapshot")
+	}
+	if sb != nil {
+		if err := sb.Flush(ctx); err != nil {
+			return fmt.Errorf("snapshot batch: %w", err)
+		}
+	}
+
+	ab := core.New(peer, NodeRef(dst))
+	anode := ab.Root()
+	arrives := make([]*core.Future, len(moves))
+	for i, m := range moves {
+		var state any
+		if states[i] != nil {
+			v, err := states[i].Get()
+			if err != nil {
+				return fmt.Errorf("snapshot %q: %w", m.name, err)
+			}
+			state = v
+		}
+		arrives[i] = anode.Call("Arrive", m.name, m.ref.Iface, movable[i], state, m.ref)
+	}
+	if err := ab.Flush(ctx); err != nil {
+		return fmt.Errorf("arrive batch: %w", err)
+	}
+	for i, m := range moves {
+		if err := arrives[i].Err(); err != nil {
+			return fmt.Errorf("arrive %q: %w", m.name, err)
+		}
+	}
+
+	db := core.New(peer, NodeRef(src))
+	dnode := db.Root()
+	departs := make([]*core.Future, len(moves))
+	for i, m := range moves {
+		departs[i] = dnode.Call("Depart", m.name, epoch)
+	}
+	if err := db.Flush(ctx); err != nil {
+		return fmt.Errorf("depart batch: %w", err)
+	}
+	for i, m := range moves {
+		if err := departs[i].Err(); err != nil {
+			return fmt.Errorf("depart %q: %w", m.name, err)
+		}
+	}
+	return nil
+}
+
+// migratePairPerObject is the unbatched ablation: every moving object pays
+// its own snapshot, arrive, and depart round trips, sequentially, in the
+// same copy-then-tombstone order as the batched flow.
+func (r *Rebalancer) migratePairPerObject(ctx context.Context, src, dst string, moves []move, epoch uint64) error {
+	peer := r.dir.peer
+	for _, m := range moves {
+		var state any
+		movable := movableAt(m.ref, src)
+		if movable {
+			res, err := peer.Call(ctx, m.ref, "Snapshot")
+			if err != nil {
+				return fmt.Errorf("snapshot %q: %w", m.name, err)
+			}
+			if len(res) > 0 {
+				state = res[0]
+			}
+		}
+		if _, err := peer.Call(ctx, NodeRef(dst), "Arrive", m.name, m.ref.Iface, movable, state, m.ref); err != nil {
+			return fmt.Errorf("arrive %q: %w", m.name, err)
+		}
+		if _, err := peer.Call(ctx, NodeRef(src), "Depart", m.name, epoch); err != nil {
+			return fmt.Errorf("depart %q: %w", m.name, err)
+		}
+	}
+	return nil
+}
+
+// movableAt reports whether ref is a user object hosted on endpoint whose
+// type has a registered movable factory — i.e. its state can be snapshotted
+// off that server.
+func movableAt(ref wire.Ref, endpoint string) bool {
+	if ref.Endpoint != endpoint || ref.ObjID < rmi.FirstUserObjID {
+		return false
+	}
+	_, ok := movableFactory(ref.Iface)
+	return ok
+}
+
+// broadcast pushes the ring state (members at epoch) to every recipient
+// node in parallel. Recipients may include servers outside the new
+// membership — a removed server keeps answering stragglers, so it needs the
+// fresh state too.
+func (r *Rebalancer) broadcast(ctx context.Context, recipients, members []string, epoch uint64) error {
+	snap := &RingSnapshot{Members: members, Epoch: epoch}
+	return eachEndpoint(recipients, func(_ int, ep string) error {
+		if _, err := r.dir.peer.Call(ctx, NodeRef(ep), "SetRing", snap); err != nil {
+			return fmt.Errorf("cluster: set ring on %s: %w", ep, err)
+		}
+		return nil
+	})
+}

@@ -2,16 +2,24 @@
 // BRMI core: a consistent-hash shard map that routes object names to peer
 // endpoints, a cluster-aware naming layer over internal/registry, and a
 // cluster Batch whose one recording session may span proxies living on
-// different servers. At flush the recording is partitioned into
-// per-destination sub-batches (per-server program order preserved) and
-// executed as one core.Batch per peer in parallel, so a cluster flush costs
-// roughly the slowest server's round trip instead of the sum of all of them.
+// different servers. A flush is a record → plan → execute pipeline:
+// recording accepts cross-server dataflow (a result produced on server A may
+// feed a call bound for server B), the planner schedules the dependency DAG
+// into stages, and the executor runs one parallel per-destination fan-out
+// per stage — so a dependency-free recording costs one round-trip wave and a
+// depth-D pipeline costs D+1 waves, never one trip per call. Results cross
+// servers by reference (exported refs pinned between waves) or by value
+// (settled futures spliced into the next wave). Callers that want the strict
+// one-wave guarantee back opt in with WithSingleStage, which rejects staged
+// dataflow at record time with ErrCrossServer (see DESIGN.md, "Cluster
+// staging rules").
 //
-// Cross-server data dependencies — a result recorded on server A used as the
-// target or argument of a call on server B — cannot be replayed server-side
-// without an extra hop, so this version detects them at record time and
-// rejects them with ErrCrossServer (see DESIGN.md, "Cluster partitioning
-// rules").
+// Membership is elastic: the shard map carries a monotonically increasing
+// epoch bumped on every Add/Remove, and a Rebalancer migrates the moved
+// objects (bindings, plus snapshot/restore state for Movable types) between
+// homes in batched round trips. Calls routed with a stale epoch fail with
+// rmi.WrongHomeError and epoch-aware flushes re-route and retry once (see
+// DESIGN.md, "Elastic membership").
 package cluster
 
 import (
@@ -33,10 +41,20 @@ const DefaultVirtualNodes = 128
 // new endpoint; every other key keeps its home, which is the property that
 // makes incremental cluster growth cheap.
 //
+// The point table is a pure function of the member set: every membership
+// change rebuilds it canonically (members in sorted order), so any sequence
+// of Add/Remove calls ending at member set S routes exactly like a fresh
+// NewRing(S) — point-hash collisions can never skew the table based on the
+// order members happened to arrive.
+//
+// Every membership change also bumps the ring's epoch, the version number
+// the cluster's re-sharding protocol uses to detect stale routing.
+//
 // Ring is safe for concurrent use.
 type Ring struct {
 	mu       sync.RWMutex
 	vnodes   int
+	epoch    uint64
 	points   []uint64          // sorted hash points
 	owners   map[uint64]string // point -> endpoint
 	members  map[string]bool
@@ -56,53 +74,39 @@ func WithVirtualNodes(n int) RingOption {
 	}
 }
 
-// NewRing creates a ring containing the given endpoints.
+// NewRing creates a ring containing the given endpoints, at epoch 0.
 func NewRing(endpoints []string, opts ...RingOption) *Ring {
 	r := &Ring{
 		vnodes:  DefaultVirtualNodes,
-		owners:  make(map[uint64]string),
 		members: make(map[string]bool),
 	}
 	for _, o := range opts {
 		o(r)
 	}
 	for _, ep := range endpoints {
-		r.add(ep)
+		r.members[ep] = true
 	}
+	r.rebuild()
 	return r
 }
 
-// Add inserts an endpoint into the ring. Adding an existing member is a
-// no-op.
+// Add inserts an endpoint into the ring and bumps the epoch. Adding an
+// existing member is a no-op (the epoch does not move).
 func (r *Ring) Add(endpoint string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.add(endpoint)
-}
-
-func (r *Ring) add(endpoint string) {
 	if r.members[endpoint] {
 		return
 	}
 	r.members[endpoint] = true
-	for i := 0; i < r.vnodes; i++ {
-		h := hashKey(fmt.Sprintf("%s#%d", endpoint, i))
-		// Collisions across 64-bit FNV points are vanishingly rare; if one
-		// happens the first owner keeps the point, which only skews the
-		// distribution by one vnode.
-		if _, taken := r.owners[h]; taken {
-			continue
-		}
-		r.owners[h] = endpoint
-		r.points = append(r.points, h)
-	}
-	sort.Slice(r.points, func(i, j int) bool { return r.points[i] < r.points[j] })
-	r.endpoint = append(r.endpoint, endpoint)
-	sort.Strings(r.endpoint)
+	r.rebuild()
+	r.epoch++
 }
 
-// Remove deletes an endpoint from the ring. Keys it owned redistribute to
-// the remaining members.
+// Remove deletes an endpoint from the ring and bumps the epoch. Keys it
+// owned redistribute to the remaining members; points other members lost to
+// hash collisions against the removed endpoint are restored by the rebuild.
+// Removing a non-member is a no-op.
 func (r *Ring) Remove(endpoint string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -110,21 +114,68 @@ func (r *Ring) Remove(endpoint string) {
 		return
 	}
 	delete(r.members, endpoint)
-	kept := r.points[:0]
-	for _, h := range r.points {
-		if r.owners[h] == endpoint {
-			delete(r.owners, h)
-			continue
-		}
-		kept = append(kept, h)
+	r.rebuild()
+	r.epoch++
+}
+
+// Reset replaces the member set and adopts the given epoch, used when a
+// stale client refreshes its shard map from a cluster node's authoritative
+// ring state. The adoption is atomic and monotonic: a snapshot at or below
+// the ring's current epoch is ignored, so concurrent refreshes that raced
+// to different nodes can never regress the ring to older membership.
+func (r *Ring) Reset(endpoints []string, epoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if epoch <= r.epoch {
+		return
 	}
-	r.points = kept
-	for i, ep := range r.endpoint {
-		if ep == endpoint {
-			r.endpoint = append(r.endpoint[:i], r.endpoint[i+1:]...)
-			break
+	r.members = make(map[string]bool, len(endpoints))
+	for _, ep := range endpoints {
+		r.members[ep] = true
+	}
+	r.rebuild()
+	r.epoch = epoch
+}
+
+// Epoch returns the ring's membership version: 0 at construction, +1 per
+// Add/Remove that changed the member set.
+func (r *Ring) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
+
+// vnodeHash computes a point from a "endpoint#i" vnode label. It is a
+// package variable only so tests can substitute a colliding hash and
+// exercise the rebuild's canonical collision resolution.
+var vnodeHash = hashKey
+
+// rebuild recomputes the point table from the member set. Members are
+// processed in sorted order and a collided point stays with its first
+// claimant, so the result depends only on the set — never on the Add/Remove
+// history. Caller holds r.mu.
+func (r *Ring) rebuild() {
+	r.endpoint = make([]string, 0, len(r.members))
+	for ep := range r.members {
+		r.endpoint = append(r.endpoint, ep)
+	}
+	sort.Strings(r.endpoint)
+	r.points = r.points[:0]
+	r.owners = make(map[uint64]string, len(r.members)*r.vnodes)
+	for _, ep := range r.endpoint {
+		for i := 0; i < r.vnodes; i++ {
+			h := vnodeHash(fmt.Sprintf("%s#%d", ep, i))
+			// Collisions across 64-bit points are vanishingly rare; when one
+			// happens the first owner in canonical order keeps the point,
+			// which only skews the distribution by one vnode.
+			if _, taken := r.owners[h]; taken {
+				continue
+			}
+			r.owners[h] = ep
+			r.points = append(r.points, h)
 		}
 	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i] < r.points[j] })
 }
 
 // Route returns the endpoint owning key, or "" for an empty ring.
@@ -140,6 +191,13 @@ func (r *Ring) Route(key string) string {
 		i = 0 // wrap around
 	}
 	return r.owners[r.points[i]]
+}
+
+// Contains reports whether endpoint is a current member.
+func (r *Ring) Contains(endpoint string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.members[endpoint]
 }
 
 // Endpoints returns the current members, sorted.

@@ -2,10 +2,13 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/rmi"
+	"repro/internal/wire"
 )
 
 // stage.go is the "execute" phase of the cluster flush pipeline: it runs
@@ -127,22 +130,57 @@ func (b *Batch) execute(ctx context.Context, stages [][]*subBatch) error {
 				defer wg.Done()
 				if keep[ds] {
 					errs[i] = ds.cb.FlushAndContinue(ctx)
-				} else {
-					errs[i] = ds.cb.Flush(ctx)
+					return
 				}
+				fctx := ctx
+				if ds.cb.PendingCalls() == 0 {
+					// A pure session close (every call of the last stage
+					// settled locally): attempt it even when the pipeline's
+					// own context is already canceled, like the lease-release
+					// wave below — otherwise the server-side chained session
+					// leaks until its TTL.
+					fctx = context.WithoutCancel(ctx)
+				}
+				errs[i] = ds.cb.Flush(fctx)
 			}(i, ds)
 		}
 		wg.Wait()
 
 		b.mu.Lock()
 		b.waves++
+		var retries []*staleRetry
 		for i, ds := range wave {
 			if errs[i] != nil {
+				if sb := stageSub(subs, ds); sb != nil && b.canRetryStale(ds, s, errs[i]) {
+					retries = append(retries, &staleRetry{ds: ds, sb: sb, cause: errs[i]})
+					continue
+				}
 				reportFailure(ds, s, errs[i])
+				// A failed destination drops out of the pipeline here, so no
+				// later flush will release the chained session an earlier
+				// wave may have opened; reap it best-effort in the
+				// background (detached from the flush's own context, which
+				// may be what just failed).
+				if sess := ds.cb.Session(); sess != 0 {
+					go func(endpoint string, sess uint64) {
+						cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), core.DefaultSessionTTL/4)
+						defer cancel()
+						_ = core.ReleaseSession(cctx, b.peer, endpoint, sess)
+					}(ds.group.endpoint, sess)
+				}
 				continue
 			}
 			ds.sessionOpen = keep[ds]
 		}
+		b.mu.Unlock()
+		if len(retries) > 0 {
+			// Stale routes: the destination rejected the wave because one of
+			// its roots migrated to a new home. Refresh the shard map,
+			// re-partition the affected calls, and retry once — before the
+			// next stage, whose sub-batches may consume these results.
+			b.retryStale(ctx, s, retries, reportFailure)
+		}
+		b.mu.Lock()
 		// Harvest the refs of results pinned in this wave and lease them
 		// (rmi.Peer.HoldRef) so they outlive the server's marshal grace for
 		// as long as the pipeline still needs them.
@@ -192,6 +230,9 @@ func (b *Batch) execute(ctx context.Context, stages [][]*subBatch) error {
 // Caller holds b.mu.
 func (b *Batch) translate(ds *destState, sb *subBatch) {
 	for _, c := range sb.calls {
+		if c.failed != nil {
+			continue // settled earlier (e.g. a split dependency in a retry)
+		}
 		args, err := b.resolveInputs(c)
 		if err != nil {
 			settleLocal(c, err)
@@ -261,6 +302,236 @@ func (b *Batch) resolveInputs(c *recordedCall) ([]any, error) {
 		}
 	}
 	return args, nil
+}
+
+// staleRetry is one destination whose wave was rejected with a wrong-home
+// error and qualifies for the single stale-route retry.
+type staleRetry struct {
+	ds    *destState
+	sb    *subBatch
+	cause error
+}
+
+// stageSub finds the sub-batch of this stage belonging to ds, if any.
+func stageSub(subs []*subBatch, ds *destState) *subBatch {
+	for _, sb := range subs {
+		if sb.group == ds.group {
+			return sb
+		}
+	}
+	return nil
+}
+
+// canRetryStale decides whether a failed destination wave may be retried
+// against a refreshed shard map. Caller holds b.mu.
+//
+// The retry re-resolves the destination's named roots (Proxy.key, set by
+// RootNamed) and replays this stage's calls against fresh core batches at
+// the new homes, so it is only sound when nothing server-side is lost with
+// the old session: the batch must be epoch-aware (WithDirectory), the
+// failure must be a wrong-home rejection, this must be the destination's
+// last stage, and no earlier wave may have left a chained session open
+// (earlier results live only in that session and cannot follow the object
+// to its new home). One retry per flush.
+func (b *Batch) canRetryStale(ds *destState, stage int, err error) bool {
+	if b.dir == nil || b.retried || ds.sessionOpen || stage != ds.lastStage {
+		return false
+	}
+	var wrong *rmi.WrongHomeError
+	return errors.As(err, &wrong)
+}
+
+// retryStale performs the stale-route retry: refresh the shard map once,
+// then re-partition and re-flush each rejected sub-batch at the roots' new
+// homes — rejected destinations retry concurrently, like any other wave.
+// Failures here are final: the retry is spent.
+func (b *Batch) retryStale(ctx context.Context, stage int, retries []*staleRetry, reportFailure func(*destState, int, error)) {
+	b.mu.Lock()
+	b.retried = true
+	b.mu.Unlock()
+
+	if err := b.dir.Refresh(ctx); err != nil {
+		b.mu.Lock()
+		for _, r := range retries {
+			reportFailure(r.ds, stage, fmt.Errorf("%w (ring refresh failed: %v)", r.cause, err))
+			settleSub(r.sb, r.ds.failed)
+		}
+		b.mu.Unlock()
+		return
+	}
+	flushed := make([]bool, len(retries))
+	var wg sync.WaitGroup
+	for i, r := range retries {
+		wg.Add(1)
+		go func(i int, r *staleRetry) {
+			defer wg.Done()
+			flushed[i] = b.retryOne(ctx, stage, r, reportFailure)
+		}(i, r)
+	}
+	wg.Wait()
+	b.mu.Lock()
+	for _, f := range flushed {
+		if f {
+			b.waves++
+			break
+		}
+	}
+	b.mu.Unlock()
+}
+
+// retryOne re-resolves one rejected sub-batch's named roots through the
+// refreshed directory, rewires its calls into per-new-home groups, and
+// flushes them as a fresh parallel wave. It reports whether anything was
+// actually flushed (the caller counts the retry pass as one wave).
+func (b *Batch) retryOne(ctx context.Context, stage int, r *staleRetry, reportFailure func(*destState, int, error)) bool {
+	// Re-resolve the named roots first, outside the batch lock — lookups
+	// are network calls and independent per root, so they fan out in
+	// parallel like every other cluster-wide control path. Un-named roots
+	// keep their recorded ref: if one of them was the migrated object there
+	// is no key to re-resolve it by, and the retried wave will fail
+	// wrong-home again, this time finally.
+	roots := r.sb.group.roots
+	resolved := make([]wire.Ref, len(roots))
+	lerrs := make([]error, len(roots))
+	var lwg sync.WaitGroup
+	for i, ref := range roots {
+		p := r.sb.group.rootProxies[ref]
+		if p.key == "" {
+			resolved[i] = ref
+			continue
+		}
+		lwg.Add(1)
+		go func(i int, key string) {
+			defer lwg.Done()
+			nr, err := b.dir.Lookup(ctx, key)
+			if err != nil {
+				lerrs[i] = fmt.Errorf("stale-route retry: re-resolve %q: %w", key, err)
+				return
+			}
+			resolved[i] = nr
+		}(i, p.key)
+	}
+	lwg.Wait()
+	if lerr := errors.Join(lerrs...); lerr != nil {
+		b.mu.Lock()
+		reportFailure(r.ds, stage, lerr)
+		settleSub(r.sb, r.ds.failed)
+		b.mu.Unlock()
+		return false
+	}
+	newRefs := make(map[*Proxy]wire.Ref, len(roots))
+	for i, ref := range roots {
+		newRefs[r.sb.group.rootProxies[ref]] = resolved[i]
+	}
+
+	b.mu.Lock()
+	// Rewire the roots into one fresh group per new home, then re-home every
+	// call (and the proxies it settles) to its root's group, so partition
+	// and translate see a consistent recording again.
+	groups := make(map[string]*group)
+	for _, ref := range r.sb.group.roots {
+		p := r.sb.group.rootProxies[ref]
+		nr := newRefs[p]
+		g, ok := groups[nr.Endpoint]
+		if !ok {
+			g = &group{endpoint: nr.Endpoint, rootProxies: make(map[wire.Ref]*Proxy)}
+			groups[nr.Endpoint] = g
+		}
+		g.roots = append(g.roots, nr)
+		g.rootProxies[nr] = p
+		p.rootRef = nr
+		p.group = g
+		p.core = nil
+	}
+	newGroups := make(map[*group]bool, len(groups))
+	for _, g := range groups {
+		newGroups[g] = true
+	}
+	for _, c := range r.sb.calls {
+		g := retryRootOf(c).group
+		c.group = g
+		c.target.group = g
+		if c.proxy != nil {
+			c.proxy.group = g
+		}
+	}
+	// Cross-root dataflow that the re-sharding split across homes cannot be
+	// replayed by this retry: the producer's result would now have to cross
+	// the network mid-wave. Settle those calls with a clear error carrying
+	// the original wrong-home cause instead of an internal failure.
+	for _, c := range r.sb.calls {
+		if c.failed != nil {
+			continue
+		}
+		for _, a := range c.args {
+			x, ok := a.(*Proxy)
+			if !ok || x.origin == nil || x.group == c.group || !newGroups[x.group] {
+				continue
+			}
+			settleLocal(c, fmt.Errorf(
+				"stale-route retry: %s consumes a result the re-sharding moved to %q while the call now targets %q: %w",
+				c.method, x.group.endpoint, c.group.endpoint, r.cause))
+			break
+		}
+	}
+	subs := partition(r.sb.calls)
+	type retryDest struct {
+		ds *destState
+		sb *subBatch
+	}
+	var wave []retryDest
+	for _, sb := range subs {
+		ds := &destState{group: sb.group, lastStage: stage}
+		if sb.group.endpoint == "" {
+			err := fmt.Errorf("stale-route retry: %w", ErrNoEndpoint)
+			reportFailure(ds, stage, err)
+			settleSub(sb, err)
+			continue
+		}
+		if err := ds.open(b); err != nil {
+			reportFailure(ds, stage, err)
+			settleSub(sb, err)
+			continue
+		}
+		b.translate(ds, sb)
+		if ds.cb.PendingCalls() > 0 {
+			wave = append(wave, retryDest{ds: ds, sb: sb})
+		}
+	}
+	b.mu.Unlock()
+	if len(wave) == 0 {
+		return false
+	}
+
+	errs := make([]error, len(wave))
+	var wg sync.WaitGroup
+	for i, rd := range wave {
+		wg.Add(1)
+		go func(i int, rd retryDest) {
+			defer wg.Done()
+			errs[i] = rd.ds.cb.Flush(ctx)
+		}(i, rd)
+	}
+	wg.Wait()
+
+	b.mu.Lock()
+	for i, rd := range wave {
+		if errs[i] != nil {
+			reportFailure(rd.ds, stage, errs[i])
+			settleSub(rd.sb, errs[i])
+		}
+	}
+	b.mu.Unlock()
+	return true
+}
+
+// retryRootOf walks a call's target chain back to its root proxy.
+func retryRootOf(c *recordedCall) *Proxy {
+	p := c.target
+	for p.origin != nil {
+		p = p.origin.target
+	}
+	return p
 }
 
 // settleLocal marks one call as settled client-side with err: its future

@@ -381,6 +381,22 @@ func (b *Batch) flush(ctx context.Context, keep bool) error {
 	return nil
 }
 
+// ReleaseSession closes a chained-batch session left open on endpoint
+// without executing any calls: an empty, non-keeping flush against the
+// session. The cluster executor uses it to reap sessions orphaned by a
+// destination that failed mid-pipeline — without it they would linger
+// server-side until the session TTL. Releasing an unknown or expired
+// session reports SessionExpiredError.
+func ReleaseSession(ctx context.Context, peer *rmi.Peer, endpoint string, session uint64) error {
+	if session == 0 {
+		return nil
+	}
+	req := &batchRequest{Session: session}
+	svcRef := rmi.SystemRef(endpoint, rmi.BatchObjID, rmi.BatchIface)
+	_, err := peer.Call(ctx, svcRef, "InvokeBatch", req)
+	return err
+}
+
 // distribute assigns results to futures, proxies, and cursors (§4.3).
 // Caller holds b.mu.
 func (b *Batch) distribute(records map[int64]*callRecord, resp *batchResponse) {

@@ -168,7 +168,7 @@ func (e *Executor) resolveSession(req *batchRequest) (*session, uint64, error) {
 	for i, id := range req.Roots {
 		obj, ok := e.peer.LocalObject(id)
 		if !ok {
-			return nil, 0, &rmi.NoSuchObjectError{ObjID: id}
+			return nil, 0, e.missingRoot(id)
 		}
 		extras[i] = obj
 	}
@@ -182,7 +182,7 @@ func (e *Executor) resolveSession(req *batchRequest) (*session, uint64, error) {
 	}
 	root, ok := e.peer.LocalObject(req.Root)
 	if !ok {
-		return nil, 0, &rmi.NoSuchObjectError{ObjID: req.Root}
+		return nil, 0, e.missingRoot(req.Root)
 	}
 	policy := req.Policy
 	if policy == nil {
@@ -199,6 +199,17 @@ func (e *Executor) resolveSession(req *batchRequest) (*session, uint64, error) {
 		expires:  time.Now().Add(e.ttl),
 	}
 	return sess, e.nextID, nil
+}
+
+// missingRoot classifies a batch root absent from the export table: an
+// object migrated to a new home by the cluster rebalancer fails with the
+// typed wrong-home error (so an epoch-aware client re-routes and retries),
+// anything else with NoSuchObjectError.
+func (e *Executor) missingRoot(id uint64) error {
+	if wh, ok := e.peer.ForwardedObject(id); ok {
+		return wh
+	}
+	return &rmi.NoSuchObjectError{ObjID: id}
 }
 
 // execState threads the abort/restart condition through one run.

@@ -1,0 +1,69 @@
+package registry_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/rmi"
+)
+
+// TestForwardedNameWrongHome exercises the naming side of live re-sharding:
+// a forwarded (migrated) name fails lookups with the typed wrong-home error
+// until a new binding supersedes the marker.
+func TestForwardedNameWrongHome(t *testing.T) {
+	network := netsim.New(netsim.Instant)
+	t.Cleanup(func() { _ = network.Close() })
+	server := rmi.NewPeer(network, rmi.WithLogf(silentLogf))
+	if err := server.Serve("srv"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = server.Close() })
+	svc, err := registry.Start(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := rmi.NewPeer(network, rmi.WithLogf(silentLogf))
+	t.Cleanup(func() { _ = client.Close() })
+	ctx := context.Background()
+
+	ref, err := server.Export(&greeter{}, "test.Greeter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := registry.Bind(ctx, client, "srv", "greet", ref); err != nil {
+		t.Fatal(err)
+	}
+
+	svc.Forward("greet", 5)
+
+	_, err = registry.Lookup(ctx, client, "srv", "greet")
+	var wrong *rmi.WrongHomeError
+	if !errors.As(err, &wrong) {
+		t.Fatalf("lookup after forward: error = %T %v, want *WrongHomeError", err, err)
+	}
+	if wrong.Key != "greet" || wrong.NewEpoch != 5 {
+		t.Errorf("WrongHomeError = %+v, want key greet epoch 5", wrong)
+	}
+
+	// An unknown name is still NotBound, not wrong-home.
+	var nb *registry.NotBoundError
+	if _, err := registry.Lookup(ctx, client, "srv", "nobody"); !errors.As(err, &nb) {
+		t.Errorf("unknown name error = %v, want NotBoundError", err)
+	}
+
+	// A fresh binding supersedes the forward marker.
+	if err := registry.Rebind(ctx, client, "srv", "greet", ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := registry.Lookup(ctx, client, "srv", "greet"); err != nil {
+		t.Errorf("lookup after rebind: %v", err)
+	}
+
+	// Forward also shows in the snapshot as absence.
+	if _, ok := svc.Snapshot()["greet"]; !ok {
+		t.Errorf("rebind did not restore the binding in the snapshot")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/rmi"
 	"repro/internal/wire"
@@ -47,11 +48,33 @@ type Service struct {
 
 	mu       sync.Mutex
 	bindings map[string]wire.Ref
+	// refCount indexes bindings by reference, maintained on every mutation,
+	// so "is this ref still bound under some name" is O(1) — the cluster
+	// node asks per departing name during a migration.
+	refCount map[wire.Ref]int
+	// forwards remembers names migrated to another home server when the
+	// cluster membership changed, keyed to the epoch of the move. Lookups of
+	// a forwarded name fail with rmi.WrongHomeError instead of NotBound, so
+	// a stale client knows to refresh its shard map and re-route. Markers
+	// expire after rmi.ForwardTTL, like export tombstones, bounding the
+	// memory a long-lived registry spends on re-sharding history.
+	forwards map[string]forwardMark
+}
+
+// forwardMark is one migrated name's redirect: the epoch of the move and
+// when the marker was installed.
+type forwardMark struct {
+	epoch uint64
+	at    time.Time
 }
 
 // Start exports a fresh registry service on p at the reserved registry id.
 func Start(p *rmi.Peer) (*Service, error) {
-	s := &Service{bindings: make(map[string]wire.Ref)}
+	s := &Service{
+		bindings: make(map[string]wire.Ref),
+		refCount: make(map[wire.Ref]int),
+		forwards: make(map[string]forwardMark),
+	}
 	if _, err := p.ExportSystem(rmi.RegistryObjID, s, rmi.RegistryIface); err != nil {
 		return nil, fmt.Errorf("registry: start: %w", err)
 	}
@@ -65,7 +88,8 @@ func (s *Service) Bind(name string, ref wire.Ref) error {
 	if _, ok := s.bindings[name]; ok {
 		return &AlreadyBoundError{Name: name}
 	}
-	s.bindings[name] = ref
+	delete(s.forwards, name)
+	s.setLocked(name, ref)
 	return nil
 }
 
@@ -73,18 +97,71 @@ func (s *Service) Bind(name string, ref wire.Ref) error {
 func (s *Service) Rebind(name string, ref wire.Ref) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.bindings[name] = ref
+	delete(s.forwards, name)
+	s.setLocked(name, ref)
 }
 
-// Lookup resolves name to its bound reference.
+// setLocked installs name -> ref, keeping the reverse index in step.
+// Caller holds s.mu.
+func (s *Service) setLocked(name string, ref wire.Ref) {
+	s.dropLocked(name)
+	s.bindings[name] = ref
+	s.refCount[ref]++
+}
+
+// dropLocked removes name's binding, if any, keeping the reverse index in
+// step. Caller holds s.mu.
+func (s *Service) dropLocked(name string) {
+	old, ok := s.bindings[name]
+	if !ok {
+		return
+	}
+	delete(s.bindings, name)
+	if s.refCount[old] <= 1 {
+		delete(s.refCount, old)
+	} else {
+		s.refCount[old]--
+	}
+}
+
+// Bound reports whether any name is currently bound to ref.
+func (s *Service) Bound(ref wire.Ref) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refCount[ref] > 0
+}
+
+// Lookup resolves name to its bound reference. A name migrated away by the
+// cluster rebalancer fails with rmi.WrongHomeError carrying the epoch of the
+// move.
 func (s *Service) Lookup(name string) (wire.Ref, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ref, ok := s.bindings[name]
 	if !ok {
+		if mark, moved := s.forwards[name]; moved && time.Since(mark.at) <= rmi.ForwardTTL {
+			return wire.Ref{}, &rmi.WrongHomeError{Key: name, NewEpoch: mark.epoch}
+		}
 		return wire.Ref{}, &NotBoundError{Name: name}
 	}
 	return ref, nil
+}
+
+// Forward removes name's binding and marks it migrated at epoch: subsequent
+// Lookups fail with rmi.WrongHomeError until a new Bind/Rebind supersedes
+// the marker or it expires (rmi.ForwardTTL). The cluster rebalancer calls
+// it on the old home when a membership change moves the name elsewhere.
+func (s *Service) Forward(name string, epoch uint64) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for n, mark := range s.forwards {
+		if now.Sub(mark.at) > rmi.ForwardTTL {
+			delete(s.forwards, n)
+		}
+	}
+	s.dropLocked(name)
+	s.forwards[name] = forwardMark{epoch: epoch, at: now}
 }
 
 // Unbind removes name's binding.
@@ -94,8 +171,20 @@ func (s *Service) Unbind(name string) error {
 	if _, ok := s.bindings[name]; !ok {
 		return &NotBoundError{Name: name}
 	}
-	delete(s.bindings, name)
+	s.dropLocked(name)
 	return nil
+}
+
+// Snapshot returns a copy of the current name table. The cluster node
+// service reads it to report this server's bindings in one round trip.
+func (s *Service) Snapshot() map[string]wire.Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]wire.Ref, len(s.bindings))
+	for name, ref := range s.bindings {
+		out[name] = ref
+	}
+	return out
 }
 
 // List returns all bound names, sorted.

@@ -325,6 +325,8 @@ func (p *Peer) handle(ctx context.Context, payload []byte) ([]byte, error) {
 				resp.Results[i] = w
 			}
 		}
+	} else if wh, ok := p.ForwardedObject(req.ObjID); ok {
+		resp.Err = wh
 	} else {
 		resp.Err = &NoSuchObjectError{ObjID: req.ObjID}
 	}

@@ -1,0 +1,46 @@
+package rmi_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/rmi"
+)
+
+// TestForwardedObjectWrongHome exercises the migration tombstone: calls on
+// an object forwarded to a new home fail with the typed WrongHomeError —
+// carrying the cluster-wide key and the epoch of the move across the wire —
+// instead of an opaque NoSuchObjectError.
+func TestForwardedObjectWrongHome(t *testing.T) {
+	server, client := newPair(t)
+	ref := exportCalc(t, server)
+	ctx := context.Background()
+
+	if _, err := client.Call(ctx, ref, "Add", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	server.ForwardObject(ref.ObjID, "accounts/alice", 7)
+
+	_, err := client.Call(ctx, ref, "Add", 1, 2)
+	var wrong *rmi.WrongHomeError
+	if !errors.As(err, &wrong) {
+		t.Fatalf("call after forward: error = %T %v, want *WrongHomeError", err, err)
+	}
+	if wrong.Key != "accounts/alice" || wrong.NewEpoch != 7 {
+		t.Errorf("WrongHomeError = %+v, want key accounts/alice epoch 7", wrong)
+	}
+
+	// The tombstone is queryable locally too (the batch executor's path).
+	if wh, ok := server.ForwardedObject(ref.ObjID); !ok || wh.Key != "accounts/alice" || wh.NewEpoch != 7 {
+		t.Errorf("ForwardedObject = %+v, %v", wh, ok)
+	}
+	// Non-forwarded ids stay NoSuchObject.
+	badRef := ref
+	badRef.ObjID = ref.ObjID + 1000
+	var nso *rmi.NoSuchObjectError
+	if _, err := client.Call(ctx, badRef, "Add", 1, 2); !errors.As(err, &nso) {
+		t.Errorf("unknown id error = %v, want NoSuchObjectError", err)
+	}
+}

@@ -36,6 +36,7 @@ type Peer struct {
 	endpoint  string
 	tsrv      *transport.Server
 	closed    bool
+	forwards  map[uint64]forwardRecord  // migrated-away objects, by old id
 	holds     map[string]map[uint64]int // endpoint -> objID -> refcount
 	granted   map[string]time.Duration  // endpoint -> lease granted by its DGC
 	renewing  bool
@@ -95,6 +96,7 @@ func NewPeer(network transport.Network, opts ...Option) *Peer {
 		exports:   newExportTable(),
 		pool:      transport.NewPool(network),
 		clientID:  newClientID(),
+		forwards:  make(map[uint64]forwardRecord),
 		holds:     make(map[string]map[uint64]int),
 		granted:   make(map[string]time.Duration),
 		renewKick: make(chan struct{}, 1),
@@ -211,6 +213,60 @@ func (p *Peer) exportAuto(obj Remote) (wire.Ref, error) {
 // start failing with NoSuchObjectError.
 func (p *Peer) Unexport(ref wire.Ref) bool {
 	return p.exports.remove(ref.ObjID)
+}
+
+// forwardRecord is the tombstone left behind when an object migrates to a
+// new home server: enough for a stale caller to re-route (the cluster-wide
+// key) and to know how stale it is (the membership epoch of the move).
+type forwardRecord struct {
+	key   string
+	epoch uint64
+	at    time.Time
+}
+
+// ForwardTTL bounds how long a migration tombstone answers for a departed
+// object. It caps the memory a long-lived server spends on re-sharding
+// history, and with it how stale a client may be and still receive the
+// typed wrong-home redirect; beyond it, calls degrade to NoSuchObjectError.
+const ForwardTTL = 30 * time.Minute
+
+// ForwardObject unexports objID and leaves a forwarding tombstone: calls
+// routed here with a stale shard map fail with *WrongHomeError carrying the
+// object's cluster-wide key and the membership epoch of the move, instead of
+// an opaque NoSuchObjectError. The cluster rebalancer installs tombstones
+// when it migrates objects off this server. Tombstones expire after
+// ForwardTTL.
+func (p *Peer) ForwardObject(objID uint64, key string, epoch uint64) {
+	// Tombstone first, then unexport: a concurrent call landing between the
+	// two must see WrongHome (retryable), never NoSuchObject (terminal).
+	now := time.Now()
+	p.mu.Lock()
+	for id, f := range p.forwards {
+		if now.Sub(f.at) > ForwardTTL {
+			delete(p.forwards, id)
+		}
+	}
+	p.forwards[objID] = forwardRecord{key: key, epoch: epoch, at: now}
+	p.mu.Unlock()
+	p.exports.remove(objID)
+}
+
+// ForwardedObject reports the wrong-home error for a migrated-away object
+// id, if one is recorded and has not expired. The dispatch layer and the
+// BRMI batch executor consult it when an id is absent from the export
+// table.
+func (p *Peer) ForwardedObject(objID uint64) (*WrongHomeError, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.forwards[objID]
+	if !ok {
+		return nil, false
+	}
+	if time.Since(f.at) > ForwardTTL {
+		delete(p.forwards, objID)
+		return nil, false
+	}
+	return &WrongHomeError{Key: f.key, NewEpoch: f.epoch}, true
 }
 
 // LocalObject resolves an object id in this peer's export table. The BRMI

@@ -64,6 +64,7 @@ const (
 	DGCObjID      uint64 = 0 // lease service (always exported by serving peers)
 	RegistryObjID uint64 = 1 // naming service (internal/registry)
 	BatchObjID    uint64 = 2 // BRMI batch executor (internal/core)
+	NodeObjID     uint64 = 3 // cluster membership/migration service (internal/cluster)
 
 	// FirstUserObjID is the first identifier handed to application exports.
 	FirstUserObjID uint64 = 16
@@ -74,6 +75,7 @@ const (
 	DGCIface      = "rmi.DGC"
 	RegistryIface = "rmi.Registry"
 	BatchIface    = "rmi.BatchService"
+	NodeIface     = "cluster.Node"
 )
 
 // SystemRef builds the well-known reference of a system service at endpoint.
@@ -116,6 +118,20 @@ func (e *NoSuchObjectError) Error() string {
 	return fmt.Sprintf("rmi: no such object %d", e.ObjID)
 }
 
+// WrongHomeError reports a call routed with a stale shard map: the target
+// object lived here once but was migrated to a new home when the cluster
+// membership changed at epoch NewEpoch. Key is the cluster-wide name the
+// object was bound under; the caller re-resolves it against a ring at least
+// as new as NewEpoch and retries at the new home.
+type WrongHomeError struct {
+	Key      string
+	NewEpoch uint64
+}
+
+func (e *WrongHomeError) Error() string {
+	return fmt.Sprintf("rmi: wrong home for %q (moved at epoch %d)", e.Key, e.NewEpoch)
+}
+
 // NoSuchMethodError reports a call on a method the target does not have.
 type NoSuchMethodError struct {
 	Iface  string
@@ -151,4 +167,5 @@ func init() {
 	wire.MustRegister("rmi.call.resp", &callResponse{})
 	wire.MustRegisterError("rmi.NoSuchObject", &NoSuchObjectError{})
 	wire.MustRegisterError("rmi.NoSuchMethod", &NoSuchMethodError{})
+	wire.MustRegisterError("rmi.WrongHome", &WrongHomeError{})
 }
