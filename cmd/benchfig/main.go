@@ -82,6 +82,10 @@ var figures = []figSpec{
 		return bench.RunRebalance(c.wan, []int{4, 16, 64})
 	},
 		"live re-sharding: scale-out 3 -> 4 servers, batched vs per-object migration, WAN (internal/cluster)"},
+	{"throughput", func(c config) (*bench.Table, error) {
+		return bench.RunThroughput(c.instant, []int{1, 4, 16}, 1200)
+	},
+		"hot-path throughput: C client goroutines over 4 sharded servers, mixed flush sizes, instant network"},
 }
 
 func main() {

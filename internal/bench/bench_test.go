@@ -419,3 +419,34 @@ func TestRebalanceTiny(t *testing.T) {
 		t.Fatalf("unexpected table shape: %+v", table)
 	}
 }
+
+// TestThroughputWorkload smoke-tests the hot-path throughput figure: the
+// workload completes, reports sane metrics, and the allocation count stays
+// inside the budget this PR's optimizations established (the strict
+// before/after comparison lives in BENCH_throughput.json).
+func TestThroughputWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput workload is slow; run without -short")
+	}
+	env, err := NewClusterEnv(netsim.Instant, ThroughputServers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	res, err := MeasureThroughput(env, 4, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CallsPerSec <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+	if res.FlushStats.N == 0 || res.FlushStats.P95 <= 0 {
+		t.Fatalf("flush latency stats missing: %+v", res.FlushStats)
+	}
+	// Pre-PR the workload cost ~29.5 allocs per call; the compiled codecs,
+	// pooled buffers, and skeleton dispatch brought it to ~14. Catch
+	// regressions with headroom for environment noise.
+	if res.AllocsPerCall > 22 {
+		t.Fatalf("allocs per call regressed: %.1f (budget 22)", res.AllocsPerCall)
+	}
+}

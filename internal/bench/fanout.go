@@ -23,6 +23,7 @@ type ClusterEnv struct {
 	Registries []*registry.Service
 	Nodes      []*cluster.Node
 	Refs       []wire.Ref
+	EchoRefs   []wire.Ref
 	Client     *rmi.Peer
 
 	cleanup []func()
@@ -62,11 +63,17 @@ func NewClusterEnv(profile netsim.Profile, k int) (*ClusterEnv, error) {
 			env.Close()
 			return nil, err
 		}
+		echoRef, err := server.Export(&EchoService{}, "bench.Echo")
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
 		env.Servers = append(env.Servers, server)
 		env.Execs = append(env.Execs, exec)
 		env.Registries = append(env.Registries, reg)
 		env.Nodes = append(env.Nodes, node)
 		env.Refs = append(env.Refs, ref)
+		env.EchoRefs = append(env.EchoRefs, echoRef)
 	}
 	client := rmi.NewPeer(network, rmi.WithLogf(silentLogf))
 	env.Client = client

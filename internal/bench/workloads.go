@@ -28,6 +28,53 @@ type NoopService struct {
 // Noop does nothing.
 func (s *NoopService) Noop() {}
 
+// DispatchLocal is the reflection-free skeleton (rmi.LocalDispatcher),
+// mirroring what brmigen's Dispatch<Iface> helper emits.
+func (s *NoopService) DispatchLocal(_ context.Context, method string, _ []any, buf []any) ([]any, bool, error) {
+	if method != "Noop" {
+		return nil, false, nil
+	}
+	s.Noop()
+	return buf[:0], true, nil
+}
+
+// --- echo service (throughput figure) ------------------------------------------
+
+// Payload is the marshal-heavy argument/result of the throughput workload:
+// a registered struct with a string, integers, a byte body, and a duration,
+// so every recorded call exercises the full codec surface (type definition,
+// field encode/decode, byte copy) rather than just the framing.
+type Payload struct {
+	ID      int64
+	Name    string
+	Seq     uint64
+	Data    []byte
+	Elapsed time.Duration
+}
+
+// EchoService is the remote object of the throughput workload: Echo returns
+// its argument, so each call marshals the payload twice (request and
+// response) on both peers.
+type EchoService struct {
+	rmi.RemoteBase
+}
+
+// Echo returns p unchanged.
+func (s *EchoService) Echo(p Payload) Payload { return p }
+
+// DispatchLocal is the reflection-free skeleton (rmi.LocalDispatcher),
+// mirroring what brmigen's Dispatch<Iface> helper emits.
+func (s *EchoService) DispatchLocal(_ context.Context, method string, args []any, buf []any) ([]any, bool, error) {
+	if method != "Echo" || len(args) != 1 {
+		return nil, false, nil
+	}
+	p, ok := args[0].(Payload)
+	if !ok {
+		return nil, false, nil // odd argument form; reflective dispatch converts
+	}
+	return append(buf[:0], s.Echo(p)), true, nil
+}
+
 // --- linked list (Figures 7-9) -------------------------------------------------
 
 // ListNode is the remote linked list of the traversal micro benchmark
@@ -168,10 +215,80 @@ func NewFileServer(n, totalBytes int) *FileServer {
 // ListFiles returns all files.
 func (fs *FileServer) ListFiles() []*RemoteFile { return fs.files }
 
+// Payload travels on every throughput-workload call; it installs a
+// compiled wire codec like the protocol messages do, the pattern an
+// application type opts into for its own hot paths.
+func encPayload(x wire.Enc, p *Payload) error {
+	n := 5
+	if p.Elapsed == 0 {
+		n = 4
+		if p.Data == nil {
+			n = 3
+			if p.Seq == 0 {
+				n = 2
+				if p.Name == "" {
+					n = 1
+					if p.ID == 0 {
+						n = 0
+					}
+				}
+			}
+		}
+	}
+	x.BeginStruct("bench.payload", n)
+	if n > 0 {
+		x.Int(p.ID)
+	}
+	if n > 1 {
+		x.Str(p.Name)
+	}
+	if n > 2 {
+		x.Uint(p.Seq)
+	}
+	if n > 3 {
+		x.BytesVal(p.Data)
+	}
+	if n > 4 {
+		x.Int(int64(p.Elapsed))
+	}
+	return nil
+}
+
+func decPayload(x wire.Dec, p *Payload, n int) error {
+	var err error
+	if n > 0 {
+		if p.ID, err = x.Int(); err != nil {
+			return err
+		}
+	}
+	if n > 1 {
+		if p.Name, err = x.Str(); err != nil {
+			return err
+		}
+	}
+	if n > 2 {
+		if p.Seq, err = x.Uint(); err != nil {
+			return err
+		}
+	}
+	if n > 3 {
+		if p.Data, err = x.BytesVal(); err != nil {
+			return err
+		}
+	}
+	if n > 4 {
+		if p.Elapsed, err = x.Dur(); err != nil {
+			return err
+		}
+	}
+	return x.SkipFields(n - 5)
+}
+
 func init() {
 	rmi.RegisterImpl("bench.ListNode", &ListNode{})
 	rmi.RegisterImpl("bench.Balancer", &Balancer{})
 	rmi.RegisterImpl("bench.RemoteFile", &RemoteFile{})
+	wire.MustRegisterCompiled("bench.payload", false, encPayload, decPayload)
 }
 
 // ensure the workload types stay wire-compatible (compile-time checks).

@@ -54,10 +54,11 @@ var (
 // internally synchronized, so misuse corrupts no memory, only recording
 // order.
 type Batch struct {
-	peer        *rmi.Peer
-	policy      *core.Policy
-	singleStage bool
-	dir         *Directory
+	peer          *rmi.Peer
+	policy        *core.Policy
+	singleStage   bool
+	parallelRoots bool
+	dir           *Directory
 
 	mu     sync.Mutex
 	groups map[string]*group // keyed by server endpoint
@@ -104,6 +105,17 @@ func WithSingleStage() Option {
 // calls to their new homes, and retries once instead of failing.
 func WithDirectory(d *Directory) Option {
 	return func(b *Batch) { b.dir = d }
+}
+
+// WithParallelRoots forwards core.WithParallelRoots to every per-server
+// sub-batch: a destination whose sub-batch the server proves root-partition
+// independent (the plan shows no inter-root dependency within the stage)
+// replays its roots concurrently. Per-root program order is preserved;
+// cross-root interleaving on one server is relaxed, exactly as documented
+// for the core option. Dependent sub-batches are unaffected — the server
+// falls back to sequential replay when independence cannot be proven.
+func WithParallelRoots() Option {
+	return func(b *Batch) { b.parallelRoots = true }
 }
 
 // New creates an empty cluster batch. Add destinations with Root.

@@ -306,7 +306,9 @@ func (r *Rebalancer) migratePair(ctx context.Context, src, dst string, moves []m
 		}
 		movable[i] = true
 		if sb == nil {
-			sb = core.New(peer, NodeRef(src))
+			// The K snapshot roots are independent objects; the executor may
+			// replay them concurrently (per-root order preserved).
+			sb = core.New(peer, NodeRef(src), core.WithParallelRoots())
 		}
 		p, err := sb.AddRoot(m.ref)
 		if err != nil {

@@ -50,6 +50,12 @@ func (f *fileImpl) Delete() error {
 	return nil
 }
 
+// DispatchLocal opts the file into the reflection-free skeleton path, via
+// the brmigen-generated helper.
+func (f *fileImpl) DispatchLocal(ctx context.Context, method string, args []any, buf []any) ([]any, bool, error) {
+	return fstest.DispatchFile(f, ctx, method, args, buf)
+}
+
 type dirImpl struct {
 	rmi.RemoteBase
 	mu    sync.Mutex
@@ -85,6 +91,11 @@ func (d *dirImpl) TotalSize() (int64, error) {
 		n += int64(f.size)
 	}
 	return n, nil
+}
+
+// DispatchLocal opts the directory into the reflection-free skeleton path.
+func (d *dirImpl) DispatchLocal(ctx context.Context, method string, args []any, buf []any) ([]any, bool, error) {
+	return fstest.DispatchDirectory(d, ctx, method, args, buf)
 }
 
 func (d *dirImpl) remove(name string) {

@@ -27,10 +27,16 @@ type Batch struct {
 	policy  *Policy
 	nextSeq int64
 	calls   []invocationData
-	pending map[int64]*callRecord
-	session uint64
-	sentPol bool
-	closed  bool
+	// records is parallel to calls (records[i] belongs to calls[i]); the
+	// call with sequence number s lives at index s-recBase. A slice beats
+	// the old per-call map entry on the recording hot path.
+	records  []callRecord
+	recBase  int64
+	argArena []batchArg // chunked backing for invocationData.Args
+	parallel bool
+	session  uint64
+	sentPol  bool
+	closed   bool
 	// recErr is a sticky recording violation, reported by the next flush.
 	recErr error
 	// failure is the batch-wide failure every future rethrows.
@@ -56,14 +62,30 @@ func WithPolicy(p *Policy) Option {
 	return func(b *Batch) { b.policy = p }
 }
 
+// WithParallelRoots opts the batch into relaxed replay ordering: when the
+// recording proves the roots independent (no call targets or consumes
+// another root's results), the server may replay each root's calls
+// concurrently. Per-root program order is always preserved; only the
+// interleaving BETWEEN roots is relaxed, and only under this option. A
+// recording with any cross-root dataflow, a chained reference to an earlier
+// flush, or a single root replays sequentially exactly as without the
+// option. See DESIGN.md "Hot path".
+func WithParallelRoots() Option {
+	return func(b *Batch) { b.parallel = true }
+}
+
+// defaultPolicy is the shared AbortPolicy instance the common case uses;
+// policies are immutable after construction, so sharing is safe and saves
+// an allocation per batch.
+var defaultPolicy = AbortPolicy()
+
 // New creates a batch over the remote object root, the equivalent of
 // BRMI.create(iface, remoteRef [, policy]) (§3.2, §3.3).
 func New(peer *rmi.Peer, root wire.Ref, opts ...Option) *Batch {
 	b := &Batch{
-		peer:    peer,
-		root:    root,
-		policy:  AbortPolicy(),
-		pending: make(map[int64]*callRecord),
+		peer:   peer,
+		root:   root,
+		policy: defaultPolicy,
 	}
 	for _, o := range opts {
 		o(b)
@@ -127,17 +149,26 @@ func (b *Batch) PendingCalls() int {
 
 // --- recording ---------------------------------------------------------------
 
+// futureAlloc packs a Future and its state into one allocation; recording a
+// value call costs a single heap object.
+type futureAlloc struct {
+	f  Future
+	st futureState
+}
+
 func (b *Batch) recordValue(target *Proxy, method string, args []any) *Future {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	st := &futureState{b: b}
+	fa := &futureAlloc{}
+	fa.f.st = &fa.st
+	fa.st.b = b
 	seq, owner, ok := b.appendCall(target, method, kindValue, false, args)
 	if ok {
-		st.seq = seq
-		st.cursor = owner
-		b.pending[seq] = &callRecord{kind: kindValue, future: st, owner: owner}
+		fa.st.seq = seq
+		fa.st.cursor = owner
+		b.records = append(b.records, callRecord{kind: kindValue, future: &fa.st, owner: owner})
 	}
-	return &Future{st: st}
+	return &fa.f
 }
 
 func (b *Batch) recordRemote(target *Proxy, method string, export bool, args []any) *Proxy {
@@ -155,7 +186,7 @@ func (b *Batch) recordRemote(target *Proxy, method string, export bool, args []a
 		}
 		p.seq = seq
 		p.cursor = owner
-		b.pending[seq] = &callRecord{kind: kindRemote, proxy: p, owner: owner}
+		b.records = append(b.records, callRecord{kind: kindRemote, proxy: p, owner: owner})
 	}
 	return p
 }
@@ -176,7 +207,7 @@ func (b *Batch) recordCursor(target *Proxy, method string, args []any) *Cursor {
 		}
 		c.seq = seq
 		c.Proxy.cursor = c // operations on the cursor belong to its own run
-		b.pending[seq] = &callRecord{kind: kindCursor, proxy: &c.Proxy, cursor: c}
+		b.records = append(b.records, callRecord{kind: kindCursor, proxy: &c.Proxy, cursor: c})
 	}
 	return c
 }
@@ -238,17 +269,16 @@ func (b *Batch) appendCall(target *Proxy, method string, kind int64, export bool
 	}
 
 	inv := invocationData{
-		Seq:         b.nextSeq,
-		Target:      targetSeq,
-		Method:      method,
-		Kind:        kind,
-		CursorOwner: NoCursor,
-		Export:      export,
+		Seq:    b.nextSeq,
+		Target: targetSeq,
+		Method: method,
+		Kind:   kind,
+		Export: export,
 	}
 	if owner != nil {
-		inv.CursorOwner = owner.seq
+		inv.setOwner(owner.seq)
 	}
-	inv.Args = make([]batchArg, len(args))
+	inv.Args = b.argAlloc(len(args))
 	for i, a := range args {
 		if ap := argProxy(a); ap != nil {
 			seq, err := ap.currentSeq()
@@ -271,6 +301,27 @@ func (b *Batch) appendCall(target *Proxy, method string, kind int64, export bool
 	seq := b.nextSeq
 	b.nextSeq++
 	return seq, owner, true
+}
+
+// argAlloc carves an n-element Args slice out of the batch's arena chunk,
+// so recording a call does not allocate per-call argument slices. Chunks
+// fill up and are replaced (never grown in place), keeping every
+// previously handed-out slice valid. Full-capacity slicing prevents append
+// bleed between calls. Caller holds b.mu.
+func (b *Batch) argAlloc(n int) []batchArg {
+	if n == 0 {
+		return nil
+	}
+	if len(b.argArena)+n > cap(b.argArena) {
+		size := 64
+		if n > size {
+			size = n
+		}
+		b.argArena = make([]batchArg, 0, size)
+	}
+	base := len(b.argArena)
+	b.argArena = b.argArena[:base+n]
+	return b.argArena[base : base+n : base+n]
 }
 
 // argProxy extracts the *Proxy behind an argument, unwrapping cursors and
@@ -332,6 +383,7 @@ func (b *Batch) flush(ctx context.Context, keep bool) error {
 		Session:     b.session,
 		Root:        b.root.ObjID,
 		KeepSession: keep,
+		Parallel:    b.parallel,
 		Calls:       b.calls,
 	}
 	if len(b.extra) > 0 {
@@ -340,12 +392,17 @@ func (b *Batch) flush(ctx context.Context, keep bool) error {
 			req.Roots[i] = r.ObjID
 		}
 	}
-	if !b.sentPol {
+	if !b.sentPol && b.policy != defaultPolicy {
+		// The server assumes AbortPolicy when no policy travels; the shared
+		// default never needs encoding.
 		req.Policy = b.policy
 	}
-	records := b.pending
+	records := b.records
+	base := b.recBase
 	b.calls = nil
-	b.pending = make(map[int64]*callRecord)
+	b.records = nil
+	b.argArena = nil // chunks stay alive through req until encoded
+	b.recBase = b.nextSeq
 	b.lastOwner = nil
 	b.mu.Unlock()
 
@@ -374,7 +431,7 @@ func (b *Batch) flush(ctx context.Context, keep bool) error {
 
 	b.sentPol = true
 	b.session = resp.Session
-	b.distribute(records, resp)
+	b.distribute(base, records, resp)
 	if !keep {
 		b.closed = true
 	}
@@ -398,14 +455,16 @@ func ReleaseSession(ctx context.Context, peer *rmi.Peer, endpoint string, sessio
 }
 
 // distribute assigns results to futures, proxies, and cursors (§4.3).
-// Caller holds b.mu.
-func (b *Batch) distribute(records map[int64]*callRecord, resp *batchResponse) {
+// records[i] belongs to the call with sequence number base+i. Caller holds
+// b.mu.
+func (b *Batch) distribute(base int64, records []callRecord, resp *batchResponse) {
 	for i := range resp.Results {
 		r := &resp.Results[i]
-		rec, ok := records[r.Seq]
-		if !ok {
+		idx := r.Seq - base
+		if idx < 0 || idx >= int64(len(records)) {
 			continue // response for a call we did not record; ignore
 		}
+		rec := &records[idx]
 		switch rec.kind {
 		case kindValue:
 			st := rec.future

@@ -40,7 +40,9 @@ type Executor struct {
 
 // session is the retained server context of a batch chain (§3.5): the
 // objects created by earlier flushes, addressable by sequence number, plus
-// the failure of each failed call for dependency propagation.
+// the failure of each failed call for dependency propagation. The maps are
+// allocated lazily: value-only batches (the common hot path) never touch
+// either.
 type session struct {
 	root     any
 	extras   []any // additional roots, addressed at RootTarget-1-i
@@ -49,6 +51,20 @@ type session struct {
 	failures map[int64]error
 	nextBase int64
 	expires  time.Time
+}
+
+func (s *session) bindObject(seq int64, v any) {
+	if s.objects == nil {
+		s.objects = make(map[int64]any, 8)
+	}
+	s.objects[seq] = v
+}
+
+func (s *session) bindFailure(seq int64, err error) {
+	if s.failures == nil {
+		s.failures = make(map[int64]error, 8)
+	}
+	s.failures[seq] = err
 }
 
 // ExecOption configures the Executor.
@@ -138,7 +154,17 @@ func (e *Executor) InvokeBatch(ctx context.Context, req *batchRequest) (*batchRe
 
 	resp := &batchResponse{}
 	for restart := 0; ; restart++ {
-		results, again := e.runBatch(ctx, sess, req.Calls)
+		var results []callResult
+		var again bool
+		if req.Parallel {
+			var ok bool
+			results, again, ok = e.runBatchParallel(ctx, sess, req.Calls)
+			if !ok {
+				results, again = e.runBatch(ctx, sess, req.Calls)
+			}
+		} else {
+			results, again = e.runBatch(ctx, sess, req.Calls)
+		}
 		if !again || restart >= sess.policy.maxRestarts() {
 			resp.Results = results
 			resp.Restarts = int64(restart)
@@ -193,8 +219,6 @@ func (e *Executor) resolveSession(req *batchRequest) (*session, uint64, error) {
 		root:     root,
 		extras:   extras,
 		policy:   policy,
-		objects:  make(map[int64]any),
-		failures: make(map[int64]error),
 		nextBase: serverSeqBase,
 		expires:  time.Now().Add(e.ttl),
 	}
@@ -212,17 +236,169 @@ func (e *Executor) missingRoot(id uint64) error {
 	return &rmi.NoSuchObjectError{ObjID: id}
 }
 
+// groupSeqSpan is the slice of the server-assigned id space each parallel
+// root group allocates from, so concurrent groups never collide.
+const groupSeqSpan int64 = 1 << 32
+
+// runBatchParallel replays a multi-root batch with one goroutine per root
+// group, under the client's explicit WithParallelRoots opt-in. It applies
+// only when the recording PROVES the groups independent:
+//
+//   - the session carries no earlier-flush state (a chained reference
+//     cannot be attributed to a group), and
+//   - every call's target chain and every proxy argument stay within the
+//     call's own root group (no cross-root dataflow, no argument that is
+//     another root's proxy).
+//
+// Anything else reports ok=false and the caller replays sequentially, so
+// the opt-in never changes results for dependent recordings. Within a
+// group, program order is fully preserved; ACROSS groups, execution
+// overlaps: abort (ActionBreak) scopes to the failing root's group, and
+// policy-rule occurrence indices count per group. Each group runs against a
+// shadow session with a disjoint server-id range; shadows merge into the
+// real session afterwards so chained flushes keep working (a restart
+// discards the shadows and the rerun decides again how to execute).
+func (e *Executor) runBatchParallel(ctx context.Context, sess *session, calls []invocationData) ([]callResult, bool, bool) {
+	if len(sess.objects) > 0 || len(sess.failures) > 0 {
+		return nil, false, false
+	}
+	groups, ok := partitionRoots(calls, len(sess.extras))
+	if !ok || len(groups) < 2 {
+		return nil, false, false
+	}
+
+	results := make([]callResult, len(calls))
+	shadows := make([]*session, len(groups))
+	again := make([]bool, len(groups))
+	var wg sync.WaitGroup
+	for gi, idxs := range groups {
+		shadow := &session{
+			root:     sess.root,
+			extras:   sess.extras,
+			policy:   sess.policy,
+			nextBase: serverSeqBase + int64(gi+1)*groupSeqSpan,
+		}
+		shadows[gi] = shadow
+		gcalls := make([]invocationData, len(idxs))
+		for j, idx := range idxs {
+			gcalls[j] = calls[idx]
+		}
+		wg.Add(1)
+		go func(gi int, idxs []int, gcalls []invocationData) {
+			defer wg.Done()
+			gres, rerun := e.runBatch(ctx, shadows[gi], gcalls)
+			again[gi] = rerun
+			for j := range gres {
+				results[idxs[j]] = gres[j]
+			}
+		}(gi, idxs, gcalls)
+	}
+	wg.Wait()
+
+	// Merge the shadows unconditionally, exactly as sequential replay binds
+	// into the session on every run (including one a restart supersedes or
+	// that exhausts maxRestarts): the returned results must stay resolvable
+	// by a chained flush. A rerun overwrites these bindings; it replays
+	// sequentially, since the merged state can no longer be attributed to
+	// root groups.
+	for _, shadow := range shadows {
+		for k, v := range shadow.objects {
+			sess.bindObject(k, v)
+		}
+		for k, err := range shadow.failures {
+			sess.bindFailure(k, err)
+		}
+	}
+	if next := serverSeqBase + int64(len(groups)+1)*groupSeqSpan; next > sess.nextBase {
+		sess.nextBase = next
+	}
+	for _, rerun := range again {
+		if rerun {
+			return results, true, true
+		}
+	}
+	return results, false, true
+}
+
+// partitionRoots assigns every call to the root its target chain descends
+// from and reports the per-group call indices (recording order preserved),
+// or ok=false when any call crosses groups.
+func partitionRoots(calls []invocationData, extras int) ([][]int, bool) {
+	rootCount := 1 + extras
+	byRoot := make([][]int, rootCount)
+	seqGroup := make(map[int64]int, len(calls))
+	rootOf := func(seq int64) (int, bool) {
+		idx := int(RootTarget - seq) // RootTarget → 0, extra root i → 1+i
+		if idx < 0 || idx >= rootCount {
+			return 0, false
+		}
+		return idx, true
+	}
+	for i := range calls {
+		c := &calls[i]
+		var g int
+		if c.Target <= RootTarget {
+			var ok bool
+			if g, ok = rootOf(c.Target); !ok {
+				return nil, false
+			}
+		} else {
+			var ok bool
+			if g, ok = seqGroup[c.Target]; !ok {
+				return nil, false // produced by an earlier flush (or invalid)
+			}
+		}
+		for _, a := range c.Args {
+			if !a.IsRef {
+				continue
+			}
+			if a.Seq <= RootTarget {
+				// Another root's object as argument couples the groups.
+				ag, ok := rootOf(a.Seq)
+				if !ok || ag != g {
+					return nil, false
+				}
+				continue
+			}
+			if ag, ok := seqGroup[a.Seq]; !ok || ag != g {
+				return nil, false
+			}
+		}
+		seqGroup[c.Seq] = g
+		byRoot[g] = append(byRoot[g], i)
+	}
+	groups := byRoot[:0]
+	for _, idxs := range byRoot {
+		if len(idxs) > 0 {
+			groups = append(groups, idxs)
+		}
+	}
+	return groups, true
+}
+
 // execState threads the abort/restart condition through one run.
 type execState struct {
 	aborted  error // non-nil: skip everything after the break point
 	restart  bool
+	trackOcc bool           // policy has rules; occurrence indices matter
 	occIndex map[string]int // per-method occurrence counter for policy rules
+	argBuf   []any          // scratch argument slice, reused across calls
+	outBuf   []any          // scratch result slice, reused across calls
+}
+
+// argSlice returns a scratch slice of length n. The callee must not retain
+// it (InvokeLocal converts the elements and drops the slice).
+func (st *execState) argSlice(n int) []any {
+	if cap(st.argBuf) < n {
+		st.argBuf = make([]any, n)
+	}
+	return st.argBuf[:n]
 }
 
 // runBatch replays calls once. It returns the per-call results and whether
 // an ActionRestart demands re-execution.
 func (e *Executor) runBatch(ctx context.Context, sess *session, calls []invocationData) ([]callResult, bool) {
-	st := &execState{occIndex: make(map[string]int)}
+	st := &execState{trackOcc: len(sess.policy.Rules) > 0}
 	results := make([]callResult, len(calls))
 
 	for i := 0; i < len(calls); i++ {
@@ -230,7 +406,7 @@ func (e *Executor) runBatch(ctx context.Context, sess *session, calls []invocati
 		if call.Kind == kindCursor {
 			// Consume the cursor call and its contiguous owned sub-batch.
 			j := i + 1
-			for j < len(calls) && calls[j].CursorOwner == call.Seq {
+			for j < len(calls) && calls[j].owner() == call.Seq {
 				j++
 			}
 			e.runCursor(ctx, sess, st, call, calls[i+1:j], results[i:j])
@@ -240,7 +416,7 @@ func (e *Executor) runBatch(ctx context.Context, sess *session, calls []invocati
 			i = j - 1
 			continue
 		}
-		if call.CursorOwner != NoCursor {
+		if call.owner() != NoCursor {
 			// Owned call without its cursor preceding it: recording bug.
 			results[i] = callResult{Seq: call.Seq, Err: fmt.Errorf("brmi: orphan cursor call %s", call.Method)}
 			continue
@@ -254,8 +430,15 @@ func (e *Executor) runBatch(ctx context.Context, sess *session, calls []invocati
 }
 
 // nextOcc returns the occurrence index of method (0-based count of its
-// appearances so far), used by custom policy rules.
+// appearances so far), used by custom policy rules. Policies without rules
+// never consult the index, so counting is skipped entirely for them.
 func (st *execState) nextOcc(method string) int {
+	if !st.trackOcc {
+		return 0
+	}
+	if st.occIndex == nil {
+		st.occIndex = make(map[string]int, 8)
+	}
 	occ := st.occIndex[method]
 	st.occIndex[method] = occ + 1
 	return occ
@@ -282,7 +465,7 @@ func (e *Executor) runCall(ctx context.Context, sess *session, st *execState, ca
 		return res
 	}
 
-	args := make([]any, len(call.Args))
+	args := st.argSlice(len(call.Args))
 	for i, a := range call.Args {
 		if !a.IsRef {
 			args[i] = a.Val
@@ -370,9 +553,14 @@ func (e *Executor) execWithPolicy(ctx context.Context, sess *session, st *execSt
 	var lastErr error
 	maxAttempts := sess.policy.maxAttempts()
 	for attempt := 1; ; attempt++ {
-		res.Attempts = int64(attempt)
-		out, err := e.peer.InvokeLocal(ctx, target, method, args)
+		if attempt > 1 {
+			res.Attempts = int64(attempt)
+		}
+		// The scratch result buffer lives until the caller finishes with
+		// this call's results; the next call's execution reuses it.
+		out, err := e.peer.InvokeLocalAppend(ctx, target, method, args, st.outBuf)
 		if err == nil {
+			st.outBuf = out
 			return out, nil
 		}
 		lastErr = err
@@ -412,11 +600,11 @@ func (e *Executor) runCursor(ctx context.Context, sess *session, st *execState, 
 	fail := func(err error, skipped bool) {
 		res.Err = err
 		res.Skipped = skipped
-		sess.failures[call.Seq] = err
+		sess.bindFailure(call.Seq, err)
 		for k := range owned {
 			results[1+k].Err = err
 			results[1+k].Skipped = true
-			sess.failures[owned[k].Seq] = err
+			sess.bindFailure(owned[k].Seq, err)
 		}
 	}
 
@@ -463,7 +651,7 @@ func (e *Executor) runCursor(ctx context.Context, sess *session, st *execState, 
 	res.Count = int64(n)
 	res.Base = sess.alloc(n)
 	for i, el := range elems {
-		sess.objects[res.Base+int64(i)] = el
+		sess.bindObject(res.Base+int64(i), el)
 	}
 
 	// Allocate per-element blocks for owned calls.
@@ -507,9 +695,9 @@ func (e *Executor) runCursor(ctx context.Context, sess *session, st *execState, 
 					r.BlockErrs[i] = elemRes.Err
 					// Chained batches address per-element results at
 					// Base+i; record the failure there for propagation.
-					sess.failures[r.Base+int64(i)] = elemRes.Err
+					sess.bindFailure(r.Base+int64(i), elemRes.Err)
 				} else if v, ok := overlay[oc.Seq]; ok {
-					sess.objects[r.Base+int64(i)] = v
+					sess.bindObject(r.Base+int64(i), v)
 				}
 			}
 		}
@@ -570,7 +758,7 @@ func (e *Executor) bind(sess *session, overlay map[int64]any, seq int64, v any) 
 		overlay[seq] = v
 		return
 	}
-	sess.objects[seq] = v
+	sess.bindObject(seq, v)
 }
 
 // markFailure records a call's failure for dependency propagation.
@@ -579,7 +767,7 @@ func (e *Executor) markFailure(sess *session, overlay map[int64]any, seq int64, 
 		overlay[^seq] = err
 		return
 	}
-	sess.failures[seq] = err
+	sess.bindFailure(seq, err)
 }
 
 // alloc reserves n consecutive server-assigned ids.
@@ -594,7 +782,8 @@ func (s *session) alloc(n int) int64 {
 
 // single collapses a method's results to one value, as remote methods have
 // at most one non-error result in the paper's model; multi-result Go
-// methods yield a slice.
+// methods yield a slice. The multi-result slice is copied: the input may be
+// the executor's reusable scratch buffer.
 func single(out []any) any {
 	switch len(out) {
 	case 0:
@@ -602,7 +791,9 @@ func single(out []any) any {
 	case 1:
 		return out[0]
 	default:
-		return out
+		cp := make([]any, len(out))
+		copy(cp, out)
+		return cp
 	}
 }
 

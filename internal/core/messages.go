@@ -12,7 +12,10 @@ const (
 )
 
 // invocationData is the wire form of one recorded call (paper's
-// InvocationData, Fig. 3).
+// InvocationData, Fig. 3). Field order is a wire-size optimization: the
+// encoder omits trailing zero fields, so the rarely-set fields
+// (CursorOwner, Export) come last and the common call costs only the
+// leading fields on the wire.
 type invocationData struct {
 	// Seq is the client-assigned sequence number identifying this call and
 	// any batch object it creates (§4.1).
@@ -26,8 +29,10 @@ type invocationData struct {
 	Kind int64
 	// Args carries each argument as either a value or a proxy reference.
 	Args []batchArg
-	// CursorOwner is the Seq of the cursor this call belongs to, or
-	// NoCursor. Cursor-owned calls execute once per array element.
+	// CursorOwner is 1 + the Seq of the cursor this call belongs to, or 0
+	// when the call is not cursor-owned (the +1 keeps the no-cursor case at
+	// the omittable zero value). Cursor-owned calls execute once per array
+	// element. Use owner()/setOwner.
 	CursorOwner int64
 	// Export asks the server to pin this call's remote result as a fresh
 	// exported reference and return it in the call's result (kindRemote
@@ -37,6 +42,17 @@ type invocationData struct {
 	Export bool
 }
 
+// owner returns the owning cursor's Seq, or NoCursor.
+func (inv *invocationData) owner() int64 {
+	if inv.CursorOwner == 0 {
+		return NoCursor
+	}
+	return inv.CursorOwner - 1
+}
+
+// setOwner records the owning cursor's Seq.
+func (inv *invocationData) setOwner(seq int64) { inv.CursorOwner = seq + 1 }
+
 // RootTarget marks a call on the batch root object.
 const RootTarget int64 = -1
 
@@ -45,39 +61,52 @@ const NoCursor int64 = -1
 
 // batchArg is one argument: a serialized value or a reference to a batch
 // object created earlier in the chain ("only the identifier of the stub is
-// needed", §4.1).
+// needed", §4.1). Val leads so the common by-value argument encodes as a
+// single field under trailing-zero omission.
 type batchArg struct {
+	Val   any
 	IsRef bool
 	Seq   int64
-	Val   any
 }
 
-// batchRequest is the payload of one flush (the invokeBatch call).
+// batchRequest is the payload of one flush (the invokeBatch call). Root and
+// Calls lead so the common single-shot flush (no session, no extra roots,
+// default policy) costs two fields on the wire.
 type batchRequest struct {
-	// Session is 0 for the first flush of a chain, or the id returned by a
-	// previous FlushAndContinue.
-	Session uint64
 	// Root is the export id of the batch's root remote object; used when
 	// Session == 0 to create the server context.
 	Root uint64
+	// Calls are the recorded invocations, in recording order.
+	Calls []invocationData
+	// Session is 0 for the first flush of a chain, or the id returned by a
+	// previous FlushAndContinue.
+	Session uint64
+	// KeepSession requests that the server retain the object table for a
+	// chained batch (§3.5).
+	KeepSession bool
+	// Parallel opts into relaxed cross-root replay ordering: the executor
+	// may run provably independent root groups concurrently (see
+	// core.WithParallelRoots). Per-root program order is always preserved.
+	Parallel bool
 	// Roots are the export ids of additional roots (Batch.AddRoot): other
 	// exported objects on the same server addressable within this batch.
 	// Calls target extra root i with sequence number RootTarget-1-i. Sent on
 	// every flush so chained batches can add roots between flushes.
 	Roots []uint64
-	// KeepSession requests that the server retain the object table for a
-	// chained batch (§3.5).
-	KeepSession bool
 	// Policy is the exception policy for the whole chain; sent on the
-	// first flush.
+	// first flush when it differs from the default AbortPolicy (the server
+	// assumes AbortPolicy when absent).
 	Policy *Policy
-	// Calls are the recorded invocations, in recording order.
-	Calls []invocationData
 }
 
-// callResult is the outcome of one recorded call.
+// callResult is the outcome of one recorded call. The happy-path fields
+// (Seq, Value) lead: a successful value call costs two wire fields, a
+// successful void call one, everything after only appears for errors,
+// cursors, retries, and exports.
 type callResult struct {
 	Seq int64
+	// Value is the call's result for kindValue calls.
+	Value any
 	// Err is the exception this call threw, or the error of the dependency
 	// it could not be executed without, or nil.
 	Err error
@@ -85,8 +114,6 @@ type callResult struct {
 	// dependency); Err then carries the originating exception, so futures
 	// rethrow the error they depend on (§3.3).
 	Skipped bool
-	// Value is the call's result for kindValue calls.
-	Value any
 	// Base is the server-assigned id region for per-element objects:
 	// for kindCursor calls the elements live at Base..Base+Count-1; for
 	// kindRemote calls owned by a cursor, the per-element results live at
@@ -99,33 +126,38 @@ type callResult struct {
 	// BlockErrs holds per-element errors parallel to Block (entries nil on
 	// success). Also used for cursor-owned kindRemote calls.
 	BlockErrs []any
-	// Attempts counts executions when ActionRepeat was applied (>=1).
-	Attempts int64
 	// Ref is the pinned exported reference of this call's result, set when
 	// the request marked the call for export (invocationData.Export). The
 	// export is lease-backed: the server's marshal-grace lease protects it
 	// until a client dirty arrives (internal/dgc).
 	Ref wire.Ref
+	// Attempts counts executions when ActionRepeat re-ran the call (0 when
+	// the call executed once).
+	Attempts int64
 }
 
-// batchResponse is the reply to a flush.
+// batchResponse is the reply to a flush. Results leads: the common
+// non-chained, non-restarted reply is one wire field.
 type batchResponse struct {
+	// Results has one entry per request call, in request order.
+	Results []callResult
 	// Session is the id to use for the next chained flush (0 when the
 	// session was closed).
 	Session uint64
-	// Results has one entry per request call, in request order.
-	Results []callResult
 	// Restarts counts whole-batch restarts that ActionRestart caused.
 	Restarts int64
 }
 
 func init() {
-	// Codec type registration (deterministic, no I/O).
-	wire.MustRegister("brmi.req", &batchRequest{})
-	wire.MustRegister("brmi.resp", &batchResponse{})
-	wire.MustRegister("brmi.inv", invocationData{})
-	wire.MustRegister("brmi.arg", batchArg{})
-	wire.MustRegister("brmi.result", callResult{})
+	// Codec type registration (deterministic, no I/O). The five hot
+	// protocol messages install compiled codecs (see wirecodec.go); Policy
+	// and Rule ride the generic reflection plan (sent at most once per
+	// chain).
+	wire.MustRegisterCompiled("brmi.req", true, encBatchRequest, decBatchRequest)
+	wire.MustRegisterCompiled("brmi.resp", true, encBatchResponse, decBatchResponse)
+	wire.MustRegisterCompiled("brmi.inv", false, encInvocation, decInvocation)
+	wire.MustRegisterCompiled("brmi.arg", false, encBatchArg, decBatchArg)
+	wire.MustRegisterCompiled("brmi.result", false, encCallResult, decCallResult)
 	wire.MustRegister("brmi.policy", &Policy{})
 	wire.MustRegister("brmi.rule", Rule{})
 	wire.MustRegisterError("brmi.SessionExpired", &SessionExpiredError{})

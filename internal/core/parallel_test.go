@@ -1,0 +1,296 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rmi"
+)
+
+// rendezvous is a pair of remote objects whose methods only complete when
+// BOTH have been entered: executed sequentially they time out, executed
+// concurrently they hand off and return. It proves WithParallelRoots really
+// overlaps root groups.
+type rendezvous struct {
+	rmi.RemoteBase
+	name  string
+	enter chan string
+	gate  <-chan string
+}
+
+func newRendezvousPair() (*rendezvous, *rendezvous) {
+	a := &rendezvous{name: "a", enter: make(chan string, 1)}
+	b := &rendezvous{name: "b", enter: make(chan string, 1)}
+	a.gate = b.enter
+	b.gate = a.enter
+	return a, b
+}
+
+// Meet announces this side and waits for the peer; it errors out rather
+// than hanging when the peer never arrives (sequential execution).
+func (r *rendezvous) Meet() (string, error) {
+	r.enter <- r.name
+	select {
+	case peer := <-r.gate:
+		return r.name + "+" + peer, nil
+	case <-time.After(2 * time.Second):
+		return "", fmt.Errorf("rendezvous %s: peer never arrived", r.name)
+	}
+}
+
+// counter is a root whose state observes per-root program order.
+type counter struct {
+	rmi.RemoteBase
+	vals []int64
+}
+
+func (c *counter) Add(v int64) int64 {
+	c.vals = append(c.vals, v)
+	return int64(len(c.vals))
+}
+
+func (c *counter) Fail() (int64, error) { return 0, errors.New("counter boom") }
+
+// inspector reads another root's result, creating cross-root dataflow.
+type inspector struct {
+	rmi.RemoteBase
+}
+
+func (i *inspector) NameOf(f any) (string, error) {
+	n, ok := f.(interface{ GetName() string })
+	if !ok {
+		return "", fmt.Errorf("inspector: %T has no name", f)
+	}
+	return n.GetName(), nil
+}
+
+// TestParallelRootsConcurrent proves the opt-in replays independent roots
+// concurrently: the rendezvous only completes when both root groups run at
+// the same time.
+func TestParallelRootsConcurrent(t *testing.T) {
+	fx := newFixture(t)
+	ctx := context.Background()
+	ra, rb := newRendezvousPair()
+	refA, err := fx.server.Export(ra, "coretest.Rendezvous")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refB, err := fx.server.Export(rb, "coretest.Rendezvous")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := core.New(fx.client, refA, core.WithParallelRoots())
+	pa := b.Root()
+	pb, err := b.AddRoot(refB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := pa.Call("Meet")
+	fb := pb.Call("Meet")
+	if err := b.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := core.Typed[string](fa).Get(); err != nil || got != "a+b" {
+		t.Errorf("root a = %q, %v; want a+b", got, err)
+	}
+	if got, err := core.Typed[string](fb).Get(); err != nil || got != "b+a" {
+		t.Errorf("root b = %q, %v; want b+a", got, err)
+	}
+}
+
+// TestParallelRootsMatchesSequential checks result parity on a multi-root
+// batch with in-group dependencies: same values, same per-root order,
+// with and without the option.
+func TestParallelRootsMatchesSequential(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		fx := newFixture(t)
+		ctx := context.Background()
+		roots := make([]*counter, 3)
+		var opts []core.Option
+		if parallel {
+			opts = append(opts, core.WithParallelRoots())
+		}
+		var b *core.Batch
+		proxies := make([]*core.Proxy, 3)
+		for i := range roots {
+			roots[i] = &counter{}
+			ref, err := fx.server.Export(roots[i], "coretest.Counter")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				b = core.New(fx.client, ref, opts...)
+				proxies[i] = b.Root()
+			} else {
+				p, err := b.AddRoot(ref)
+				if err != nil {
+					t.Fatal(err)
+				}
+				proxies[i] = p
+			}
+		}
+		futures := make([][]*core.Future, 3)
+		for i, p := range proxies {
+			for k := 0; k < 4; k++ {
+				futures[i] = append(futures[i], p.Call("Add", int64(10*i+k)))
+			}
+		}
+		if err := b.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		for i := range proxies {
+			for k, f := range futures[i] {
+				got, err := core.Typed[int64](f).Get()
+				if err != nil || got != int64(k+1) {
+					t.Errorf("parallel=%v root %d call %d = %d, %v; want %d", parallel, i, k, got, err, k+1)
+				}
+			}
+			if len(roots[i].vals) != 4 {
+				t.Errorf("parallel=%v root %d ran %d calls, want 4", parallel, i, len(roots[i].vals))
+			}
+			for k, v := range roots[i].vals {
+				if v != int64(10*i+k) {
+					t.Errorf("parallel=%v root %d per-root order violated: vals=%v", parallel, i, roots[i].vals)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRootsAbortScopedPerRoot: under the default abort policy, a
+// failure in one root's group skips only that group's later calls; the
+// other root completes.
+func TestParallelRootsAbortScopedPerRoot(t *testing.T) {
+	fx := newFixture(t)
+	ctx := context.Background()
+	ca, cb := &counter{}, &counter{}
+	refA, err := fx.server.Export(ca, "coretest.Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refB, err := fx.server.Export(cb, "coretest.Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.New(fx.client, refA, core.WithParallelRoots())
+	pa := b.Root()
+	pb, err := b.AddRoot(refB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail := pa.Call("Fail")
+	after := pa.Call("Add", int64(1))
+	okb := pb.Call("Add", int64(2))
+	if err := b.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := fail.Err(); err == nil {
+		t.Error("failing call reported no error")
+	}
+	if err := after.Err(); err == nil {
+		t.Error("call after abort in the failing group reported no error")
+	}
+	if got, err := core.Typed[int64](okb).Get(); err != nil || got != 1 {
+		t.Errorf("independent root result = %d, %v; want 1 (unaffected by the other group's abort)", got, err)
+	}
+	if len(ca.vals) != 0 {
+		t.Errorf("aborted group still executed %v", ca.vals)
+	}
+}
+
+// TestParallelRootsCrossRootFallsBack: a recording with cross-root dataflow
+// cannot be partitioned; the executor must fall back to sequential replay
+// and still produce correct results.
+func TestParallelRootsCrossRootFallsBack(t *testing.T) {
+	fx := newFixture(t)
+	ctx := context.Background()
+
+	b := core.New(fx.client, fx.dirRef, core.WithParallelRoots())
+	insp := &inspector{}
+	inspRef, err := fx.server.Export(insp, "coretest.Inspector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := b.Root()
+	root2, err := b.AddRoot(inspRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-root dependency: a file produced by root 1 passed to root 2.
+	f := root.CallBatch("GetFile", "A.txt")
+	name2 := root2.Call("NameOf", f)
+	name := root.CallBatch("GetFile", "B.txt").Call("GetName")
+	if err := b.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := core.Typed[string](name2).Get(); err != nil || got != "A.txt" {
+		t.Errorf("cross-root dependency = %q, %v; want A.txt", got, err)
+	}
+	if got, err := core.Typed[string](name).Get(); err != nil || got != "B.txt" {
+		t.Errorf("root 1 call = %q, %v", got, err)
+	}
+}
+
+// TestParallelRootsRestartExhaustedKeepsSession: a parallel batch whose
+// policy keeps demanding ActionRestart until maxRestarts is exhausted must
+// still bind its created objects into the session, so a chained flush can
+// resolve them — exactly like sequential replay.
+func TestParallelRootsRestartExhaustedKeepsSession(t *testing.T) {
+	fx := newFixture(t)
+	ctx := context.Background()
+	ca := &counter{}
+	refA, err := fx.server.Export(ca, "coretest.Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every Fail triggers a whole-batch restart until the bound is hit.
+	pol := core.CustomPolicy().SetAction("", "Fail", core.AnyIndex, core.ActionRestart)
+	b := core.New(fx.client, fx.dirRef, core.WithParallelRoots(), core.WithPolicy(pol))
+	root := b.Root()
+	pa, err := b.AddRoot(refA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := root.CallBatch("GetFile", "A.txt") // remote result lives in the session
+	fail := pa.Call("Fail")
+	if err := b.FlushAndContinue(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := fail.Err(); err == nil {
+		t.Error("restart-exhausted call reported no error")
+	}
+	// Chained continuation: the remote result recorded before the restarts
+	// must still resolve server-side.
+	name := f.Call("GetName")
+	if err := b.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := core.Typed[string](name).Get(); err != nil || got != "A.txt" {
+		t.Errorf("chained call after exhausted restarts = %q, %v; want A.txt", got, err)
+	}
+}
+
+// TestParallelRootsChainedFallsBack: a chained second flush referencing the
+// first flush's results cannot be partitioned; results must stay correct.
+func TestParallelRootsChainedFallsBack(t *testing.T) {
+	fx := newFixture(t)
+	ctx := context.Background()
+	b := core.New(fx.client, fx.dirRef, core.WithParallelRoots())
+	root := b.Root()
+	f := root.CallBatch("GetFile", "A.txt")
+	if err := b.FlushAndContinue(ctx); err != nil {
+		t.Fatal(err)
+	}
+	name := f.Call("GetName")
+	if err := b.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := core.Typed[string](name).Get(); err != nil || got != "A.txt" {
+		t.Errorf("chained call = %q, %v", got, err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"sync"
 
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -32,6 +33,23 @@ var (
 	ctxType = reflect.TypeOf((*context.Context)(nil)).Elem()
 	errType = reflect.TypeOf((*error)(nil)).Elem()
 )
+
+// invokeArgPool recycles the reflect.Value argument frames InvokeLocal
+// builds for every dispatched call.
+var invokeArgPool = sync.Pool{New: func() any {
+	s := make([]reflect.Value, 0, 8)
+	return &s
+}}
+
+// putInvokeArgs clears the frame (so pooled slots do not pin arguments) and
+// returns it to the pool.
+func putInvokeArgs(inp *[]reflect.Value, in []reflect.Value) {
+	for i := range in {
+		in[i] = reflect.Value{}
+	}
+	*inp = in[:0]
+	invokeArgPool.Put(inp)
+}
 
 func planFor(t reflect.Type) *typePlan {
 	planCache.Lock()
@@ -67,13 +85,53 @@ func planFor(t reflect.Type) *typePlan {
 	return p
 }
 
+// LocalDispatcher is the reflection-free dispatch fast path: a remote
+// object that implements it executes its own methods from wire-decoded
+// arguments, skipping the reflect.Call machinery entirely — the Go analogue
+// of the skeleton classes rmic generated before reflective dispatch.
+// brmigen emits a Dispatch<Iface> helper per remote interface so an
+// implementation satisfies this with a three-line method; hand-written
+// dispatchers (see internal/bench) follow the same shape.
+//
+// DispatchLocal returns handled=false to fall back to reflective dispatch
+// (unknown method, inconvertible argument); results may be appended to buf,
+// which the caller may reuse afterwards. A returned error is the remote
+// method's error, exactly as in reflective dispatch.
+type LocalDispatcher interface {
+	DispatchLocal(ctx context.Context, method string, args []any, buf []any) (results []any, handled bool, err error)
+}
+
 // InvokeLocal calls method on target with wire-decoded args, converting each
 // argument to the parameter type (numeric widening, Ref to stub, struct
 // forms). Results are returned raw (unmarshalled Go values); the caller
 // decides whether to wire-convert them. Used by both the dispatch path and
 // the BRMI batch executor, which replays recorded calls against local
 // objects.
-func (p *Peer) InvokeLocal(ctx context.Context, target any, method string, args []any) (results []any, err error) {
+func (p *Peer) InvokeLocal(ctx context.Context, target any, method string, args []any) ([]any, error) {
+	return p.InvokeLocalAppend(ctx, target, method, args, nil)
+}
+
+// dispatchFast runs a LocalDispatcher under the same panic containment as
+// reflective dispatch.
+func dispatchFast(ctx context.Context, d LocalDispatcher, method string, args []any, buf []any) (out []any, handled bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, handled = nil, true
+			err = fmt.Errorf("rmi: panic in %T.%s: %v", d, method, r)
+		}
+	}()
+	return d.DispatchLocal(ctx, method, args, buf)
+}
+
+// InvokeLocalAppend is InvokeLocal appending the results to buf (which may
+// be reused scratch: the callee never retains it). The BRMI executor replays
+// thousands of calls per batch through one scratch slice.
+func (p *Peer) InvokeLocalAppend(ctx context.Context, target any, method string, args []any, buf []any) (results []any, err error) {
+	if d, ok := target.(LocalDispatcher); ok {
+		if out, handled, derr := dispatchFast(ctx, d, method, args, buf); handled {
+			return out, derr
+		}
+	}
 	if target == nil {
 		return nil, &NoSuchObjectError{}
 	}
@@ -89,7 +147,10 @@ func (p *Peer) InvokeLocal(ctx context.Context, target any, method string, args 
 		return nil, fmt.Errorf("rmi: %s.%s: variadic remote methods are not supported", t, method)
 	}
 
-	in := make([]reflect.Value, 0, 2+len(args))
+	// The argument frame is pooled: reflect.Call does not retain it, so one
+	// scratch slice serves every invocation on this goroutine's turn.
+	inp := invokeArgPool.Get().(*[]reflect.Value)
+	in := (*inp)[:0]
 	in = append(in, reflect.ValueOf(target))
 	if mp.hasCtx {
 		in = append(in, reflect.ValueOf(ctx))
@@ -97,6 +158,7 @@ func (p *Peer) InvokeLocal(ctx context.Context, target any, method string, args 
 	for i, a := range args {
 		av, cerr := p.assignArg(mp.in[i], a)
 		if cerr != nil {
+			putInvokeArgs(inp, in)
 			return nil, fmt.Errorf("rmi: %s.%s arg %d: %w", t, method, i, cerr)
 		}
 		in = append(in, av)
@@ -111,6 +173,7 @@ func (p *Peer) InvokeLocal(ctx context.Context, target any, method string, args 
 		}
 	}()
 	out := mp.fn.Call(in)
+	putInvokeArgs(inp, in)
 
 	if mp.hasErr {
 		if ev := out[len(out)-1]; !ev.IsNil() {
@@ -118,9 +181,9 @@ func (p *Peer) InvokeLocal(ctx context.Context, target any, method string, args 
 		}
 		out = out[:len(out)-1]
 	}
-	results = make([]any, len(out))
-	for i, o := range out {
-		results[i] = o.Interface()
+	results = buf[:0]
+	for _, o := range out {
+		results = append(results, o.Interface())
 	}
 	return results, nil
 }
@@ -298,6 +361,10 @@ func (p *Peer) FromWire(v any) any {
 }
 
 // handle is the transport.Handler for this peer: decode, dispatch, encode.
+// The server runs WithBufferReuse, so the request payload is recycled by
+// the transport after handle returns (nothing decoded aliases it) and the
+// response is encoded into a pooled buffer the transport recycles after the
+// write — the request/response hot path allocates no per-message []byte.
 func (p *Peer) handle(ctx context.Context, payload []byte) ([]byte, error) {
 	msg, err := wire.Unmarshal(payload)
 	if err != nil {
@@ -331,12 +398,12 @@ func (p *Peer) handle(ctx context.Context, payload []byte) ([]byte, error) {
 		resp.Err = &NoSuchObjectError{ObjID: req.ObjID}
 	}
 
-	out, err := wire.Marshal(resp)
+	out, err := wire.MarshalAppend(transport.GetBuffer(), resp)
 	if err != nil {
 		// The response contained an unencodable value; degrade to an error
 		// response rather than killing the connection.
 		resp = &callResponse{Err: &wire.RemoteError{TypeName: "rmi.EncodeError", Message: err.Error()}}
-		out, err = wire.Marshal(resp)
+		out, err = wire.MarshalAppend(transport.GetBuffer(), resp)
 		if err != nil {
 			return nil, fmt.Errorf("encode response: %w", err)
 		}

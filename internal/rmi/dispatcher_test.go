@@ -1,0 +1,98 @@
+package rmi_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/rmi"
+)
+
+// skeletonService implements rmi.LocalDispatcher by hand, covering the fast
+// path, the handled=false fallback to reflective dispatch, error
+// passthrough, and panic containment.
+type skeletonService struct {
+	rmi.RemoteBase
+	fastCalls int
+}
+
+func (s *skeletonService) Double(v int64) int64 { return 2 * v }
+
+func (s *skeletonService) Fails() (int64, error) { return 0, errors.New("skeleton boom") }
+
+func (s *skeletonService) Panics() int64 { panic("skeleton panic") }
+
+// ReflectOnly is deliberately absent from DispatchLocal: it must still work
+// through reflective dispatch.
+func (s *skeletonService) ReflectOnly(v int64) int64 { return v + 1 }
+
+func (s *skeletonService) DispatchLocal(_ context.Context, method string, args []any, buf []any) ([]any, bool, error) {
+	switch method {
+	case "Double":
+		if len(args) != 1 {
+			return nil, false, nil
+		}
+		v, ok := args[0].(int64)
+		if !ok {
+			return nil, false, nil
+		}
+		s.fastCalls++
+		return append(buf[:0], s.Double(v)), true, nil
+	case "Fails":
+		s.fastCalls++
+		_, err := s.Fails()
+		return nil, true, err
+	case "Panics":
+		s.fastCalls++
+		return append(buf[:0], s.Panics()), true, nil
+	}
+	return nil, false, nil
+}
+
+func TestLocalDispatcherFastPath(t *testing.T) {
+	network := netsim.New(netsim.Instant)
+	defer network.Close()
+	server := rmi.NewPeer(network, rmi.WithLogf(func(string, ...any) {}))
+	if err := server.Serve("skel"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	svc := &skeletonService{}
+	ref, err := server.Export(svc, "rmitest.Skeleton")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := rmi.NewPeer(network, rmi.WithLogf(func(string, ...any) {}))
+	defer client.Close()
+	ctx := context.Background()
+
+	res, err := client.Call(ctx, ref, "Double", int64(21))
+	if err != nil || res[0].(int64) != 42 {
+		t.Fatalf("Double = %v, %v; want 42", res, err)
+	}
+	if svc.fastCalls != 1 {
+		t.Fatalf("fast path not taken: %d fast calls", svc.fastCalls)
+	}
+
+	// Methods the skeleton does not handle fall back to reflection.
+	res, err = client.Call(ctx, ref, "ReflectOnly", int64(41))
+	if err != nil || res[0].(int64) != 42 {
+		t.Fatalf("ReflectOnly = %v, %v; want 42", res, err)
+	}
+
+	// The method's error reaches the caller like reflective dispatch.
+	if _, err := client.Call(ctx, ref, "Fails"); err == nil || !strings.Contains(err.Error(), "skeleton boom") {
+		t.Fatalf("Fails = %v, want skeleton boom", err)
+	}
+
+	// A panic inside the skeleton becomes a remote error, not a server
+	// crash; the connection stays usable.
+	if _, err := client.Call(ctx, ref, "Panics"); err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("Panics = %v, want contained panic error", err)
+	}
+	if res, err := client.Call(ctx, ref, "Double", int64(5)); err != nil || res[0].(int64) != 10 {
+		t.Fatalf("call after panic = %v, %v", res, err)
+	}
+}

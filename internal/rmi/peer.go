@@ -148,7 +148,7 @@ func (p *Peer) Serve(endpoint string) error {
 	if err != nil {
 		return fmt.Errorf("rmi: listen %s: %w", endpoint, err)
 	}
-	tsrv := transport.NewServer(p.handle, transport.WithLogf(p.opts.logf))
+	tsrv := transport.NewServer(p.handle, transport.WithLogf(p.opts.logf), transport.WithBufferReuse())
 	if err := tsrv.Serve(l); err != nil {
 		_ = l.Close()
 		return err
@@ -323,16 +323,20 @@ func (p *Peer) Call(ctx context.Context, ref wire.Ref, method string, args ...an
 		}
 		req.Args[i] = w
 	}
-	payload, err := wire.Marshal(req)
+	// Encode into a pooled buffer: the transport hands the payload to the
+	// connection synchronously, so once Call returns the buffer is free.
+	payload, err := wire.MarshalAppend(transport.GetBuffer(), req)
 	if err != nil {
 		return nil, fmt.Errorf("rmi: encode call %s: %w", method, err)
 	}
 
 	respBytes, err := p.pool.Call(ctx, ref.Endpoint, payload)
+	transport.PutBuffer(payload)
 	if err != nil {
 		return nil, &RemoteException{Op: "call " + method, Endpoint: ref.Endpoint, Err: err}
 	}
 	msg, err := wire.Unmarshal(respBytes)
+	transport.PutBuffer(respBytes)
 	if err != nil {
 		return nil, &RemoteException{Op: "decode " + method, Endpoint: ref.Endpoint, Err: err}
 	}

@@ -159,12 +159,127 @@ type callResponse struct {
 // dgcRequest/dgcResponse would be separate in Java's DGC protocol; here DGC
 // calls ride the normal call path against DGCObjID.
 
+// Compiled wire codecs (wire.RegisterCompiled) for the two call envelopes:
+// every remote invocation encodes and decodes one of each, so they skip the
+// reflection plan. Wire form is identical to the generic encoding.
+
+func encCallRequest(x wire.Enc, r *callRequest) error {
+	n := 3
+	if r.Args == nil {
+		n = 2
+		if r.Method == "" {
+			n = 1
+			if r.ObjID == 0 {
+				n = 0
+			}
+		}
+	}
+	x.BeginStruct("rmi.call.req", n)
+	if n > 0 {
+		x.Uint(r.ObjID)
+	}
+	if n > 1 {
+		x.Str(r.Method)
+	}
+	if n > 2 {
+		x.Slice(len(r.Args))
+		for _, a := range r.Args {
+			if err := x.Value(a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func decCallRequest(x wire.Dec, r *callRequest, n int) error {
+	var err error
+	if n > 0 {
+		if r.ObjID, err = x.Uint(); err != nil {
+			return err
+		}
+	}
+	if n > 1 {
+		if r.Method, err = x.Str(); err != nil {
+			return err
+		}
+	}
+	if n > 2 {
+		an, err := x.SliceLen()
+		if err != nil {
+			return err
+		}
+		if an >= 0 {
+			r.Args = make([]any, an)
+			for i := range r.Args {
+				if r.Args[i], err = x.Value(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return x.SkipFields(n - 3)
+}
+
+func encCallResponse(x wire.Enc, r *callResponse) error {
+	n := 2
+	if r.Err == nil {
+		n = 1
+		if r.Results == nil {
+			n = 0
+		}
+	}
+	x.BeginStruct("rmi.call.resp", n)
+	if n > 0 {
+		if r.Results == nil {
+			x.Nil()
+		} else {
+			x.Slice(len(r.Results))
+			for _, v := range r.Results {
+				if err := x.Value(v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if n > 1 {
+		if err := x.Value(r.Err); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decCallResponse(x wire.Dec, r *callResponse, n int) error {
+	if n > 0 {
+		rn, err := x.SliceLen()
+		if err != nil {
+			return err
+		}
+		if rn >= 0 {
+			r.Results = make([]any, rn)
+			for i := range r.Results {
+				if r.Results[i], err = x.Value(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if n > 1 {
+		var err error
+		if r.Err, err = x.ErrVal(); err != nil {
+			return err
+		}
+	}
+	return x.SkipFields(n - 2)
+}
+
 func init() {
 	// Wire registration of protocol messages and protocol-level errors.
 	// This is codec type registration (the canonical init() exception):
 	// deterministic, order-independent, no I/O.
-	wire.MustRegister("rmi.call.req", &callRequest{})
-	wire.MustRegister("rmi.call.resp", &callResponse{})
+	wire.MustRegisterCompiled("rmi.call.req", true, encCallRequest, decCallRequest)
+	wire.MustRegisterCompiled("rmi.call.resp", true, encCallResponse, decCallResponse)
 	wire.MustRegisterError("rmi.NoSuchObject", &NoSuchObjectError{})
 	wire.MustRegisterError("rmi.NoSuchMethod", &NoSuchMethodError{})
 	wire.MustRegisterError("rmi.WrongHome", &WrongHomeError{})

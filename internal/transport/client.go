@@ -2,25 +2,62 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 )
+
+// numShards splits the pending-call table so concurrent callers on one
+// client do not serialize on a single lock. Must be a power of two.
+const numShards = 16
 
 // Client issues requests to a single endpoint over one shared connection,
 // multiplexing concurrent calls by request id. It redials transparently
 // after a connection failure. Safe for concurrent use.
+//
+// The hot path is lock-light: request ids come from an atomic counter, the
+// live connection is an atomic pointer (the mutex is only taken to dial,
+// tear down, or close), and the pending-call table is sharded by id.
 type Client struct {
 	network  Network
 	endpoint string
 
-	mu      sync.Mutex
-	conn    net.Conn
-	writer  *frameWriter
-	nextID  uint64
-	pending map[uint64]chan response
+	nextID atomic.Uint64
+	cur    atomic.Pointer[clientConn]
+
+	mu      sync.Mutex // serializes dial, teardown, close
 	closed  bool
+	gen     uint64 // bumped per successful dial; tags pending calls
 	readers sync.WaitGroup
+
+	shards [numShards]pendingShard
+}
+
+type pendingShard struct {
+	mu sync.Mutex
+	m  map[uint64]*pendingCall
+}
+
+// pendingCall carries one in-flight request's response channel, tagged with
+// the generation of the connection it was issued on so a dying connection
+// fails exactly the calls that rode it. Records (and their channels) are
+// pooled.
+type pendingCall struct {
+	ch  chan response
+	gen uint64
+}
+
+var pendingPool = sync.Pool{New: func() any {
+	return &pendingCall{ch: make(chan response, 1)}
+}}
+
+// clientConn is one dialed connection's immutable state.
+type clientConn struct {
+	conn net.Conn
+	fw   *frameWriter
+	gen  uint64
 }
 
 type response struct {
@@ -31,11 +68,11 @@ type response struct {
 // NewClient creates a client for endpoint. No connection is opened until
 // the first Call.
 func NewClient(network Network, endpoint string) *Client {
-	return &Client{
-		network:  network,
-		endpoint: endpoint,
-		pending:  make(map[uint64]chan response),
+	c := &Client{network: network, endpoint: endpoint}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]*pendingCall)
 	}
+	return c
 }
 
 // Endpoint returns the endpoint this client dials.
@@ -43,22 +80,48 @@ func (c *Client) Endpoint() string { return c.endpoint }
 
 // Call sends payload and blocks until the response, a connection failure,
 // or ctx cancellation. On cancellation the pending entry is abandoned; a
-// late response is discarded.
+// late response is discarded. The returned payload buffer is owned by the
+// caller, which may return it to the pool with PutBuffer after decoding.
+//
+// An ErrTooLarge payload fails only this call: the connection stays up and
+// concurrent calls proceed undisturbed.
 func (c *Client) Call(ctx context.Context, payload []byte) ([]byte, error) {
-	ch, id, fw, err := c.register(ctx)
+	cc, err := c.conn(ctx)
 	if err != nil {
 		return nil, err
 	}
-	if err := fw.write(frameRequest, id, payload); err != nil {
-		c.unregister(id)
-		c.dropConn(fw)
+	id := c.nextID.Add(1)
+	pc := pendingPool.Get().(*pendingCall)
+	pc.gen = cc.gen
+	sh := &c.shards[id&(numShards-1)]
+	sh.mu.Lock()
+	sh.m[id] = pc
+	sh.mu.Unlock()
+
+	if err := cc.fw.write(frameRequest, id, payload); err != nil {
+		if errors.Is(err, ErrTooLarge) {
+			// Nothing was buffered or sent; fail this call only.
+			if c.remove(id) {
+				pendingPool.Put(pc)
+			}
+			return nil, err
+		}
+		c.dropConn(cc)
+		if c.remove(id) {
+			pendingPool.Put(pc)
+		}
 		return nil, fmt.Errorf("transport: send to %s: %w", c.endpoint, err)
 	}
 	select {
-	case resp := <-ch:
+	case resp := <-pc.ch:
+		pendingPool.Put(pc)
 		return resp.payload, resp.err
 	case <-ctx.Done():
-		c.unregister(id)
+		if c.remove(id) {
+			// No sender took the record; safe to recycle.
+			pendingPool.Put(pc)
+		}
+		// Else a response/teardown is in flight; abandon the record.
 		return nil, ctx.Err()
 	}
 }
@@ -66,129 +129,134 @@ func (c *Client) Call(ctx context.Context, payload []byte) ([]byte, error) {
 // CallOneWay sends payload without waiting for a response. Used by the DGC
 // substrate for clean calls on shutdown paths.
 func (c *Client) CallOneWay(ctx context.Context, payload []byte) error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return ErrClosed
-	}
-	fw, err := c.connLocked(ctx)
+	cc, err := c.conn(ctx)
 	if err != nil {
-		c.mu.Unlock()
 		return err
 	}
-	id := c.nextID
-	c.nextID++
-	c.mu.Unlock()
-
-	if err := fw.write(frameOneWay, id, payload); err != nil {
-		c.dropConn(fw)
+	id := c.nextID.Add(1)
+	if err := cc.fw.write(frameOneWay, id, payload); err != nil {
+		if errors.Is(err, ErrTooLarge) {
+			return err
+		}
+		c.dropConn(cc)
 		return fmt.Errorf("transport: send to %s: %w", c.endpoint, err)
 	}
 	return nil
 }
 
-// register allocates a request id, ensures a live connection, and installs
-// the response channel.
-func (c *Client) register(ctx context.Context) (chan response, uint64, *frameWriter, error) {
+// remove deletes a pending entry, reporting whether it was still present
+// (present means no response/failure path owns it).
+func (c *Client) remove(id uint64) bool {
+	sh := &c.shards[id&(numShards-1)]
+	sh.mu.Lock()
+	_, ok := sh.m[id]
+	if ok {
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
+// take claims the pending entry for id, if any.
+func (c *Client) take(id uint64) *pendingCall {
+	sh := &c.shards[id&(numShards-1)]
+	sh.mu.Lock()
+	pc := sh.m[id]
+	if pc != nil {
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+	return pc
+}
+
+// conn returns the live connection, dialing under the mutex if needed.
+func (c *Client) conn(ctx context.Context) (*clientConn, error) {
+	if cc := c.cur.Load(); cc != nil {
+		return cc, nil
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return nil, 0, nil, ErrClosed
+		return nil, ErrClosed
 	}
-	fw, err := c.connLocked(ctx)
-	if err != nil {
-		return nil, 0, nil, err
-	}
-	id := c.nextID
-	c.nextID++
-	ch := make(chan response, 1)
-	c.pending[id] = ch
-	return ch, id, fw, nil
-}
-
-func (c *Client) unregister(id uint64) {
-	c.mu.Lock()
-	delete(c.pending, id)
-	c.mu.Unlock()
-}
-
-// connLocked returns the current frame writer, dialing if necessary.
-// Caller holds c.mu.
-func (c *Client) connLocked(ctx context.Context) (*frameWriter, error) {
-	if c.conn != nil {
-		return c.writer, nil
+	if cc := c.cur.Load(); cc != nil {
+		return cc, nil
 	}
 	conn, err := c.network.Dial(ctx, c.endpoint)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", c.endpoint, err)
 	}
-	c.conn = conn
-	c.writer = newFrameWriter(conn)
+	c.gen++
+	cc := &clientConn{conn: conn, fw: newFrameWriter(conn), gen: c.gen}
+	c.cur.Store(cc)
 	c.readers.Add(1)
-	go c.readLoop(conn)
-	return c.writer, nil
+	go c.readLoop(cc)
+	return cc, nil
 }
 
-// readLoop delivers responses until the connection dies, then fails all
+// readLoop delivers responses until the connection dies, then fails the
 // pending calls that were issued on that connection.
-func (c *Client) readLoop(conn net.Conn) {
+func (c *Client) readLoop(cc *clientConn) {
 	defer c.readers.Done()
 	for {
-		kind, id, payload, err := readFrame(conn)
+		kind, id, payload, err := readFrame(cc.conn)
 		if err != nil {
-			c.failConn(conn, fmt.Errorf("transport: connection to %s lost: %w", c.endpoint, err))
+			c.failConn(cc, fmt.Errorf("transport: connection to %s lost: %w", c.endpoint, err))
 			return
 		}
-		c.mu.Lock()
-		ch, ok := c.pending[id]
-		if ok {
-			delete(c.pending, id)
-		}
-		c.mu.Unlock()
-		if !ok {
-			continue // canceled call; drop late response
+		pc := c.take(id)
+		if pc == nil {
+			PutBuffer(payload) // canceled call; drop late response
+			continue
 		}
 		switch kind {
 		case frameRespOK:
-			ch <- response{payload: payload}
+			pc.ch <- response{payload: payload}
 		case frameRespErr:
-			ch <- response{err: &HandlerError{Endpoint: c.endpoint, Msg: string(payload)}}
+			msg := string(payload)
+			PutBuffer(payload)
+			pc.ch <- response{err: &HandlerError{Endpoint: c.endpoint, Msg: msg}}
 		default:
-			ch <- response{err: fmt.Errorf("transport: unexpected frame kind %d from %s", kind, c.endpoint)}
+			PutBuffer(payload)
+			pc.ch <- response{err: fmt.Errorf("transport: unexpected frame kind %d from %s", kind, c.endpoint)}
 		}
 	}
 }
 
-// failConn tears down conn (if still current) and fails all pending calls.
-func (c *Client) failConn(conn net.Conn, err error) {
-	c.mu.Lock()
-	if c.conn == conn {
-		c.conn = nil
-		c.writer = nil
-	}
-	pending := c.pending
-	c.pending = make(map[uint64]chan response)
-	c.mu.Unlock()
+// failConn tears down cc (if still current) and fails every pending call
+// issued on it. Calls already riding a newer connection are left alone.
+func (c *Client) failConn(cc *clientConn, err error) {
+	c.cur.CompareAndSwap(cc, nil)
+	_ = cc.conn.Close()
+	c.failPending(func(pc *pendingCall) bool { return pc.gen == cc.gen }, err)
+}
 
-	_ = conn.Close()
-	for _, ch := range pending {
-		ch <- response{err: err}
+// failPending sweeps the shards and fails every pending call matching the
+// filter. Each call receives exactly one send: senders claim records by
+// removing them from the shard map first.
+func (c *Client) failPending(match func(*pendingCall) bool, err error) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		var failed []*pendingCall
+		for id, pc := range sh.m {
+			if match(pc) {
+				delete(sh.m, id)
+				failed = append(failed, pc)
+			}
+		}
+		sh.mu.Unlock()
+		for _, pc := range failed {
+			pc.ch <- response{err: err}
+		}
 	}
 }
 
-// dropConn closes the connection behind fw if it is still current, forcing
+// dropConn closes the connection behind cc if it is still current, forcing
 // the next call to redial.
-func (c *Client) dropConn(fw *frameWriter) {
-	c.mu.Lock()
-	var conn net.Conn
-	if c.writer == fw {
-		conn = c.conn
-		c.conn = nil
-		c.writer = nil
-	}
-	c.mu.Unlock()
-	if conn != nil {
-		_ = conn.Close()
+func (c *Client) dropConn(cc *clientConn) {
+	if c.cur.CompareAndSwap(cc, nil) {
+		_ = cc.conn.Close()
 	}
 }
 
@@ -202,28 +270,24 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	conn := c.conn
-	c.conn = nil
-	c.writer = nil
-	pending := c.pending
-	c.pending = make(map[uint64]chan response)
+	cc := c.cur.Swap(nil)
 	c.mu.Unlock()
 
-	if conn != nil {
-		_ = conn.Close()
+	if cc != nil {
+		_ = cc.conn.Close()
 	}
-	for _, ch := range pending {
-		ch <- response{err: ErrClosed}
-	}
+	c.failPending(func(*pendingCall) bool { return true }, ErrClosed)
 	c.readers.Wait()
 	return nil
 }
 
 // Pool caches one Client per endpoint, mirroring RMI's connection reuse.
-// Safe for concurrent use.
+// Safe for concurrent use. The endpoint set stabilizes immediately in
+// steady state, so Get reads a copy-on-write snapshot without locking.
 type Pool struct {
 	network Network
 
+	snap    atomic.Pointer[map[string]*Client]
 	mu      sync.Mutex
 	clients map[string]*Client
 	closed  bool
@@ -231,11 +295,17 @@ type Pool struct {
 
 // NewPool creates an empty client pool over network.
 func NewPool(network Network) *Pool {
-	return &Pool{network: network, clients: make(map[string]*Client)}
+	p := &Pool{network: network, clients: make(map[string]*Client)}
+	empty := map[string]*Client{}
+	p.snap.Store(&empty)
+	return p
 }
 
 // Get returns the pooled client for endpoint, creating it if needed.
 func (p *Pool) Get(endpoint string) (*Client, error) {
+	if c, ok := (*p.snap.Load())[endpoint]; ok {
+		return c, nil
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -246,6 +316,11 @@ func (p *Pool) Get(endpoint string) (*Client, error) {
 	}
 	c := NewClient(p.network, endpoint)
 	p.clients[endpoint] = c
+	next := make(map[string]*Client, len(p.clients))
+	for k, v := range p.clients {
+		next[k] = v
+	}
+	p.snap.Store(&next)
 	return c, nil
 }
 
@@ -271,6 +346,8 @@ func (p *Pool) Close() error {
 		clients = append(clients, c)
 	}
 	p.clients = nil
+	empty := map[string]*Client{}
+	p.snap.Store(&empty)
 	p.mu.Unlock()
 
 	for _, c := range clients {

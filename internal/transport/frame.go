@@ -4,41 +4,196 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 )
 
-// frameWriter serializes frame writes onto a shared connection.
-type frameWriter struct {
-	mu  sync.Mutex
-	w   io.Writer
-	buf []byte
+// frameHeaderLen is the on-wire size of the length prefix plus frame header.
+const frameHeaderLen = 4 + frameHeader
+
+// --- payload buffer pool ------------------------------------------------------
+
+// maxPooledBuffer bounds the capacity the payload pool retains; buffers that
+// grew beyond it (large file transfers) are left to the GC rather than
+// pinned forever.
+const maxPooledBuffer = 1 << 20
+
+var payloadPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// GetBuffer returns a zero-length payload buffer from the shared pool.
+// Callers append a message to it (e.g. with wire.MarshalAppend) and hand it
+// back with PutBuffer when the message has been fully written or decoded,
+// so steady-state traffic stops allocating a fresh []byte per message.
+func GetBuffer() []byte {
+	return (*payloadPool.Get().(*[]byte))[:0]
 }
+
+// PutBuffer returns a buffer obtained from GetBuffer (or any buffer the
+// caller owns outright) to the pool. The buffer must not be used after.
+func PutBuffer(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuffer {
+		return
+	}
+	b = b[:0]
+	payloadPool.Put(&b)
+}
+
+// getSizedBuffer returns a length-n buffer, pooled when possible.
+func getSizedBuffer(n int) []byte {
+	b := GetBuffer()
+	if cap(b) < n {
+		PutBuffer(b)
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// --- frame writer -------------------------------------------------------------
+
+// frameWriter serializes frame writes onto a shared connection with group
+// commit: the goroutine that finds the writer idle becomes the flusher and
+// writes everything queued — its own frame plus any frames concurrent
+// callers enqueue while a flush is in flight — in a single writev
+// (net.Buffers) on TCP, or one copy-and-write on other connections. Under
+// concurrent small-frame load (the multiplexed client, the server's
+// response path) this coalesces many frames into one syscall and removes
+// the old per-frame payload copy.
+type frameWriter struct {
+	w     io.Writer
+	isTCP bool
+
+	mu      sync.Mutex
+	err     error // sticky: the connection is dead
+	queue   [][]byte
+	hdrs    []*[frameHeaderLen]byte
+	waiters []chan error
+	writing bool
+	// spare double-buffers the queue slices so steady-state flushing
+	// allocates nothing.
+	spareQueue   [][]byte
+	spareHdrs    []*[frameHeaderLen]byte
+	spareWaiters []chan error
+	// cbuf is the coalescing copy buffer for non-TCP writers.
+	cbuf []byte
+}
+
+var headerPool = sync.Pool{New: func() any { return new([frameHeaderLen]byte) }}
+var waiterPool = sync.Pool{New: func() any { return make(chan error, 1) }}
 
 func newFrameWriter(w io.Writer) *frameWriter {
-	return &frameWriter{w: w}
+	_, isTCP := w.(*net.TCPConn)
+	return &frameWriter{w: w, isTCP: isTCP}
 }
 
-// write sends one frame. It is safe for concurrent use.
+// write sends one frame, blocking until the frame has been handed to the
+// connection (so the caller may recycle payload immediately after). It is
+// safe for concurrent use. An oversized frame fails with ErrTooLarge before
+// anything is buffered or locked; the connection remains usable.
 func (fw *frameWriter) write(kind byte, id uint64, payload []byte) error {
 	n := frameHeader + len(payload)
 	if n > MaxFrameSize {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
 	}
+	hdr := headerPool.Get().(*[frameHeaderLen]byte)
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(n))
+	hdr[4] = kind
+	binary.BigEndian.PutUint64(hdr[5:], id)
+
 	fw.mu.Lock()
-	defer fw.mu.Unlock()
-	fw.buf = fw.buf[:0]
-	fw.buf = binary.BigEndian.AppendUint32(fw.buf, uint32(n))
-	fw.buf = append(fw.buf, kind)
-	fw.buf = binary.BigEndian.AppendUint64(fw.buf, id)
-	fw.buf = append(fw.buf, payload...)
-	_, err := fw.w.Write(fw.buf)
+	if fw.err != nil {
+		err := fw.err
+		fw.mu.Unlock()
+		headerPool.Put(hdr)
+		return err
+	}
+	fw.queue = append(fw.queue, hdr[:], payload)
+	fw.hdrs = append(fw.hdrs, hdr)
+	if fw.writing {
+		// A flush is in flight; our frame rides the next one.
+		ch := waiterPool.Get().(chan error)
+		fw.waiters = append(fw.waiters, ch)
+		fw.mu.Unlock()
+		err := <-ch
+		waiterPool.Put(ch)
+		return err
+	}
+	fw.writing = true
+	var myErr error
+	first := true
+	for fw.err == nil && len(fw.queue) > 0 {
+		queue, hdrs, waiters := fw.queue, fw.hdrs, fw.waiters
+		fw.queue, fw.hdrs, fw.waiters = fw.spareQueue[:0], fw.spareHdrs[:0], fw.spareWaiters[:0]
+		fw.mu.Unlock()
+
+		werr := fw.flush(queue)
+		for _, h := range hdrs {
+			headerPool.Put(h)
+		}
+		for _, ch := range waiters {
+			ch <- werr
+		}
+		if first {
+			myErr = werr
+			first = false
+		}
+
+		fw.mu.Lock()
+		fw.spareQueue, fw.spareHdrs, fw.spareWaiters = queue[:0], hdrs[:0], waiters[:0]
+		if werr != nil {
+			fw.err = werr
+			// Fail everything enqueued while the doomed flush was in
+			// flight; their frames were never written.
+			for _, ch := range fw.waiters {
+				ch <- werr
+			}
+			fw.queue, fw.hdrs, fw.waiters = fw.queue[:0], fw.hdrs[:0], fw.waiters[:0]
+		}
+	}
+	fw.writing = false
+	fw.mu.Unlock()
+	return myErr
+}
+
+// flush writes one batch of header/payload spans.
+func (fw *frameWriter) flush(queue [][]byte) error {
+	if fw.isTCP {
+		bufs := net.Buffers(queue)
+		_, err := bufs.WriteTo(fw.w)
+		return err
+	}
+	// Generic writers get one coalesced copy-and-write per batch: net.Conn
+	// implementations without writev support (netsim links, pipes) would
+	// otherwise pay one Write per span.
+	if len(queue) == 2 {
+		// Single frame: two writes beat copying the payload when it is
+		// large; small pairs still coalesce below.
+		if len(queue[1]) >= 4096 {
+			if _, err := fw.w.Write(queue[0]); err != nil {
+				return err
+			}
+			_, err := fw.w.Write(queue[1])
+			return err
+		}
+	}
+	fw.cbuf = fw.cbuf[:0]
+	for _, b := range queue {
+		fw.cbuf = append(fw.cbuf, b...)
+	}
+	_, err := fw.w.Write(fw.cbuf)
+	if cap(fw.cbuf) > maxPooledBuffer {
+		fw.cbuf = nil
+	}
 	return err
 }
 
-// readFrame reads one frame from r. The returned payload is freshly
-// allocated and safe to retain.
+// readFrame reads one frame from r. The returned payload comes from the
+// shared buffer pool: the receiver owns it and may hand it back with
+// PutBuffer once decoded.
 func readFrame(r io.Reader) (kind byte, id uint64, payload []byte, err error) {
-	var hdr [4 + frameHeader]byte
+	var hdr [frameHeaderLen]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, 0, nil, err
 	}
@@ -51,8 +206,9 @@ func readFrame(r io.Reader) (kind byte, id uint64, payload []byte, err error) {
 	}
 	kind = hdr[4]
 	id = binary.BigEndian.Uint64(hdr[5:])
-	payload = make([]byte, n-frameHeader)
+	payload = getSizedBuffer(int(n - frameHeader))
 	if _, err = io.ReadFull(r, payload); err != nil {
+		PutBuffer(payload)
 		return 0, 0, nil, err
 	}
 	return kind, id, payload, nil

@@ -6,25 +6,45 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime"
 	"sync"
 )
 
 // Server accepts connections from a Network listener and dispatches request
 // frames to a Handler. Responses may complete out of order; the request id
 // correlates them.
+//
+// Dispatch reuses a small pool of long-lived worker goroutines (their grown
+// stacks stay warm across requests, which per-request goroutines cannot
+// offer); when every worker is busy a request gets its own goroutine, so
+// handler concurrency remains unbounded exactly as before.
 type Server struct {
 	handler Handler
 	logf    func(format string, args ...any)
+	reuse   bool
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
 
-	wg sync.WaitGroup // accept loop + per-conn loops + in-flight handlers
+	wg sync.WaitGroup // accept loop + per-conn loops
+
+	// tasks is the unbuffered handoff to idle dispatch workers: a send
+	// succeeds only when a worker is ready to take the request, so a busy
+	// pool never queues one request behind another.
+	tasks    chan dispatchTask
+	workerWG sync.WaitGroup // core workers + overflow dispatch goroutines
 
 	ctx    context.Context
 	cancel context.CancelFunc
+}
+
+type dispatchTask struct {
+	fw      *frameWriter
+	kind    byte
+	id      uint64
+	payload []byte
 }
 
 // ServerOption configures a Server.
@@ -34,6 +54,18 @@ type ServerOption func(*Server)
 // of the standard logger. Pass a no-op to silence.
 func WithLogf(logf func(format string, args ...any)) ServerOption {
 	return func(s *Server) { s.logf = logf }
+}
+
+// WithBufferReuse opts the server into recycling message buffers through
+// the shared pool: request payloads are returned to the pool after the
+// handler returns, and response payloads after they are written. The
+// handler must therefore not retain the request payload past its return,
+// and must hand back response buffers it owns outright (ideally from
+// GetBuffer) — never the request payload or a slice of it. The rmi layer
+// satisfies both and opts in; handlers with other ownership conventions
+// leave the option off and keep the allocate-per-message behavior.
+func WithBufferReuse() ServerOption {
+	return func(s *Server) { s.reuse = true }
 }
 
 // NewServer creates a Server that dispatches to handler.
@@ -67,9 +99,27 @@ func (s *Server) Serve(l net.Listener) error {
 	s.listener = l
 	s.mu.Unlock()
 
+	workers := 4 * runtime.GOMAXPROCS(0)
+	if workers < 8 {
+		workers = 8
+	}
+	s.tasks = make(chan dispatchTask)
+	for i := 0; i < workers; i++ {
+		s.workerWG.Add(1)
+		go s.dispatchWorker()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop(l)
 	return nil
+}
+
+// dispatchWorker processes requests until the task channel closes (after
+// every connection loop has exited, so no task can be lost).
+func (s *Server) dispatchWorker() {
+	defer s.workerWG.Done()
+	for t := range s.tasks {
+		s.dispatch(t.fw, t.kind, t.id, t.payload)
+	}
 }
 
 func (s *Server) acceptLoop(l net.Listener) {
@@ -120,8 +170,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		switch kind {
 		case frameRequest, frameOneWay:
-			s.wg.Add(1)
-			go s.dispatch(fw, kind, id, payload)
+			select {
+			case s.tasks <- dispatchTask{fw: fw, kind: kind, id: id, payload: payload}:
+			default:
+				// Every worker is busy; overflow into a fresh goroutine so
+				// slow handlers never delay concurrent requests.
+				s.workerWG.Add(1)
+				go func() {
+					defer s.workerWG.Done()
+					s.dispatch(fw, kind, id, payload)
+				}()
+			}
 		default:
 			s.logf("transport: server ignoring frame kind %d", kind)
 		}
@@ -129,8 +188,10 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) dispatch(fw *frameWriter, kind byte, id uint64, payload []byte) {
-	defer s.wg.Done()
 	resp, err := s.handler(s.ctx, payload)
+	if s.reuse {
+		PutBuffer(payload)
+	}
 	if kind == frameOneWay {
 		return
 	}
@@ -140,7 +201,11 @@ func (s *Server) dispatch(fw *frameWriter, kind byte, id uint64, payload []byte)
 		}
 		return
 	}
-	if werr := fw.write(frameRespOK, id, resp); werr != nil {
+	werr := fw.write(frameRespOK, id, resp)
+	if s.reuse {
+		PutBuffer(resp)
+	}
+	if werr != nil {
 		s.logf("transport: server write response: %v", werr)
 	}
 }
@@ -152,6 +217,7 @@ func (s *Server) Close() error {
 	if s.closed {
 		s.mu.Unlock()
 		s.wg.Wait()
+		s.workerWG.Wait()
 		return nil
 	}
 	s.closed = true
@@ -169,6 +235,12 @@ func (s *Server) Close() error {
 	for _, c := range conns {
 		_ = c.Close()
 	}
+	// Connection loops first (they are the only task producers), then the
+	// workers: closing tasks after the last producer exits cannot race.
 	s.wg.Wait()
+	if s.tasks != nil {
+		close(s.tasks)
+	}
+	s.workerWG.Wait()
 	return nil
 }

@@ -50,7 +50,10 @@ var (
 	// ErrClosed reports use of a closed client or server.
 	ErrClosed = errors.New("transport: closed")
 
-	// ErrTooLarge reports a frame exceeding MaxFrameSize.
+	// ErrTooLarge reports a frame exceeding MaxFrameSize. On the send side
+	// it is checked before anything is buffered or written, so it fails the
+	// offending call only — the connection and all concurrent calls on it
+	// stay healthy. Match with errors.Is.
 	ErrTooLarge = errors.New("transport: frame too large")
 )
 
@@ -69,6 +72,10 @@ func (e *HandlerError) Error() string {
 // Handler processes one request payload and returns the response payload.
 // Handlers run concurrently; they must be safe for concurrent use. A
 // returned error is transported to the caller as a HandlerError.
+//
+// Under WithBufferReuse the server recycles both buffers through the
+// shared pool: the handler must not retain payload after returning, and the
+// response must be a buffer the handler owns outright (see GetBuffer).
 type Handler func(ctx context.Context, payload []byte) ([]byte, error)
 
 // TCPNetwork implements Network over the operating system's TCP stack.

@@ -5,15 +5,18 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"sync"
 	"time"
 )
 
 // Unmarshal decodes a message produced by Marshal. The dynamic type of the
 // result depends on the wire kind: integers decode as int64 (uint64 for
 // unsigned), structs decode as their registered Go type (pointer form when
-// registered from a pointer sample), kErr decodes as *RemoteError.
+// registered from a pointer sample), kErr decodes as *RemoteError. Decoder
+// state is pooled internally; Unmarshal allocates only the decoded values.
 func Unmarshal(data []byte) (any, error) {
-	d := decoder{data: data}
+	d := getDecoder(data)
+	defer d.release()
 	v, err := d.value()
 	if err != nil {
 		return nil, err
@@ -26,7 +29,8 @@ func Unmarshal(data []byte) (any, error) {
 
 // UnmarshalValues decodes a message produced by MarshalValues.
 func UnmarshalValues(data []byte) ([]any, error) {
-	d := decoder{data: data}
+	d := getDecoder(data)
+	defer d.release()
 	n, err := d.uvarint()
 	if err != nil {
 		return nil, err
@@ -48,10 +52,78 @@ func UnmarshalValues(data []byte) ([]any, error) {
 	return out, nil
 }
 
+// Decoder is a reusable message decoder: Reset rebinds it to a new message
+// without reallocating the stream type table, for callers that decode many
+// messages back to back.
+type Decoder struct {
+	d decoder
+}
+
+// Reset binds the decoder to data, discarding all previous state.
+func (dec *Decoder) Reset(data []byte) {
+	dec.d.data = data
+	dec.d.pos = 0
+	if dec.d.types == nil {
+		dec.d.types = dec.d.typesArr[:0]
+	} else {
+		dec.d.types = dec.d.types[:0]
+	}
+}
+
+// Decode decodes the single message the decoder was Reset to, like
+// Unmarshal.
+func (dec *Decoder) Decode() (any, error) {
+	v, err := dec.d.value()
+	if err != nil {
+		return nil, err
+	}
+	if dec.d.pos != len(dec.d.data) {
+		return nil, &CorruptError{Offset: dec.d.pos, Detail: "trailing bytes"}
+	}
+	return v, nil
+}
+
+// decoder holds one message's decode state. The stream type table is a
+// slice indexed by id-1 with a small inline backing array — ids are
+// assigned densely from 1 by the encoder — replacing the old per-message
+// map. Decoders are pooled.
 type decoder struct {
-	data  []byte
-	pos   int
-	types map[uint64]*structPlan
+	data     []byte
+	pos      int
+	types    []streamType
+	typesArr [8]streamType
+}
+
+// streamType is one resolved stream-local type: the plan plus the
+// pointer-decode flag, looked up once per type definition rather than once
+// per value.
+type streamType struct {
+	plan  *structPlan
+	asPtr bool
+}
+
+// maxStreamTypes bounds the per-message type table: the encoder allocates
+// ids densely, so any id beyond this is a corrupt or hostile message, not a
+// real type set.
+const maxStreamTypes = 1 << 16
+
+var decoderPool = sync.Pool{New: func() any { return new(decoder) }}
+
+func getDecoder(data []byte) *decoder {
+	d := decoderPool.Get().(*decoder)
+	d.data = data
+	d.pos = 0
+	if d.types == nil {
+		d.types = d.typesArr[:0]
+	} else {
+		d.types = d.types[:0]
+	}
+	return d
+}
+
+func (d *decoder) release() {
+	d.data = nil
+	decoderPool.Put(d)
 }
 
 func (d *decoder) corrupt(detail string) error {
@@ -65,6 +137,23 @@ func (d *decoder) byte() (byte, error) {
 	b := d.data[d.pos]
 	d.pos++
 	return b, nil
+}
+
+// tag reads the next value tag, consuming any interleaved type definitions.
+func (d *decoder) tag() (byte, error) {
+	tag, err := d.byte()
+	if err != nil {
+		return 0, err
+	}
+	for tag == kTypeDef {
+		if err := d.typeDef(); err != nil {
+			return 0, err
+		}
+		if tag, err = d.byte(); err != nil {
+			return 0, err
+		}
+	}
+	return tag, nil
 }
 
 func (d *decoder) uvarint() (uint64, error) {
@@ -94,7 +183,7 @@ func (d *decoder) string() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return string(b), nil
+	return internBytes(b), nil
 }
 
 // value decodes one value generically.
@@ -247,11 +336,23 @@ func (d *decoder) typeDef() error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnregistered, name)
 	}
-	if d.types == nil {
-		d.types = make(map[uint64]*structPlan, 4)
+	if id == 0 || id > maxStreamTypes {
+		return d.corrupt(fmt.Sprintf("type id %d out of range", id))
 	}
-	d.types[id] = plan
+	for uint64(len(d.types)) < id {
+		d.types = append(d.types, streamType{})
+	}
+	d.types[id-1] = streamType{plan: plan, asPtr: decodeAsPointer(plan.typ)}
 	return nil
+}
+
+// typePlan resolves a stream-local struct type id.
+func (d *decoder) typePlan(id uint64) (streamType, bool) {
+	if id == 0 || id > uint64(len(d.types)) {
+		return streamType{}, false
+	}
+	st := d.types[id-1]
+	return st, st.plan != nil
 }
 
 func (d *decoder) structValue() (any, error) {
@@ -259,20 +360,27 @@ func (d *decoder) structValue() (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, ok := d.types[id]
+	st, ok := d.typePlan(id)
 	if !ok {
 		return nil, d.corrupt(fmt.Sprintf("struct with undefined type id %d", id))
 	}
+	plan := st.plan
 	nFields, err := d.uvarint()
 	if err != nil {
 		return nil, err
+	}
+	if nFields > uint64(len(d.data)) {
+		return nil, d.corrupt("field count exceeds message size")
+	}
+	if plan.fastDecVal != nil {
+		return plan.fastDecVal(Dec{d}, int(nFields))
 	}
 	pv := reflect.New(plan.typ) // *T
 	sv := pv.Elem()
 	for i := uint64(0); i < nFields; i++ {
 		if i < uint64(len(plan.fields)) {
-			f := plan.fields[i]
-			if err := d.into(sv.Field(f.index)); err != nil {
+			f := &plan.fields[i]
+			if err := f.dec(d, sv.Field(f.index)); err != nil {
 				return nil, fmt.Errorf("%s.%s: %w", plan.name, f.name, err)
 			}
 			continue
@@ -282,275 +390,13 @@ func (d *decoder) structValue() (any, error) {
 			return nil, err
 		}
 	}
-	if decodeAsPointer(plan.typ) {
+	if st.asPtr {
 		return pv.Interface(), nil
 	}
 	return sv.Interface(), nil
 }
 
-// into decodes the next value directly into the typed destination rv.
-func (d *decoder) into(rv reflect.Value) error {
-	switch rv.Kind() {
-	case reflect.Pointer:
-		// Peek for nil without consuming other tags.
-		if d.pos < len(d.data) && d.data[d.pos] == kNil {
-			d.pos++
-			rv.SetZero()
-			return nil
-		}
-		if rv.IsNil() {
-			rv.Set(reflect.New(rv.Type().Elem()))
-		}
-		return d.into(rv.Elem())
-	case reflect.Interface:
-		v, err := d.value()
-		if err != nil {
-			return err
-		}
-		if v == nil {
-			rv.SetZero()
-			return nil
-		}
-		vv := reflect.ValueOf(v)
-		if !vv.Type().AssignableTo(rv.Type()) {
-			return fmt.Errorf("wire: cannot assign %s to %s", vv.Type(), rv.Type())
-		}
-		rv.Set(vv)
-		return nil
-	}
-
-	tag, err := d.byte()
-	if err != nil {
-		return err
-	}
-	for tag == kTypeDef {
-		if err := d.typeDef(); err != nil {
-			return err
-		}
-		if tag, err = d.byte(); err != nil {
-			return err
-		}
-	}
-
-	switch rv.Kind() {
-	case reflect.Bool:
-		switch tag {
-		case kTrue:
-			rv.SetBool(true)
-		case kFalse:
-			rv.SetBool(false)
-		case kNil:
-			rv.SetBool(false)
-		default:
-			return d.corrupt("expected bool")
-		}
-		return nil
-	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		if rv.Type() == reflect.TypeOf(time.Duration(0)) && tag == kDur {
-			u, err := d.uvarint()
-			if err != nil {
-				return err
-			}
-			rv.SetInt(unzigzag(u))
-			return nil
-		}
-		switch tag {
-		case kInt:
-			u, err := d.uvarint()
-			if err != nil {
-				return err
-			}
-			rv.SetInt(unzigzag(u))
-		case kUint:
-			u, err := d.uvarint()
-			if err != nil {
-				return err
-			}
-			rv.SetInt(int64(u))
-		case kNil:
-			rv.SetInt(0)
-		default:
-			return d.corrupt("expected integer")
-		}
-		return nil
-	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
-		switch tag {
-		case kUint:
-			u, err := d.uvarint()
-			if err != nil {
-				return err
-			}
-			rv.SetUint(u)
-		case kInt:
-			u, err := d.uvarint()
-			if err != nil {
-				return err
-			}
-			rv.SetUint(uint64(unzigzag(u)))
-		case kNil:
-			rv.SetUint(0)
-		default:
-			return d.corrupt("expected unsigned integer")
-		}
-		return nil
-	case reflect.Float32, reflect.Float64:
-		switch tag {
-		case kFloat64:
-			b, err := d.take(8)
-			if err != nil {
-				return err
-			}
-			rv.SetFloat(bitsToFloat64(binary.BigEndian.Uint64(b)))
-		case kFloat32:
-			b, err := d.take(4)
-			if err != nil {
-				return err
-			}
-			rv.SetFloat(float64(bitsToFloat32(binary.BigEndian.Uint32(b))))
-		case kInt:
-			u, err := d.uvarint()
-			if err != nil {
-				return err
-			}
-			rv.SetFloat(float64(unzigzag(u)))
-		case kNil:
-			rv.SetFloat(0)
-		default:
-			return d.corrupt("expected float")
-		}
-		return nil
-	case reflect.String:
-		if tag == kNil {
-			rv.SetString("")
-			return nil
-		}
-		if tag != kString {
-			return d.corrupt("expected string")
-		}
-		s, err := d.string()
-		if err != nil {
-			return err
-		}
-		rv.SetString(s)
-		return nil
-	case reflect.Slice:
-		if tag == kNil {
-			rv.SetZero()
-			return nil
-		}
-		if rv.Type().Elem().Kind() == reflect.Uint8 {
-			if tag != kBytes {
-				return d.corrupt("expected bytes")
-			}
-			n, err := d.uvarint()
-			if err != nil {
-				return err
-			}
-			b, err := d.take(n)
-			if err != nil {
-				return err
-			}
-			out := make([]byte, len(b))
-			copy(out, b)
-			rv.SetBytes(out)
-			return nil
-		}
-		if tag != kSlice {
-			return d.corrupt("expected slice")
-		}
-		n, err := d.uvarint()
-		if err != nil {
-			return err
-		}
-		if n > uint64(len(d.data)) {
-			return d.corrupt("slice length exceeds message size")
-		}
-		out := reflect.MakeSlice(rv.Type(), int(n), int(n))
-		for i := 0; i < int(n); i++ {
-			if err := d.into(out.Index(i)); err != nil {
-				return fmt.Errorf("index %d: %w", i, err)
-			}
-		}
-		rv.Set(out)
-		return nil
-	case reflect.Map:
-		if tag == kNil {
-			rv.SetZero()
-			return nil
-		}
-		if tag != kMap {
-			return d.corrupt("expected map")
-		}
-		n, err := d.uvarint()
-		if err != nil {
-			return err
-		}
-		if n > uint64(len(d.data)) {
-			return d.corrupt("map length exceeds message size")
-		}
-		out := reflect.MakeMapWithSize(rv.Type(), int(n))
-		kt, vt := rv.Type().Key(), rv.Type().Elem()
-		for i := uint64(0); i < n; i++ {
-			kv := reflect.New(kt).Elem()
-			if err := d.into(kv); err != nil {
-				return fmt.Errorf("map key: %w", err)
-			}
-			vv := reflect.New(vt).Elem()
-			if err := d.into(vv); err != nil {
-				return fmt.Errorf("map value: %w", err)
-			}
-			out.SetMapIndex(kv, vv)
-		}
-		rv.Set(out)
-		return nil
-	case reflect.Struct:
-		return d.structInto(rv, tag)
-	default:
-		return fmt.Errorf("%w: decode into %s", ErrUnsupported, rv.Type())
-	}
-}
-
 func (d *decoder) structInto(rv reflect.Value, tag byte) error {
-	t := rv.Type()
-	switch t {
-	case reflect.TypeOf(time.Time{}):
-		if tag == kNil {
-			rv.SetZero()
-			return nil
-		}
-		if tag != kTime {
-			return d.corrupt("expected time")
-		}
-		b, err := d.take(12)
-		if err != nil {
-			return err
-		}
-		sec := int64(binary.BigEndian.Uint64(b[:8]))
-		nsec := int64(binary.BigEndian.Uint32(b[8:]))
-		rv.Set(reflect.ValueOf(time.Unix(sec, nsec).UTC()))
-		return nil
-	case reflect.TypeOf(Ref{}):
-		if tag == kNil {
-			rv.SetZero()
-			return nil
-		}
-		if tag != kRef {
-			return d.corrupt("expected ref")
-		}
-		var r Ref
-		var err error
-		if r.Endpoint, err = d.string(); err != nil {
-			return err
-		}
-		if r.ObjID, err = d.uvarint(); err != nil {
-			return err
-		}
-		if r.Iface, err = d.string(); err != nil {
-			return err
-		}
-		rv.Set(reflect.ValueOf(r))
-		return nil
-	}
 	if tag == kNil {
 		rv.SetZero()
 		return nil
@@ -562,21 +408,28 @@ func (d *decoder) structInto(rv reflect.Value, tag byte) error {
 	if err != nil {
 		return err
 	}
-	plan, ok := d.types[id]
+	st, ok := d.typePlan(id)
 	if !ok {
 		return d.corrupt(fmt.Sprintf("struct with undefined type id %d", id))
 	}
-	if plan.typ != t {
-		return fmt.Errorf("wire: cannot decode %q into %s", plan.name, t)
+	plan := st.plan
+	if plan.typ != rv.Type() {
+		return fmt.Errorf("wire: cannot decode %q into %s", plan.name, rv.Type())
 	}
 	nFields, err := d.uvarint()
 	if err != nil {
 		return err
 	}
+	if nFields > uint64(len(d.data)) {
+		return d.corrupt("field count exceeds message size")
+	}
+	if plan.fastDecInto != nil && rv.CanAddr() {
+		return plan.fastDecInto(Dec{d}, rv.Addr().Interface(), int(nFields))
+	}
 	for i := uint64(0); i < nFields; i++ {
 		if i < uint64(len(plan.fields)) {
-			f := plan.fields[i]
-			if err := d.into(rv.Field(f.index)); err != nil {
+			f := &plan.fields[i]
+			if err := f.dec(d, rv.Field(f.index)); err != nil {
 				return fmt.Errorf("%s.%s: %w", plan.name, f.name, err)
 			}
 			continue

@@ -5,35 +5,93 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"sync"
 	"time"
 )
 
 // Marshal encodes v into a self-contained message. Struct values must use
 // registered types (see Register). Marshal never retains v.
 func Marshal(v any) ([]byte, error) {
-	e := encoder{typeIDs: nil}
-	if err := e.value(v); err != nil {
+	return MarshalAppend(nil, v)
+}
+
+// MarshalAppend encodes v like Marshal, appending the message to buf and
+// returning the extended slice. It lets callers reuse payload buffers
+// (e.g. a sync.Pool) instead of allocating a fresh []byte per message; the
+// encoder's own per-message state is pooled internally.
+func MarshalAppend(buf []byte, v any) ([]byte, error) {
+	e := getEncoder(buf)
+	err := e.value(v)
+	buf = e.release()
+	if err != nil {
 		return nil, err
 	}
-	return e.buf, nil
+	return buf, nil
 }
 
 // MarshalValues encodes a sequence of values into one message, in order.
 // The counterpart is UnmarshalValues.
 func MarshalValues(vs []any) ([]byte, error) {
-	e := encoder{}
-	e.buf = binary.AppendUvarint(e.buf, uint64(len(vs)))
-	for i, v := range vs {
-		if err := e.value(v); err != nil {
-			return nil, fmt.Errorf("value %d: %w", i, err)
-		}
-	}
-	return e.buf, nil
+	return MarshalValuesAppend(nil, vs)
 }
 
+// MarshalValuesAppend is MarshalValues appending into buf, like
+// MarshalAppend.
+func MarshalValuesAppend(buf []byte, vs []any) ([]byte, error) {
+	e := getEncoder(buf)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(vs)))
+	var err error
+	for i, v := range vs {
+		if err = e.value(v); err != nil {
+			err = fmt.Errorf("value %d: %w", i, err)
+			break
+		}
+	}
+	buf = e.release()
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// encoder holds one message's encode state. Encoders are pooled: the
+// stream-local type table lives in a small inline array, so encoding a
+// message — even one defining several struct types — allocates nothing
+// beyond the output it appends to buf.
 type encoder struct {
-	buf     []byte
-	typeIDs map[string]uint64
+	buf []byte
+	// typeNames is the stream-local type table: index i holds the name
+	// defined with id i+1. A linear slice replaces the old per-message
+	// map[string]uint64 — messages use a handful of types, the common
+	// single-type message hits the first slot, and the inline backing array
+	// makes the table allocation-free.
+	typeNames []string
+	namesArr  [8]string
+	// lastType/lastPlan memoize the most recent registry hit: batches
+	// encode long runs of one argument type, turning the per-value plan
+	// lookup into a pointer compare.
+	lastType reflect.Type
+	lastPlan *structPlan
+}
+
+var encoderPool = sync.Pool{New: func() any { return new(encoder) }}
+
+func getEncoder(buf []byte) *encoder {
+	e := encoderPool.Get().(*encoder)
+	e.buf = buf
+	e.typeNames = e.namesArr[:0]
+	return e
+}
+
+// release returns the encoded buffer and recycles the encoder.
+func (e *encoder) release() []byte {
+	buf := e.buf
+	e.buf = nil
+	e.typeNames = nil
+	e.lastType = nil
+	e.lastPlan = nil
+	encoderPool.Put(e)
+	return buf
 }
 
 func (e *encoder) value(v any) error {
@@ -130,14 +188,22 @@ func (e *encoder) value(v any) error {
 		return nil
 	}
 
+	// Compiled-codec fast path: struct and *struct values whose type
+	// installed a codec (RegisterCompiled) encode without reflection.
+	t := reflect.TypeOf(v)
+	base := t
+	if base.Kind() == reflect.Pointer {
+		base = base.Elem()
+	}
+	if base.Kind() == reflect.Struct {
+		if plan, ok := planForType(base); ok && plan.fastEncVal != nil {
+			return plan.fastEncVal(Enc{e}, v)
+		}
+	}
+
 	// Errors: registered error types travel as structs (typed); everything
 	// else degrades to a generic RemoteError that preserves the type name.
 	if err, ok := v.(error); ok {
-		rv := reflect.ValueOf(v)
-		base := rv.Type()
-		if base.Kind() == reflect.Pointer {
-			base = base.Elem()
-		}
 		if _, registered := planForType(base); !registered {
 			e.buf = append(e.buf, kErr)
 			e.putString(TypeNameOf(v))
@@ -150,6 +216,9 @@ func (e *encoder) value(v any) error {
 	return e.reflectValue(reflect.ValueOf(v))
 }
 
+// reflectValue is the generic encoder for values only known dynamically
+// (slice-of-any elements, interface fields, map contents). Struct values
+// dispatch into their compiled plan.
 func (e *encoder) reflectValue(rv reflect.Value) error {
 	switch rv.Kind() {
 	case reflect.Pointer:
@@ -232,15 +301,31 @@ func (e *encoder) reflectValue(rv reflect.Value) error {
 
 func (e *encoder) structValue(rv reflect.Value) error {
 	t := rv.Type()
-	if t == reflect.TypeOf(time.Time{}) {
-		return e.value(rv.Interface())
+	if t == e.lastType {
+		return e.encodeStruct(e.lastPlan, rv)
 	}
-	if t == reflect.TypeOf(Ref{}) {
+	if t == timeType || t == refType {
 		return e.value(rv.Interface())
 	}
 	plan, ok := planForType(t)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnregistered, t)
+	}
+	e.lastType, e.lastPlan = t, plan
+	return e.encodeStruct(plan, rv)
+}
+
+// encodeStruct emits one registered struct through its compiled plan.
+// Trailing zero-valued fields are omitted from the message: the decoder
+// leaves fields beyond the transmitted count at their zero value, so the
+// round trip is identical while hot-path messages (whose optional fields
+// are ordered last; see core's message layouts) shrink substantially.
+func (e *encoder) encodeStruct(plan *structPlan, rv reflect.Value) error {
+	if plan.fastEncAddr != nil && rv.CanAddr() {
+		return plan.fastEncAddr(Enc{e}, rv.Addr().Interface())
+	}
+	if plan.fastEncVal != nil {
+		return plan.fastEncVal(Enc{e}, rv.Interface())
 	}
 	id, defined := e.typeID(plan.name)
 	if !defined {
@@ -248,11 +333,16 @@ func (e *encoder) structValue(rv reflect.Value) error {
 		e.buf = binary.AppendUvarint(e.buf, id)
 		e.putString(plan.name)
 	}
+	nf := len(plan.fields)
+	for nf > 0 && rv.Field(plan.fields[nf-1].index).IsZero() {
+		nf--
+	}
 	e.buf = append(e.buf, kStruct)
 	e.buf = binary.AppendUvarint(e.buf, id)
-	e.buf = binary.AppendUvarint(e.buf, uint64(len(plan.fields)))
-	for _, f := range plan.fields {
-		if err := e.reflectValue(rv.Field(f.index)); err != nil {
+	e.buf = binary.AppendUvarint(e.buf, uint64(nf))
+	for i := 0; i < nf; i++ {
+		f := &plan.fields[i]
+		if err := f.enc(e, rv.Field(f.index)); err != nil {
 			return fmt.Errorf("%s.%s: %w", plan.name, f.name, err)
 		}
 	}
@@ -261,16 +351,16 @@ func (e *encoder) structValue(rv reflect.Value) error {
 
 // typeID returns the stream-local id for name, allocating one if needed.
 // The boolean reports whether the id was already defined in this message.
+// The one-type message (by far the most common) resolves in a single
+// comparison against the inline table.
 func (e *encoder) typeID(name string) (uint64, bool) {
-	if e.typeIDs == nil {
-		e.typeIDs = make(map[string]uint64, 4)
+	for i, n := range e.typeNames {
+		if n == name {
+			return uint64(i + 1), true
+		}
 	}
-	if id, ok := e.typeIDs[name]; ok {
-		return id, true
-	}
-	id := uint64(len(e.typeIDs) + 1)
-	e.typeIDs[name] = id
-	return id, false
+	e.typeNames = append(e.typeNames, name)
+	return uint64(len(e.typeNames)), false
 }
 
 func (e *encoder) putInt(x int64) {

@@ -4,36 +4,83 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 )
 
-// structPlan caches the encodable field layout of a registered struct type.
+// structPlan caches the encodable field layout of a registered struct type,
+// with per-field codec closures compiled at Register time (see codec.go).
+// Types registered with RegisterCompiled additionally carry the fast hooks,
+// which replace the per-field reflection loop entirely (see fastcodec.go).
 type structPlan struct {
 	name   string
 	typ    reflect.Type // the struct type (never a pointer)
 	fields []fieldPlan
+
+	fastEncVal  func(Enc, any) error        // v is T or *T
+	fastEncAddr func(Enc, any) error        // p is *T
+	fastDecVal  func(Dec, int) (any, error) // returns T or *T per registration
+	fastDecInto func(Dec, any, int) error   // p is *T
 }
 
 type fieldPlan struct {
 	name  string
 	index int
+	enc   encFunc
+	dec   decFunc
 }
 
 // registry maps wire names to struct types and back. It is global, like
-// gob's type registry: wire names must be process-wide unique.
+// gob's type registry: wire names must be process-wide unique. Lookups are
+// on the encode/decode hot path of every struct value, so the registry is a
+// copy-on-write snapshot behind an atomic pointer: readers never lock,
+// writers (Register, init-time only in practice) copy.
 type registry struct {
-	mu      sync.RWMutex
+	mu    sync.Mutex // serializes writers
+	state atomic.Pointer[registryState]
+}
+
+type registryState struct {
 	byName  map[string]*structPlan
 	byType  map[reflect.Type]*structPlan
 	asPtr   map[reflect.Type]bool // decode as *T rather than T
 	errName map[string]bool       // names registered via RegisterError
 }
 
-var defaultRegistry = &registry{
-	byName: make(map[string]*structPlan),
-	byType: make(map[reflect.Type]*structPlan),
-	asPtr:  make(map[reflect.Type]bool),
+var defaultRegistry = newRegistry()
 
-	errName: make(map[string]bool),
+func newRegistry() *registry {
+	r := &registry{}
+	r.state.Store(&registryState{
+		byName:  make(map[string]*structPlan),
+		byType:  make(map[reflect.Type]*structPlan),
+		asPtr:   make(map[reflect.Type]bool),
+		errName: make(map[string]bool),
+	})
+	return r
+}
+
+// clone copies the current state for a writer. Caller holds r.mu.
+func (r *registry) clone() *registryState {
+	old := r.state.Load()
+	next := &registryState{
+		byName:  make(map[string]*structPlan, len(old.byName)+1),
+		byType:  make(map[reflect.Type]*structPlan, len(old.byType)+1),
+		asPtr:   make(map[reflect.Type]bool, len(old.asPtr)+1),
+		errName: make(map[string]bool, len(old.errName)+1),
+	}
+	for k, v := range old.byName {
+		next.byName[k] = v
+	}
+	for k, v := range old.byType {
+		next.byType[k] = v
+	}
+	for k, v := range old.asPtr {
+		next.asPtr[k] = v
+	}
+	for k, v := range old.errName {
+		next.errName[k] = v
+	}
+	return next
 }
 
 // Register associates name with the struct type of sample so values of that
@@ -65,19 +112,27 @@ func Register(name string, sample any) error {
 	r := defaultRegistry
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if prev, ok := r.byName[name]; ok {
+	cur := r.state.Load()
+	if prev, ok := cur.byName[name]; ok {
 		if prev.typ != t {
 			return fmt.Errorf("wire: register %q: already bound to %s", name, prev.typ)
 		}
-		r.asPtr[t] = wantPtr
+		if cur.asPtr[t] == wantPtr {
+			return nil
+		}
+		next := r.clone()
+		next.asPtr[t] = wantPtr
+		r.state.Store(next)
 		return nil
 	}
-	if prev, ok := r.byType[t]; ok && prev.name != name {
+	if prev, ok := cur.byType[t]; ok && prev.name != name {
 		return fmt.Errorf("wire: register %q: type %s already registered as %q", name, t, prev.name)
 	}
-	r.byName[name] = plan
-	r.byType[t] = plan
-	r.asPtr[t] = wantPtr
+	next := r.clone()
+	next.byName[name] = plan
+	next.byType[t] = plan
+	next.asPtr[t] = wantPtr
+	r.state.Store(next)
 	return nil
 }
 
@@ -97,7 +152,9 @@ func RegisterError(name string, sample error) error {
 	}
 	r := defaultRegistry
 	r.mu.Lock()
-	r.errName[name] = true
+	next := r.clone()
+	next.errName[name] = true
+	r.state.Store(next)
 	r.mu.Unlock()
 	return nil
 }
@@ -123,10 +180,7 @@ func TypeNameOf(v any) string {
 	if base.Kind() == reflect.Pointer {
 		base = base.Elem()
 	}
-	r := defaultRegistry
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if p, ok := r.byType[base]; ok {
+	if p, ok := defaultRegistry.state.Load().byType[base]; ok {
 		return p.name
 	}
 	return t.String()
@@ -142,30 +196,26 @@ func buildPlan(name string, t reflect.Type) (*structPlan, error) {
 		if tag := f.Tag.Get("wire"); tag == "-" {
 			continue
 		}
-		plan.fields = append(plan.fields, fieldPlan{name: f.Name, index: i})
+		plan.fields = append(plan.fields, fieldPlan{
+			name:  f.Name,
+			index: i,
+			enc:   compileFieldEnc(f.Type),
+			dec:   compileFieldDec(f.Type),
+		})
 	}
 	return plan, nil
 }
 
 func planForType(t reflect.Type) (*structPlan, bool) {
-	r := defaultRegistry
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	p, ok := r.byType[t]
+	p, ok := defaultRegistry.state.Load().byType[t]
 	return p, ok
 }
 
 func planForName(name string) (*structPlan, bool) {
-	r := defaultRegistry
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	p, ok := r.byName[name]
+	p, ok := defaultRegistry.state.Load().byName[name]
 	return p, ok
 }
 
 func decodeAsPointer(t reflect.Type) bool {
-	r := defaultRegistry
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.asPtr[t]
+	return defaultRegistry.state.Load().asPtr[t]
 }
