@@ -1,0 +1,196 @@
+// Package chaos is the seeded, deterministic fault-injection harness: it
+// runs the full client → wire → transport → cluster stack on a simulated
+// network (internal/netsim with a virtual clock and a seeded fault RNG),
+// drives a randomized workload program — mixed single-server flushes,
+// staged cross-server pipelines, lookups, and concurrent AddServer /
+// RemoveServer rebalances — under a fault schedule of directional link
+// partitions, per-link latency jitter and loss, connection drops, and
+// server crash/restart, and checks the cluster-wide invariants the system
+// documents:
+//
+//  1. Per-root program order: the deltas a counter applied appear in the
+//     order its calls were recorded (per name, per dependency chain).
+//  2. At-most-once execution: no batch effect is applied twice — not after
+//     a redial, not after a wrong-home retry, not after a re-run rebalance.
+//  3. Stage-scoped failure isolation: a failed dependency fails its
+//     dependent futures; a flush that reports success settled every future.
+//  4. Migration convergence: once the dust settles, every bound name
+//     resolves at its ring home with self-consistent state and appears in
+//     exactly one member's manifest — retried rebalances neither lose nor
+//     duplicate a Movable object.
+//  5. Epoch monotonicity and wrong-home termination: the directory's epoch
+//     never decreases, no node runs ahead of it at quiesce, and a final
+//     cluster-wide flush completes (stale-route retries terminate).
+//
+// Everything a run injects derives from one int64 seed: the workload
+// program and the fault schedule are pure functions of it (pinned by
+// TestSameSeedSameSchedule), and netsim's probabilistic outcomes (jitter
+// draws, drop rolls) come from a seeded RNG — though which concurrent
+// write consumes which roll depends on goroutine scheduling, so a replay
+// re-explores the same fault regime rather than one exact interleaving.
+// The invariants must hold for every interleaving, which is what makes the
+// seed + schedule sufficient to investigate a failure: the regime, not the
+// precise race, is what a violation indicts. On an invariant violation the
+// harness shrinks the
+// fault schedule — greedily re-running the same seeded workload with
+// subsets of the fault events — and reports the minimal schedule that still
+// fails, together with the replay command.
+//
+// Entry point:
+//
+//	go test ./internal/chaos -chaos.iters=N -chaos.seed=S
+//
+// Each iteration i simulates seed S+i. Two runs with the same seed produce
+// identical workload programs and fault schedules (pinned by
+// TestSameSeedSameSchedule); execution interleavings may differ — the
+// invariants hold for all of them.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clustertest"
+	"repro/internal/netsim"
+)
+
+// Config parameterizes one simulation.
+type Config struct {
+	// Seed drives everything: program, schedule, and netsim fault RNG.
+	Seed int64
+	// Servers is the initial member count (endpoints server-0 …).
+	Servers int
+	// Spares is how many extra serving endpoints AddServer may pull in.
+	Spares int
+	// Names is how many counters are bound through the directory.
+	Names int
+	// Steps is the workload length in ops.
+	Steps int
+	// Faults enables the fault schedule; false runs the same workload on a
+	// healthy network (the harness's own canary mode).
+	Faults bool
+	// FlushTimeout bounds each flush / rebalance op in wall time, a safety
+	// net against harness hangs; faults fail connections promptly, so the
+	// timeout should never be the thing that fires.
+	FlushTimeout time.Duration
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.Servers == 0 {
+		c.Servers = 3
+	}
+	if c.Spares == 0 {
+		c.Spares = 2
+	}
+	if c.Names == 0 {
+		c.Names = 8
+	}
+	if c.Steps == 0 {
+		c.Steps = 25
+	}
+	if c.FlushTimeout == 0 {
+		c.FlushTimeout = 15 * time.Second
+	}
+	return c
+}
+
+// endpoints returns the initial member endpoints.
+func (c Config) endpoints() []string {
+	out := make([]string, c.Servers)
+	for i := range out {
+		out[i] = fmt.Sprintf("server-%d", i)
+	}
+	return out
+}
+
+// spareEndpoints returns the spare endpoints.
+func (c Config) spareEndpoints() []string {
+	out := make([]string, c.Spares)
+	for i := range out {
+		out[i] = fmt.Sprintf("spare-%d", i)
+	}
+	return out
+}
+
+// allEndpoints returns members + spares.
+func (c Config) allEndpoints() []string {
+	return append(c.endpoints(), c.spareEndpoints()...)
+}
+
+// hosts returns every fault-targetable identity: all serving endpoints plus
+// the client host (the identity clustertest gives the client peer's dials).
+func (c Config) hosts() []string {
+	return append(c.allEndpoints(), clustertest.ClientHost)
+}
+
+// Result is one simulation's outcome.
+type Result struct {
+	Seed int64
+	// ScheduleTrace is the deterministic rendering of the fault schedule
+	// (and program header) actually used; equal for equal seeds.
+	ScheduleTrace []string
+	// Violations are invariant failures. Empty means the run passed.
+	Violations []string
+	// Flushes/Rebalances/FaultEvents summarize coverage for the log.
+	Flushes, FailedFlushes, Rebalances, FailedRebalances, FaultEvents int
+	// StaleRetries counts flushes that recovered through the wrong-home
+	// retry path (waves > planned stages).
+	StaleRetries int
+}
+
+func (r *Result) summary() string {
+	return fmt.Sprintf("seed=%d flushes=%d (failed %d) rebalances=%d (failed %d) faults=%d staleRetries=%d",
+		r.Seed, r.Flushes, r.FailedFlushes, r.Rebalances, r.FailedRebalances, r.FaultEvents, r.StaleRetries)
+}
+
+// newNetwork builds the seeded simulated network for cfg: instant base
+// links (injected faults supply latency), a virtual clock so injected
+// latency costs almost no wall time, and the fault RNG seeded from the run
+// seed.
+func newNetwork(cfg Config) (*netsim.Network, *netsim.VirtualClock) {
+	clk := netsim.NewVirtualClock()
+	n := netsim.New(netsim.Instant, netsim.WithClock(clk), netsim.WithFaultSeed(cfg.Seed))
+	return n, clk
+}
+
+// replayHint renders the command that reproduces a failing seed. The
+// program and schedule derive from the whole Config, so topology fields
+// that TestChaos cannot set from flags are called out explicitly.
+func replayHint(cfg Config) string {
+	hint := fmt.Sprintf("go test ./internal/chaos -run TestChaos -chaos.iters=1 -chaos.seed=%d -chaos.steps=%d", cfg.Seed, cfg.Steps)
+	if def := (Config{Seed: cfg.Seed, Steps: cfg.Steps, Faults: cfg.Faults, FlushTimeout: cfg.FlushTimeout}).withDefaults(); cfg != def {
+		hint += fmt.Sprintf(" (non-default topology — replay via chaos.Run with Config{Servers: %d, Spares: %d, Names: %d})",
+			cfg.Servers, cfg.Spares, cfg.Names)
+	}
+	return hint
+}
+
+// indent joins lines for a readable failure report.
+func indent(lines []string) string {
+	return "\t" + strings.Join(lines, "\n\t")
+}
+
+// Run executes one seeded simulation. On an invariant violation it shrinks
+// the fault schedule to a minimal still-failing subset and fails tb with
+// the violations, the minimal schedule trace, and the replay command; on
+// success it returns the run's coverage summary.
+func Run(tb testing.TB, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	prog := genProgram(cfg)
+	sched := genSchedule(cfg)
+	res := runSim(tb, cfg, prog, sched)
+	if len(res.Violations) == 0 {
+		return res
+	}
+	minSched, minRes := shrink(func(s *Schedule) *Result {
+		return runSim(tb, cfg, prog, s)
+	}, sched, res)
+	tb.Errorf("chaos: seed %d violated invariants:\n%s\nminimal fault schedule (%d of %d events):\n%s\nworkload:\n%s\nreplay: %s",
+		cfg.Seed, indent(minRes.Violations),
+		len(minSched.Events), len(sched.Events), indent(minSched.trace()),
+		indent(prog.trace()), replayHint(cfg))
+	return minRes
+}

@@ -1,0 +1,265 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"slices"
+
+	"repro/internal/cluster"
+	"repro/internal/clustertest"
+	"repro/internal/wire"
+)
+
+// checkInvariants runs the model checks against the quiesced cluster. The
+// network is healed and the membership reconciled by the time it runs, so
+// every remaining mismatch is a genuine violation, not an in-flight state.
+func (r *runner) checkInvariants(ctx context.Context) {
+	logs := r.collectLogs(ctx)
+	if logs == nil {
+		return // collection itself recorded the violation
+	}
+	r.checkProgramOrder(logs)
+	r.checkAtMostOnce(logs)
+	r.checkFailureIsolation(logs)
+	r.checkConvergence(ctx, logs)
+	r.checkEpochs(ctx)
+}
+
+// collectLogs resolves every bound name to its authoritative counter and
+// reads its applied-delta log in-process (the harness owns the server
+// objects, so no wire traffic can distort the evidence).
+func (r *runner) collectLogs(ctx context.Context) map[string][]int64 {
+	logs := make(map[string][]int64, len(r.prog.names))
+	for _, name := range r.prog.names {
+		ctr, ref, err := r.counterFor(ctx, name)
+		if err != nil {
+			r.violate("migration convergence: %s unresolvable after quiesce: %v", name, err)
+			return nil
+		}
+		log := ctr.History()
+		logs[name] = log
+		// Self-consistency: the total is exactly the sum of the log (chaos
+		// counters are seeded with 0 and mutated only through Apply).
+		var sum int64
+		for _, d := range log {
+			sum += d
+		}
+		if got := ctr.Get(); got != sum {
+			r.violate("state consistency: %s total %d != sum of log %d (ref %v)", name, got, sum, ref)
+		}
+	}
+	return logs
+}
+
+// counterFor resolves name through the directory and returns the live
+// *clustertest.Counter behind its authoritative reference.
+func (r *runner) counterFor(ctx context.Context, name string) (*clustertest.Counter, wire.Ref, error) {
+	lctx, cancel := context.WithTimeout(ctx, r.cfg.FlushTimeout)
+	defer cancel()
+	ref, err := r.dir.Lookup(lctx, name)
+	if err != nil {
+		return nil, wire.Ref{}, err
+	}
+	s := r.tc.Server(ref.Endpoint)
+	if s == nil {
+		return nil, ref, fmt.Errorf("resolves to unknown endpoint %q", ref.Endpoint)
+	}
+	obj, ok := s.Peer.LocalObject(ref.ObjID)
+	if !ok {
+		return nil, ref, fmt.Errorf("ref %v not exported at its endpoint", ref)
+	}
+	ctr, ok := obj.(*clustertest.Counter)
+	if !ok {
+		return nil, ref, fmt.Errorf("ref %v resolves to a %T, not a Counter", ref, obj)
+	}
+	return ctr, ref, nil
+}
+
+// checkProgramOrder: invariant 1 — per root (per name), applied tokens
+// appear in issue order. The workload chains same-name calls within a
+// flush and flushes sequentially across ops, so the issue sequence is the
+// authoritative order; faults may drop effects (holes are legal under
+// documented windows) but must never reorder them.
+func (r *runner) checkProgramOrder(logs map[string][]int64) {
+	for name, log := range logs {
+		issued := r.issued[name]
+		pos := make(map[int64]int, len(issued))
+		for i, tok := range issued {
+			pos[tok] = i + 1 // 1-based; 0 means never issued
+		}
+		last := 0
+		for i, tok := range log {
+			p := pos[tok]
+			if p == 0 {
+				r.violate("program order: %s log[%d] holds token %d that was never issued for it", name, i, tok)
+				continue
+			}
+			if p <= last {
+				r.violate("program order: %s applied token %d (issue #%d) after issue #%d — recording order not preserved (log %v)",
+					name, tok, p, last, log)
+			}
+			if p > last {
+				last = p
+			}
+		}
+	}
+}
+
+// checkAtMostOnce: invariant 2 — no token is applied twice anywhere:
+// redials must not replay frames, wrong-home retries must not re-execute
+// delivered waves, and re-run migrations must not double-restore.
+func (r *runner) checkAtMostOnce(logs map[string][]int64) {
+	seen := make(map[int64]string)
+	for name, log := range logs {
+		for _, tok := range log {
+			if prev, ok := seen[tok]; ok {
+				r.violate("at-most-once: token %d applied twice (%s and %s)", tok, prev, name)
+			}
+			seen[tok] = name
+		}
+	}
+}
+
+// checkFailureIsolation: invariant 3 — per flush: a failed dependency fails
+// its dependents; a flush reporting overall success settled every future
+// cleanly, and (outside documented migration windows) its effects are all
+// present.
+func (r *runner) checkFailureIsolation(logs map[string][]int64) {
+	applied := make(map[int64]bool)
+	for _, log := range logs {
+		for _, tok := range log {
+			applied[tok] = true
+		}
+	}
+	for fi, f := range r.flushes {
+		if f.recordErr != nil {
+			continue // never flushed; nothing to isolate
+		}
+		for i, c := range f.calls {
+			if c.Dep >= 0 && f.outcomes[c.Dep] != nil && f.outcomes[i] == nil {
+				r.violate("failure isolation: flush %d call %d succeeded although its dependency (call %d) failed: %v",
+					fi, i, c.Dep, f.outcomes[c.Dep])
+			}
+			if f.outcomes[i] != nil && c.Dep >= 0 && f.outcomes[c.Dep] != nil {
+				// Dependent call was never sent: its effect must not exist —
+				// unless the token somehow executed, which at-most-once
+				// would only miss if the dep error was response loss. A
+				// dep-failed call is settled client-side before sending, so
+				// presence here is a real leak.
+				if applied[c.Token] {
+					r.violate("failure isolation: flush %d call %d (token %d) executed despite a failed dependency",
+						fi, i, c.Token)
+				}
+			}
+		}
+		if f.flushErr == nil {
+			for i := range f.calls {
+				if f.outcomes[i] != nil {
+					r.violate("failure isolation: flush %d reported success but call %d failed: %v", fi, i, f.outcomes[i])
+				}
+			}
+			if !f.migrationConcurrent {
+				for i, c := range f.calls {
+					if !applied[c.Token] {
+						r.violate("durability: flush %d succeeded with no concurrent migration, but call %d (token %d on %s) left no effect",
+							fi, i, c.Token, c.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkConvergence: invariant 4 — after quiesce every name is homed where
+// the ring says, exactly one member's manifest carries it, and (from
+// collectLogs) its state is self-consistent: retried rebalances neither
+// lost nor duplicated an object.
+func (r *runner) checkConvergence(ctx context.Context, logs map[string][]int64) {
+	holders := make(map[string][]string, len(logs))
+	for _, s := range r.tc.Servers {
+		if !r.dir.Ring().Contains(s.Endpoint) {
+			// A drained ex-member must hold no clean binding for any name.
+			for _, b := range s.Node.Manifest() {
+				if _, ours := logs[b.Name]; ours {
+					r.violate("migration convergence: ex-member %s still binds %s", s.Endpoint, b.Name)
+				}
+			}
+			continue
+		}
+		for _, b := range s.Node.Manifest() {
+			if _, ours := logs[b.Name]; ours {
+				holders[b.Name] = append(holders[b.Name], s.Endpoint)
+			}
+		}
+	}
+	for _, name := range r.prog.names {
+		hs := holders[name]
+		if len(hs) != 1 {
+			r.violate("migration convergence: %s bound at %d members %v, want exactly 1", name, len(hs), hs)
+			continue
+		}
+		home, err := r.dir.Home(name)
+		if err != nil {
+			r.violate("migration convergence: %s has no ring home: %v", name, err)
+			continue
+		}
+		if hs[0] != home {
+			r.violate("migration convergence: %s bound at %s, ring home is %s", name, hs[0], home)
+		}
+	}
+}
+
+// checkEpochs: invariant 5 — the directory's observed epoch never
+// decreased during the run, no node is ahead of the reconciled directory,
+// nodes at the directory's epoch agree on the membership, and a final
+// cluster-wide flush terminates (every wrong-home retry resolved).
+func (r *runner) checkEpochs(ctx context.Context) {
+	for i := 1; i < len(r.epochs); i++ {
+		if r.epochs[i] < r.epochs[i-1] {
+			r.violate("epoch monotonicity: directory epoch fell %d -> %d at op %d", r.epochs[i-1], r.epochs[i], i+1)
+		}
+	}
+	dirEpoch := r.dir.Epoch()
+	members := r.dir.Servers()
+	for _, s := range r.tc.Servers {
+		if !r.dir.Ring().Contains(s.Endpoint) {
+			continue
+		}
+		snap := s.Node.RingState()
+		if snap.Epoch > dirEpoch {
+			r.violate("epoch monotonicity: node %s at epoch %d, ahead of the reconciled directory (%d)", s.Endpoint, snap.Epoch, dirEpoch)
+		}
+		if snap.Epoch == dirEpoch && !slices.Equal(snap.Members, members) {
+			r.violate("epoch monotonicity: node %s members %v != directory members %v at epoch %d", s.Endpoint, snap.Members, members, dirEpoch)
+		}
+	}
+
+	// Wrong-home retry termination: one Apply per name must flush cleanly
+	// on the healed, reconciled cluster — any stale route left anywhere
+	// resolves in the retry wave or fails this check.
+	fctx, cancel := context.WithTimeout(ctx, r.cfg.FlushTimeout)
+	defer cancel()
+	b := cluster.New(r.tc.Client, cluster.WithDirectory(r.dir))
+	tok := int64(9_000_000)
+	var futures []*cluster.Future
+	for _, name := range r.prog.names {
+		p, err := b.RootNamed(fctx, name)
+		if err != nil {
+			r.violate("wrong-home termination: cannot resolve %s on the quiesced cluster: %v", name, err)
+			return
+		}
+		// Not added to r.issued: logs were collected before this flush, so
+		// these tokens are verified through their futures only.
+		futures = append(futures, p.Call("Apply", tok, nil))
+		tok++
+	}
+	if err := b.Flush(fctx); err != nil {
+		r.violate("wrong-home termination: final flush failed on the quiesced cluster: %v", err)
+		return
+	}
+	for i, f := range futures {
+		if err := f.Err(); err != nil {
+			r.violate("wrong-home termination: final call on %s failed: %v", r.prog.names[i], err)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// EventKind enumerates the injectable fault classes.
+type EventKind int
+
+// The fault classes the schedule draws from.
+const (
+	// EvPartition blocks the directed link A→B for [Step, Until).
+	EvPartition EventKind = iota
+	// EvCrash takes endpoint A down for [Step, Until): connections reset,
+	// dials refused, in-memory state kept (crash with recovery).
+	EvCrash
+	// EvLink degrades the directed link A→B for [Step, Until) with extra
+	// latency, jitter, and a per-write drop probability.
+	EvLink
+	// EvKillConns resets every connection touching A once, at Step — the
+	// connection-drop fault; the endpoint stays up, clients redial.
+	EvKillConns
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvPartition:
+		return "partition"
+	case EvCrash:
+		return "crash"
+	case EvLink:
+		return "link"
+	case EvKillConns:
+		return "killconns"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind   EventKind
+	Step   int // applied at the boundary before workload op Step (or during it, see Mid)
+	Until  int // healed/restarted at the boundary before op Until (durable kinds)
+	A, B   string
+	Extra  time.Duration
+	Jitter time.Duration
+	Drop   float64
+	// Mid injects the fault concurrently with op Step instead of before it,
+	// racing it against the in-flight flush/rebalance, after MidDelay of
+	// real time (drawn from the seed, so it is part of the schedule). The
+	// injection point is scheduled deterministically; the exact
+	// interleaving is whatever the race produces — the invariants must
+	// hold for all of them. A fast op may complete before the delay
+	// elapses, degrading the event to a late one-shot; its expiry window
+	// is honored at the next boundary either way.
+	Mid      bool
+	MidDelay time.Duration
+}
+
+func (e Event) trace() string {
+	mid := ""
+	if e.Mid {
+		mid = fmt.Sprintf(" mid+%s", e.MidDelay)
+	}
+	switch e.Kind {
+	case EvPartition:
+		return fmt.Sprintf("step=%d partition %s->%s until=%d%s", e.Step, e.A, e.B, e.Until, mid)
+	case EvCrash:
+		return fmt.Sprintf("step=%d crash %s until=%d%s", e.Step, e.A, e.Until, mid)
+	case EvLink:
+		return fmt.Sprintf("step=%d link %s->%s extra=%s jitter=%s drop=%.2f until=%d%s",
+			e.Step, e.A, e.B, e.Extra, e.Jitter, e.Drop, e.Until, mid)
+	case EvKillConns:
+		return fmt.Sprintf("step=%d killconns %s%s", e.Step, e.A, mid)
+	}
+	return fmt.Sprintf("step=%d unknown", e.Step)
+}
+
+// apply injects the event's onset into the network.
+func (e Event) apply(n *netsim.Network) {
+	switch e.Kind {
+	case EvPartition:
+		n.Partition(e.A, e.B)
+	case EvCrash:
+		n.Crash(e.A)
+	case EvLink:
+		n.SetLinkFaults(e.A, e.B, netsim.LinkFaults{ExtraLatency: e.Extra, Jitter: e.Jitter, DropPerWrite: e.Drop})
+	case EvKillConns:
+		n.KillConns(e.A)
+	}
+}
+
+// Expiry is not an event method: the runner's scheduleBoundary heals the
+// whole network and reinstalls the still-active events, so overlapping
+// faults on one link expire correctly (see workload.go).
+
+// Schedule is a deterministic list of fault events, ordered by Step.
+type Schedule struct {
+	Events []Event
+}
+
+// trace renders the schedule deterministically, one line per event.
+func (s *Schedule) trace() []string {
+	out := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		out[i] = e.trace()
+	}
+	if len(out) == 0 {
+		out = []string{"(no faults)"}
+	}
+	return out
+}
+
+// genSchedule derives the fault schedule from the seed. It draws one
+// potential event per workload step; crash intervals never overlap (at most
+// one server down at a time, so the workload retains a quorum of reachable
+// members and every failure is attributable).
+func genSchedule(cfg Config) *Schedule {
+	s := &Schedule{}
+	if !cfg.Faults {
+		return s
+	}
+	// An independent stream from the program generator's: both derive from
+	// Seed but must not consume each other's draws.
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eedfa017))
+	endpoints := cfg.allEndpoints()
+	hosts := cfg.hosts()
+	crashedUntil := 0
+	for step := 1; step <= cfg.Steps; step++ {
+		if rng.Float64() > 0.40 {
+			continue
+		}
+		dur := 1 + rng.Intn(3)
+		until := step + dur
+		// Until may point one past the last step: boundaries only run for
+		// steps 1..Steps, so a tail event stays active through the final op
+		// (step < Until) and the quiesce HealAll closes it.
+		if until > cfg.Steps+1 {
+			until = cfg.Steps + 1
+		}
+		e := Event{Step: step, Until: until}
+		switch p := rng.Float64(); {
+		case p < 0.30:
+			e.Kind = EvPartition
+			e.A, e.B = pickPair(rng, hosts)
+		case p < 0.55:
+			if step < crashedUntil {
+				continue // one crash at a time
+			}
+			e.Kind = EvCrash
+			e.A = endpoints[rng.Intn(len(endpoints))]
+			e.Mid = rng.Float64() < 0.5
+			e.MidDelay = midDelay(rng, e.Mid)
+			crashedUntil = until
+		case p < 0.85:
+			e.Kind = EvLink
+			e.A, e.B = pickPair(rng, hosts)
+			e.Extra = time.Duration(rng.Intn(80)) * time.Millisecond
+			e.Jitter = time.Duration(1+rng.Intn(40)) * time.Millisecond
+			if rng.Float64() < 0.5 {
+				e.Drop = 0.05 + 0.25*rng.Float64()
+			}
+		default:
+			e.Kind = EvKillConns
+			e.A = hosts[rng.Intn(len(hosts))]
+			e.Mid = rng.Float64() < 0.5
+			e.MidDelay = midDelay(rng, e.Mid)
+			e.Until = step
+		}
+		s.Events = append(s.Events, e)
+	}
+	return s
+}
+
+// midDelay draws a mid-op injection delay in [0, 400µs): zero races the
+// op's very first traffic, larger values land deeper into multi-trip ops
+// (rebalances, staged flushes). Fast ops may finish before larger delays —
+// that spread is the point; the drawn value is part of the schedule.
+func midDelay(rng *rand.Rand, mid bool) time.Duration {
+	if !mid {
+		return 0
+	}
+	return time.Duration(rng.Intn(400)) * time.Microsecond
+}
+
+// pickPair draws a directed (src, dst) pair of distinct hosts.
+func pickPair(rng *rand.Rand, hosts []string) (string, string) {
+	a := hosts[rng.Intn(len(hosts))]
+	for {
+		b := hosts[rng.Intn(len(hosts))]
+		if b != a {
+			return a, b
+		}
+	}
+}
+
+// without returns a copy of the schedule with event index i removed.
+func (s *Schedule) without(i int) *Schedule {
+	events := make([]Event, 0, len(s.Events)-1)
+	events = append(events, s.Events[:i]...)
+	events = append(events, s.Events[i+1:]...)
+	return &Schedule{Events: events}
+}
+
+// shrinkBudget caps the number of re-runs a shrink may spend.
+const shrinkBudget = 48
+
+// shrink greedily minimizes a failing schedule: repeatedly try dropping one
+// event; keep any subset that still violates an invariant. Because
+// violations can be timing-dependent, an attempt that no longer fails
+// simply keeps the event — the result is the smallest schedule the budget
+// could confirm failing, alongside its violations.
+func shrink(run func(*Schedule) *Result, sched *Schedule, firstFailure *Result) (*Schedule, *Result) {
+	best, bestRes := sched, firstFailure
+	budget := shrinkBudget
+	for {
+		shrunk := false
+		for i := 0; i < len(best.Events) && budget > 0; i++ {
+			candidate := best.without(i)
+			budget--
+			res := run(candidate)
+			if len(res.Violations) > 0 {
+				best, bestRes = candidate, res
+				shrunk = true
+				break // restart the scan against the smaller schedule
+			}
+		}
+		if !shrunk || budget <= 0 {
+			return best, bestRes
+		}
+	}
+}

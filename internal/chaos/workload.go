@@ -1,0 +1,587 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/clustertest"
+	"repro/internal/netsim"
+)
+
+// --- program -----------------------------------------------------------------
+
+// callSpec is one recorded call of a flush op: Apply(Token, dep) on the
+// counter bound to Name. Dep < 0 records a dependency-free call; otherwise
+// the call passes the future of the flush's Dep-th call as its dataflow
+// edge (a value splice — cross-server when the names' homes differ, which
+// is what makes the flush a staged pipeline).
+type callSpec struct {
+	Name  string
+	Token int64
+	Dep   int
+}
+
+type opKind int
+
+const (
+	opFlush opKind = iota
+	// opStaleFlush records its calls, runs a synchronous membership change,
+	// THEN flushes — the recorded roots are stale by construction, forcing
+	// the wrong-home retry path (the scenario PR 3 covered with bespoke
+	// setup; here it is one draw of the op vocabulary).
+	opStaleFlush
+	opAddServer
+	opRemoveServer
+	opLookup
+)
+
+// op is one workload step.
+type op struct {
+	Kind     opKind
+	Calls    []callSpec // opFlush / opStaleFlush
+	Endpoint string     // opAddServer / opRemoveServer, and opStaleFlush's change
+	Add      bool       // opStaleFlush: direction of the change
+	Async    bool       // rebalances: run concurrently with subsequent steps
+	Name     string     // opLookup
+}
+
+func (o op) trace() string {
+	switch o.Kind {
+	case opFlush, opStaleFlush:
+		kind := "flush"
+		if o.Kind == opStaleFlush {
+			dir := "remove"
+			if o.Add {
+				dir = "add"
+			}
+			kind = fmt.Sprintf("staleflush(%s %s)", dir, o.Endpoint)
+		}
+		calls := ""
+		for i, c := range o.Calls {
+			if i > 0 {
+				calls += " "
+			}
+			calls += fmt.Sprintf("%s@%d", c.Name, c.Token)
+			if c.Dep >= 0 {
+				calls += fmt.Sprintf("<-%d", c.Dep)
+			}
+		}
+		return fmt.Sprintf("%s [%s]", kind, calls)
+	case opAddServer:
+		return fmt.Sprintf("add %s async=%v", o.Endpoint, o.Async)
+	case opRemoveServer:
+		return fmt.Sprintf("remove %s async=%v", o.Endpoint, o.Async)
+	case opLookup:
+		return fmt.Sprintf("lookup %s", o.Name)
+	}
+	return "unknown"
+}
+
+// program is the seeded workload: bound names plus the op sequence.
+type program struct {
+	names []string
+	ops   []op
+}
+
+func (p *program) trace() []string {
+	out := make([]string, 0, len(p.ops)+1)
+	out = append(out, fmt.Sprintf("names=%d ops=%d", len(p.names), len(p.ops)))
+	for i, o := range p.ops {
+		out = append(out, fmt.Sprintf("op=%d %s", i+1, o.trace()))
+	}
+	return out
+}
+
+// genProgram derives the workload from the seed. Within one flush, calls on
+// the same name always chain (each deps on the name's previous call), so a
+// name's record order equals its stage order — per-root program order is a
+// checkable invariant even for staged flushes. Cross-name deps are free and
+// create the multi-wave pipelines.
+func genProgram(cfg Config) *program {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x60a7f10c2))
+	p := &program{}
+	for i := 0; i < cfg.Names; i++ {
+		p.names = append(p.names, fmt.Sprintf("obj-%d", i))
+	}
+	members := map[string]bool{}
+	for _, ep := range cfg.endpoints() {
+		members[ep] = true
+	}
+	nonMembers := append([]string(nil), cfg.spareEndpoints()...)
+	nextToken := int64(1_000_000)
+
+	genCalls := func() []callSpec {
+		k := 1 + rng.Intn(6)
+		calls := make([]callSpec, 0, k)
+		lastByName := map[string]int{}
+		for i := 0; i < k; i++ {
+			name := p.names[rng.Intn(len(p.names))]
+			dep := -1
+			if prev, ok := lastByName[name]; ok {
+				dep = prev // same-name calls always chain
+			} else if len(calls) > 0 && rng.Float64() < 0.45 {
+				dep = rng.Intn(len(calls)) // cross-name pipeline edge
+			}
+			calls = append(calls, callSpec{Name: name, Token: nextToken, Dep: dep})
+			lastByName[name] = i
+			nextToken++
+		}
+		return calls
+	}
+	// membershipChange mutates the generator's model and returns the op
+	// fields; returns ok=false when no legal change exists.
+	membershipChange := func() (endpoint string, add, ok bool) {
+		if len(nonMembers) > 0 && (len(members) <= 2 || rng.Float64() < 0.55) {
+			i := rng.Intn(len(nonMembers))
+			ep := nonMembers[i]
+			nonMembers = append(nonMembers[:i], nonMembers[i+1:]...)
+			members[ep] = true
+			return ep, true, true
+		}
+		if len(members) > 2 {
+			eps := make([]string, 0, len(members))
+			for ep := range members {
+				eps = append(eps, ep)
+			}
+			// Deterministic order before drawing: map iteration is not.
+			sort.Strings(eps)
+			ep := eps[rng.Intn(len(eps))]
+			delete(members, ep)
+			nonMembers = append(nonMembers, ep)
+			return ep, false, true
+		}
+		return "", false, false
+	}
+
+	for step := 0; step < cfg.Steps; step++ {
+		switch q := rng.Float64(); {
+		case q < 0.58:
+			p.ops = append(p.ops, op{Kind: opFlush, Calls: genCalls()})
+		case q < 0.68:
+			if ep, add, ok := membershipChange(); ok {
+				p.ops = append(p.ops, op{Kind: opStaleFlush, Calls: genCalls(), Endpoint: ep, Add: add})
+			} else {
+				p.ops = append(p.ops, op{Kind: opFlush, Calls: genCalls()})
+			}
+		case q < 0.86:
+			if ep, add, ok := membershipChange(); ok {
+				kind := opRemoveServer
+				if add {
+					kind = opAddServer
+				}
+				p.ops = append(p.ops, op{Kind: kind, Endpoint: ep, Async: rng.Float64() < 0.5})
+			} else {
+				p.ops = append(p.ops, op{Kind: opFlush, Calls: genCalls()})
+			}
+		default:
+			p.ops = append(p.ops, op{Kind: opLookup, Name: p.names[rng.Intn(len(p.names))]})
+		}
+	}
+	return p
+}
+
+// --- runner ------------------------------------------------------------------
+
+// flushRecord is the ledger entry of one executed flush op.
+type flushRecord struct {
+	op        int
+	calls     []callSpec
+	outcomes  []error // per call, from its future
+	flushErr  error
+	recordErr error // RootNamed failed; the flush never ran
+	waves     int
+	// migrationConcurrent marks flushes that overlapped a membership
+	// change. DESIGN.md's in-flight window allows a stale-ring write
+	// applied to the old copy to be superseded by the move, so the
+	// "success implies effect present" check is waived for them; order and
+	// at-most-once are not.
+	migrationConcurrent bool
+}
+
+// runner executes one program under one schedule.
+type runner struct {
+	tb    testing.TB
+	cfg   Config
+	prog  *program
+	sched *Schedule
+
+	tc  *clustertest.Cluster
+	dir *cluster.Directory
+	reb *cluster.Rebalancer
+
+	flushes []*flushRecord
+	issued  map[string][]int64 // per name, tokens in issue order
+
+	rebMu      sync.Mutex
+	rebPending chan error // one async rebalance at a time
+	rebCount   int
+	rebFailed  int
+	midWG      sync.WaitGroup // mid-step fault injections in flight
+
+	// The in-flight migration window (DESIGN.md): open while a partially
+	// failed rebalance may have left names live at two homes. A failed
+	// AddServer opens it cluster-wide (its leftovers sit mis-homed on any
+	// member); a failed RemoveServer opens it for the victim endpoint (its
+	// leftovers sit on the possibly-out-of-ring victim). A successful
+	// AddServer rescans every member and migrates everything mis-homed, so
+	// it closes the cluster-wide window and the window of the endpoint it
+	// (re)joined; a successful RemoveServer drains exactly its victim.
+	windowAll       bool
+	windowEndpoints map[string]bool
+
+	epochs []uint64 // dir epoch samples, one per op
+
+	violations []string
+}
+
+// violate records an invariant violation.
+func (r *runner) violate(format string, args ...any) {
+	r.violations = append(r.violations, fmt.Sprintf(format, args...))
+}
+
+// runSim executes the full simulation for (cfg, prog, sched) on a fresh
+// deployment and returns its result.
+func runSim(tb testing.TB, cfg Config, prog *program, sched *Schedule) *Result {
+	net, clk := newNetwork(cfg)
+	defer clk.Stop()
+	defer net.Close()
+	tc := clustertest.New(tb, 0, clustertest.WithNetwork(net))
+	defer tc.Close()
+	for _, ep := range cfg.allEndpoints() {
+		tc.StartServer(ep)
+	}
+	dir := cluster.NewDirectory(tc.Client, cfg.endpoints())
+	r := &runner{
+		tb: tb, cfg: cfg, prog: prog, sched: sched,
+		tc: tc, dir: dir, reb: cluster.NewRebalancer(dir),
+		issued: make(map[string][]int64),
+	}
+	ctx := context.Background()
+	for _, name := range prog.names {
+		tc.BindCounter(dir, name, 0)
+	}
+
+	for i, o := range prog.ops {
+		step := i + 1
+		r.scheduleBoundary(step)
+		r.mid(step) // arm mid-step injections before starting the op
+		r.exec(ctx, o, i)
+		r.epochs = append(r.epochs, dir.Epoch())
+	}
+	r.quiesce(ctx)
+	r.checkInvariants(ctx)
+
+	res := &Result{
+		Seed:             cfg.Seed,
+		ScheduleTrace:    sched.trace(),
+		Violations:       r.violations,
+		Rebalances:       r.rebCount,
+		FailedRebalances: r.rebFailed,
+		FaultEvents:      len(sched.Events),
+	}
+	for _, f := range r.flushes {
+		res.Flushes++
+		if f.flushErr != nil || f.recordErr != nil {
+			res.FailedFlushes++
+		}
+		if f.flushErr == nil && f.recordErr == nil && f.waves > 0 && f.retryObserved() {
+			res.StaleRetries++
+		}
+	}
+	return res
+}
+
+// retryObserved reports whether the flush needed more waves than its
+// dependency depth — i.e. it recovered through a wrong-home retry wave.
+func (f *flushRecord) retryObserved() bool {
+	depth := 0
+	stages := make([]int, len(f.calls))
+	for i, c := range f.calls {
+		s := 0
+		if c.Dep >= 0 {
+			s = stages[c.Dep] + 1
+		}
+		stages[i] = s
+		if s > depth {
+			depth = s
+		}
+	}
+	return f.waves > depth+1
+}
+
+// scheduleBoundary installs the fault state due at a step boundary: the
+// set of durable events active at this step is computed from scratch and
+// swapped in atomically (netsim.SetFaultSet), then this step's one-shot
+// kills fire. Recomputing makes expiry correct when events overlap on one
+// link — an incremental expire of the earlier event would heal the later
+// one early — and the atomic swap means a window spanning several steps
+// never transiently lifts at a boundary while an async rebalance is still
+// sending; overlapping EvLink events on one pair resolve to the later one
+// (schedule order), deterministically. The previous step's mid-op
+// injections are joined first: ops can finish faster than their seeded
+// injection delay, and a boundary racing its own step's fault would break
+// the generator's one-crash-at-a-time guarantee. Mid events join the
+// installed set at the NEXT boundary (their onset mid-op is applied
+// incrementally by mid()).
+func (r *runner) scheduleBoundary(step int) {
+	r.midWG.Wait()
+	var fs netsim.FaultSet
+	for _, e := range r.sched.Events {
+		if e.Kind == EvKillConns || !(e.Step < step || (e.Step == step && !e.Mid)) || step >= e.Until {
+			continue
+		}
+		switch e.Kind {
+		case EvPartition:
+			fs.Partitions = append(fs.Partitions, [2]string{e.A, e.B})
+		case EvCrash:
+			fs.Down = append(fs.Down, e.A)
+		case EvLink:
+			if fs.Links == nil {
+				fs.Links = make(map[[2]string]netsim.LinkFaults)
+			}
+			fs.Links[[2]string{e.A, e.B}] = netsim.LinkFaults{ExtraLatency: e.Extra, Jitter: e.Jitter, DropPerWrite: e.Drop}
+		}
+	}
+	r.tc.Network.SetFaultSet(fs)
+	for _, e := range r.sched.Events {
+		if e.Kind == EvKillConns && e.Step == step && !e.Mid {
+			e.apply(r.tc.Network)
+		}
+	}
+}
+
+// mid arms this step's mid-op injections: each fires from its own goroutine
+// after its seeded delay, racing the fault against in-flight work. Both
+// quiesce and the next boundary wait for them, so no injection outlives
+// its scheduled window.
+func (r *runner) mid(step int) {
+	for _, e := range r.sched.Events {
+		if e.Step == step && e.Mid {
+			ev := e
+			r.midWG.Add(1)
+			go func() {
+				defer r.midWG.Done()
+				time.Sleep(ev.MidDelay)
+				ev.apply(r.tc.Network)
+			}()
+		}
+	}
+}
+
+// exec runs one workload op.
+func (r *runner) exec(ctx context.Context, o op, idx int) {
+	switch o.Kind {
+	case opFlush:
+		r.flush(ctx, o, idx, nil)
+	case opStaleFlush:
+		r.flush(ctx, o, idx, func() {
+			r.joinRebalance()
+			r.rebalance(ctx, o.Endpoint, o.Add)
+		})
+	case opAddServer, opRemoveServer:
+		r.joinRebalance()
+		if o.Async {
+			ch := make(chan error, 1)
+			r.rebMu.Lock()
+			r.rebPending = ch
+			r.rebMu.Unlock()
+			go func() { ch <- r.rebalanceErr(ctx, o.Endpoint, o.Kind == opAddServer) }()
+		} else {
+			r.rebalance(ctx, o.Endpoint, o.Kind == opAddServer)
+		}
+	case opLookup:
+		lctx, cancel := context.WithTimeout(ctx, r.cfg.FlushTimeout)
+		_, _ = r.dir.Lookup(lctx, o.Name) // failures under faults are legal; epoch samples catch regressions
+		cancel()
+	}
+}
+
+// flush records o.Calls, optionally runs between() (the stale-flush
+// membership change), then flushes and ledgers every outcome.
+func (r *runner) flush(ctx context.Context, o op, idx int, between func()) {
+	fr := &flushRecord{op: idx, calls: o.Calls}
+	r.flushes = append(r.flushes, fr)
+	// A failed rebalance leaves DESIGN.md's in-flight window open until a
+	// later successful pass covers its leftovers: a name can be live at
+	// both homes, and a write applied to the old copy is superseded by the
+	// retried move. Every flush inside that window is exempt from the
+	// "success implies effect present" check — order and at-most-once are
+	// never exempt.
+	fr.migrationConcurrent = r.rebalanceInFlight() || between != nil || r.migrationWindowOpen()
+
+	fctx, cancel := context.WithTimeout(ctx, r.cfg.FlushTimeout)
+	defer cancel()
+	b := cluster.New(r.tc.Client, cluster.WithDirectory(r.dir))
+	proxies := map[string]*cluster.Proxy{}
+	futures := make([]*cluster.Future, len(o.Calls))
+	for _, c := range o.Calls {
+		if _, ok := proxies[c.Name]; ok {
+			continue
+		}
+		p, err := b.RootNamed(fctx, c.Name)
+		if err != nil {
+			fr.recordErr = err
+			return
+		}
+		proxies[c.Name] = p
+	}
+	for i, c := range o.Calls {
+		var dep any
+		if c.Dep >= 0 {
+			dep = futures[c.Dep]
+		}
+		futures[i] = proxies[c.Name].Call("Apply", c.Token, dep)
+		r.issued[c.Name] = append(r.issued[c.Name], c.Token)
+	}
+	if between != nil {
+		between()
+		fr.migrationConcurrent = true
+	}
+	fr.flushErr = b.Flush(fctx)
+	fr.waves = b.Waves()
+	fr.outcomes = make([]error, len(futures))
+	for i, f := range futures {
+		fr.outcomes[i] = f.Err()
+	}
+	// An async rebalance may have started/finished mid-flush; re-check.
+	if r.rebalanceInFlight() || r.migrationWindowOpen() {
+		fr.migrationConcurrent = true
+	}
+}
+
+// rebalance runs a membership change synchronously, recording the outcome.
+func (r *runner) rebalance(ctx context.Context, endpoint string, add bool) {
+	_ = r.rebalanceErr(ctx, endpoint, add)
+}
+
+func (r *runner) rebalanceErr(ctx context.Context, endpoint string, add bool) error {
+	r.rebMu.Lock()
+	r.rebCount++
+	r.rebMu.Unlock()
+	rctx, cancel := context.WithTimeout(ctx, r.cfg.FlushTimeout)
+	defer cancel()
+	var err error
+	if add {
+		_, err = r.reb.AddServer(rctx, endpoint)
+	} else {
+		_, err = r.reb.RemoveServer(rctx, endpoint)
+	}
+	r.noteRebalance(endpoint, add, err)
+	return err
+}
+
+// noteRebalance updates the failure tally and the in-flight migration
+// window tracking (see the field comment).
+func (r *runner) noteRebalance(endpoint string, add bool, err error) {
+	r.rebMu.Lock()
+	defer r.rebMu.Unlock()
+	if r.windowEndpoints == nil {
+		r.windowEndpoints = make(map[string]bool)
+	}
+	switch {
+	case err != nil && add:
+		r.rebFailed++
+		r.windowAll = true
+	case err != nil:
+		r.rebFailed++
+		r.windowEndpoints[endpoint] = true
+	case add:
+		r.windowAll = false
+		delete(r.windowEndpoints, endpoint)
+	default:
+		delete(r.windowEndpoints, endpoint)
+	}
+}
+
+// joinRebalance waits for the in-flight async rebalance, if any (its
+// outcome was already noted by the goroutine running it).
+func (r *runner) joinRebalance() {
+	r.rebMu.Lock()
+	ch := r.rebPending
+	r.rebPending = nil
+	r.rebMu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+}
+
+func (r *runner) rebalanceInFlight() bool {
+	r.rebMu.Lock()
+	defer r.rebMu.Unlock()
+	return r.rebPending != nil
+}
+
+// migrationWindowOpen reports whether some partially failed rebalance may
+// still have a name live at two homes.
+func (r *runner) migrationWindowOpen() bool {
+	r.rebMu.Lock()
+	defer r.rebMu.Unlock()
+	return r.windowAll || len(r.windowEndpoints) > 0
+}
+
+// quiesce heals every fault, joins outstanding work, and reconciles the
+// membership: AddServer for every intended member (idempotent — completes
+// partial migrations and re-broadcasts the ring) and RemoveServer for every
+// endpoint that should be out (drains leftovers). Bounded retries: under a
+// healed network this must converge, and failing to is itself a violation.
+func (r *runner) quiesce(ctx context.Context) {
+	r.midWG.Wait()
+	r.tc.Network.HealAll()
+	r.joinRebalance()
+
+	intended := r.intendedMembers()
+	var lastErr error
+	for attempt := 0; attempt < 6; attempt++ {
+		lastErr = nil
+		qctx, cancel := context.WithTimeout(ctx, r.cfg.FlushTimeout)
+		if err := r.dir.Refresh(qctx); err != nil {
+			lastErr = err
+		}
+		for _, ep := range r.cfg.allEndpoints() {
+			var err error
+			if intended[ep] {
+				_, err = r.reb.AddServer(qctx, ep)
+			} else {
+				_, err = r.reb.RemoveServer(qctx, ep)
+			}
+			if err != nil {
+				lastErr = fmt.Errorf("%s: %w", ep, err)
+			}
+		}
+		cancel()
+		if lastErr == nil {
+			return
+		}
+	}
+	r.violate("quiesce did not converge on a healed network: %v", lastErr)
+}
+
+// intendedMembers replays the program's membership changes to the final
+// intended member set.
+func (r *runner) intendedMembers() map[string]bool {
+	m := map[string]bool{}
+	for _, ep := range r.cfg.endpoints() {
+		m[ep] = true
+	}
+	for _, o := range r.prog.ops {
+		switch o.Kind {
+		case opAddServer:
+			m[o.Endpoint] = true
+		case opRemoveServer:
+			delete(m, o.Endpoint)
+		case opStaleFlush:
+			if o.Add {
+				m[o.Endpoint] = true
+			} else {
+				delete(m, o.Endpoint)
+			}
+		}
+	}
+	return m
+}

@@ -1,127 +1,16 @@
 package cluster
 
+// In-package tests for pieces only reachable from inside the package: the
+// recording partitioner and the ring's point-table internals. Everything
+// that exercises the public cluster behaviour against a running deployment
+// lives in the external test files (package cluster_test), on the shared
+// internal/clustertest scaffolding.
+
 import (
-	"context"
-	"errors"
 	"fmt"
-	"sync"
+	"math/rand"
 	"testing"
-
-	"repro/internal/core"
-	"repro/internal/netsim"
-	"repro/internal/registry"
-	"repro/internal/rmi"
-	"repro/internal/wire"
 )
-
-// counter is the test workload: a per-server remote object whose state makes
-// execution order observable (Add returns the running total).
-type counter struct {
-	rmi.RemoteBase
-	mu  sync.Mutex
-	n   int64
-	log []int64
-}
-
-func (c *counter) Add(d int64) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.n += d
-	c.log = append(c.log, d)
-	return c.n
-}
-
-func (c *counter) Get() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
-
-func (c *counter) Self() *counter { return c }
-
-// Fork returns a fresh counter seeded with seed — a new remote object, so a
-// cross-server consumer receives a freshly pinned exported ref.
-func (c *counter) Fork(seed int64) *counter { return &counter{n: seed} }
-
-// AddRemote adds the value read from another counter, wherever it lives.
-// When the source was forwarded from a different server (the staged
-// pipeline's by-reference splice), src arrives as a stub and the read is a
-// server-to-server call.
-func (c *counter) AddRemote(ctx context.Context, src rmi.Invoker) (int64, error) {
-	res, err := src.Invoke(ctx, "Get")
-	if err != nil {
-		return 0, err
-	}
-	n, ok := res[0].(int64)
-	if !ok {
-		return 0, fmt.Errorf("Get returned %T", res[0])
-	}
-	return c.Add(n), nil
-}
-
-// Absorb adds another counter's total into this one; used to exercise a
-// data dependency between two batch roots on the same server.
-func (c *counter) Absorb(o *counter) int64 {
-	n := o.Get()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.n += n
-	return c.n
-}
-
-func (c *counter) History() []int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]int64, len(c.log))
-	copy(out, c.log)
-	return out
-}
-
-func silentLogf(string, ...any) {}
-
-// testCluster is k serving peers plus a client on one simulated network,
-// each server with the BRMI executor, a registry, and one exported counter.
-type testCluster struct {
-	network  *netsim.Network
-	servers  []*rmi.Peer
-	execs    []*core.Executor
-	counters []*counter
-	refs     []wire.Ref
-	client   *rmi.Peer
-}
-
-func newTestCluster(t *testing.T, k int) *testCluster {
-	t.Helper()
-	tc := &testCluster{network: netsim.New(netsim.Instant)}
-	t.Cleanup(func() { _ = tc.network.Close() })
-	for i := 0; i < k; i++ {
-		srv := rmi.NewPeer(tc.network, rmi.WithLogf(silentLogf))
-		if err := srv.Serve(fmt.Sprintf("server-%d", i)); err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(func() { _ = srv.Close() })
-		exec, err := core.Install(srv)
-		if err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(exec.Stop)
-		if _, err := registry.Start(srv); err != nil {
-			t.Fatal(err)
-		}
-		c := &counter{}
-		ref, err := srv.Export(c, "cluster.Counter")
-		if err != nil {
-			t.Fatal(err)
-		}
-		tc.servers = append(tc.servers, srv)
-		tc.execs = append(tc.execs, exec)
-		tc.counters = append(tc.counters, c)
-		tc.refs = append(tc.refs, ref)
-	}
-	tc.client = rmi.NewPeer(tc.network, rmi.WithLogf(silentLogf))
-	t.Cleanup(func() { _ = tc.client.Close() })
-	return tc
-}
 
 // --- partitioner -------------------------------------------------------------
 
@@ -162,524 +51,77 @@ func TestPartitionEmpty(t *testing.T) {
 	}
 }
 
-// --- shard map ---------------------------------------------------------------
+// --- ring point-table internals ----------------------------------------------
 
-func TestRingRoutingStabilityOnAdd(t *testing.T) {
-	eps := []string{"server-0", "server-1", "server-2"}
-	ring := NewRing(eps)
-	const n = 2000
-	before := make(map[string]string, n)
-	for i := 0; i < n; i++ {
-		key := fmt.Sprintf("account-%04d", i)
-		before[key] = ring.Route(key)
-	}
-
-	ring.Add("server-3")
-	moved := 0
-	for key, old := range before {
-		now := ring.Route(key)
-		if now == old {
-			continue
-		}
-		// The consistent-hashing invariant: adding a member only moves keys
-		// TO that member, never between existing members.
-		if now != "server-3" {
-			t.Fatalf("key %q moved %s -> %s on unrelated add", key, old, now)
-		}
-		moved++
-	}
-	if moved == 0 {
-		t.Error("no keys routed to the new server")
-	}
-	// Expect roughly 1/4 of keys to move; allow a wide band.
-	if moved > n/2 {
-		t.Errorf("%d of %d keys moved; consistent hashing should move ~%d", moved, n, n/4)
-	}
-
-	// Every member owns a share.
-	owned := make(map[string]int)
-	for i := 0; i < n; i++ {
-		owned[ring.Route(fmt.Sprintf("account-%04d", i))]++
-	}
-	for _, ep := range ring.Endpoints() {
-		if owned[ep] == 0 {
-			t.Errorf("endpoint %s owns no keys", ep)
+// routesMatch compares key routing between two rings over a key sample.
+func routesMatch(t *testing.T, got, want *Ring, label string) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if g, w := got.Route(key), want.Route(key); g != w {
+			t.Fatalf("%s: key %q routes to %q, fresh ring says %q", label, key, g, w)
 		}
 	}
 }
 
-func TestRingRemoveAndEmpty(t *testing.T) {
-	ring := NewRing([]string{"a", "b"})
-	ring.Remove("a")
-	if got := ring.Route("anything"); got != "b" {
-		t.Fatalf("after removing a, key routed to %q, want b", got)
-	}
-	ring.Remove("b")
-	if got := ring.Route("anything"); got != "" {
-		t.Fatalf("empty ring routed to %q", got)
-	}
-	if ring.Size() != 0 {
-		t.Fatalf("empty ring has size %d", ring.Size())
-	}
-}
-
-// --- recording validation ----------------------------------------------------
-
-// TestSingleStageRejectsCrossServer checks the opt-in strictness mode: a
-// WithSingleStage batch rejects cross-server dataflow at record time with
-// ErrCrossServer, preserving the one-round-trip-per-destination guarantee
-// staged batches trade away.
-func TestSingleStageRejectsCrossServer(t *testing.T) {
-	tc := newTestCluster(t, 2)
-	b := New(tc.client, WithSingleStage())
-	a := b.Root(tc.refs[0])
-	c := b.Root(tc.refs[1])
-
-	onA := a.CallBatch("Self")    // remote result living on server-0
-	f := c.Call("AddRemote", onA) // fed into a call on server-1
-
-	err := b.Flush(context.Background())
-	var be *core.BatchError
-	if !errors.As(err, &be) || !errors.Is(err, ErrCrossServer) {
-		t.Fatalf("flush error = %v, want BatchError wrapping ErrCrossServer", err)
-	}
-	if _, gerr := f.Get(); !errors.Is(gerr, ErrCrossServer) {
-		t.Errorf("future error = %v, want ErrCrossServer", gerr)
-	}
-	// The counter on server-1 must not have executed anything.
-	if got := tc.counters[1].Get(); got != 0 {
-		t.Errorf("server-1 counter = %d after rejected batch, want 0", got)
-	}
-}
-
-// TestSingleStageAllowsCrossServerRootArg: a ROOT proxy from another
-// server needs no staged execution — its ref splices in statically — so
-// even single-stage batches accept it and still flush in one wave.
-func TestSingleStageAllowsCrossServerRootArg(t *testing.T) {
-	tc := newTestCluster(t, 2)
-	b := New(tc.client, WithSingleStage())
-	r0 := b.Root(tc.refs[0])
-	r1 := b.Root(tc.refs[1])
-	f := r0.Call("AddRemote", r1) // server-1's ROOT as an argument on server-0
-
-	if err := b.Flush(context.Background()); err != nil {
-		t.Fatalf("single-stage flush with root arg = %v, want nil", err)
-	}
-	if w := b.Waves(); w != 1 {
-		t.Errorf("flush took %d waves, want 1", w)
-	}
-	if got, err := Typed[int64](f).Get(); err != nil || got != 0 {
-		t.Errorf("AddRemote(root-1) = %d, %v; want 0 (fresh counter)", got, err)
-	}
-}
-
-// TestSingleStageRejectsFutureSplice: a future's value splice needs its
-// producing wave to settle first, so single-stage batches reject it too —
-// even between two calls on the same server.
-func TestSingleStageRejectsFutureSplice(t *testing.T) {
-	tc := newTestCluster(t, 1)
-	b := New(tc.client, WithSingleStage())
-	r := b.Root(tc.refs[0])
-	f := r.Call("Get")
-	r.Call("Add", f)
-	if err := b.Flush(context.Background()); !errors.Is(err, ErrCrossServer) {
-		t.Fatalf("flush error = %v, want ErrCrossServer", err)
-	}
-	if got := tc.counters[0].Get(); got != 0 {
-		t.Errorf("counter = %d after rejected batch, want 0", got)
-	}
-}
-
-// TestSameServerMultiRoot checks that any number of roots on one server
-// fold into a single sub-batch (one round trip), including a data
-// dependency between two of them — only genuinely cross-server dependencies
-// are rejected.
-func TestSameServerMultiRoot(t *testing.T) {
-	tc := newTestCluster(t, 1)
-	other := &counter{}
-	ref2, err := tc.servers[0].Export(other, "cluster.Counter")
-	if err != nil {
-		t.Fatal(err)
-	}
-	b := New(tc.client)
-	r1 := b.Root(tc.refs[0])
-	r2 := b.Root(ref2)
-	f1 := r1.Call("Add", int64(5))
-	p := r1.CallBatch("Self")
-	// Dependency across roots, same server: counter 2 absorbs counter 1.
-	f2 := r2.Call("Absorb", p)
-
-	before := tc.client.CallCount()
-	if err := b.Flush(context.Background()); err != nil {
-		t.Fatal(err)
-	}
-	if rt := tc.client.CallCount() - before; rt != 1 {
-		t.Errorf("two roots on one server used %d round trips, want 1", rt)
-	}
-	if v, err := Typed[int64](f1).Get(); err != nil || v != 5 {
-		t.Errorf("root-1 future = %v, %v; want 5", v, err)
-	}
-	if v, err := Typed[int64](f2).Get(); err != nil || v != 5 {
-		t.Errorf("cross-root Absorb = %v, %v; want 5", v, err)
-	}
-	if got := other.Get(); got != 5 {
-		t.Errorf("second root's counter = %d, want 5", got)
-	}
-}
-
-func TestForeignProxyRejected(t *testing.T) {
-	tc := newTestCluster(t, 1)
-	b1 := New(tc.client)
-	b2 := New(tc.client)
-	p1 := b1.Root(tc.refs[0]).CallBatch("Self")
-	b2.Root(tc.refs[0]).Call("Add", int64(1), p1)
-	if err := b2.Flush(context.Background()); !errors.Is(err, core.ErrForeignProxy) {
-		t.Fatalf("flush error = %v, want core.ErrForeignProxy", err)
-	}
-}
-
-func TestRecordAfterFlushFails(t *testing.T) {
-	tc := newTestCluster(t, 1)
-	b := New(tc.client)
-	root := b.Root(tc.refs[0])
-	root.Call("Add", int64(1))
-	if err := b.Flush(context.Background()); err != nil {
-		t.Fatal(err)
-	}
-	f := root.Call("Add", int64(1))
-	if err := b.Flush(context.Background()); !errors.Is(err, core.ErrBatchClosed) {
-		t.Fatalf("second flush error = %v, want ErrBatchClosed", err)
-	}
-	// The post-flush future reads the original (successful) flush state, so
-	// it must not panic; it reports pending since it was never bound.
-	if _, err := f.Get(); err == nil {
-		t.Error("future recorded after flush settled unexpectedly")
-	}
-}
-
-func TestRootWithoutEndpointRejected(t *testing.T) {
-	tc := newTestCluster(t, 1)
-	b := New(tc.client)
-	p := b.Root(wire.Ref{ObjID: 99})
-	p.Call("Add", int64(1))
-	if err := b.Flush(context.Background()); !errors.Is(err, ErrNoEndpoint) {
-		t.Fatalf("flush error = %v, want ErrNoEndpoint", err)
-	}
-}
-
-// --- degenerate single-server case -------------------------------------------
-
-// TestSingleServerMatchesCoreBatch checks the degenerate case: a cluster
-// batch with one destination must behave exactly like a plain core.Batch —
-// same results, same error behaviour, and the same single round trip.
-func TestSingleServerMatchesCoreBatch(t *testing.T) {
-	tc := newTestCluster(t, 1)
-	ctx := context.Background()
-
-	// Reference run through core.Batch.
-	cb := core.New(tc.client, tc.refs[0])
-	cRoot := cb.Root()
-	cSelf := cRoot.CallBatch("Self")
-	cf1 := cRoot.Call("Add", int64(10))
-	cf2 := cSelf.Call("Add", int64(5))
-	cf3 := cRoot.Call("Get")
-	if err := cb.Flush(ctx); err != nil {
-		t.Fatal(err)
-	}
-
-	// Identical recording through the cluster layer.
-	before := tc.client.CallCount()
-	b := New(tc.client)
-	root := b.Root(tc.refs[0])
-	self := root.CallBatch("Self")
-	f1 := root.Call("Add", int64(10))
-	f2 := self.Call("Add", int64(5))
-	f3 := root.Call("Get")
-	if err := b.Flush(ctx); err != nil {
-		t.Fatal(err)
-	}
-	if rt := tc.client.CallCount() - before; rt != 1 {
-		t.Errorf("cluster flush used %d round trips, want 1", rt)
-	}
-	if w := b.Waves(); w != 1 {
-		t.Errorf("single-server flush took %d waves, want 1", w)
-	}
-
-	// The counter ran both batches; the cluster run starts 15 higher.
-	for i, pair := range []struct {
-		name string
-		core *core.Future
-		clu  *Future
-		off  int64
-	}{
-		{"Add(10)", cf1, f1, 15},
-		{"Add(5)", cf2, f2, 15},
-		{"Get", cf3, f3, 15},
-	} {
-		cv, cerr := core.Typed[int64](pair.core).Get()
-		v, err := Typed[int64](pair.clu).Get()
-		if cerr != nil || err != nil {
-			t.Fatalf("%s: core err %v, cluster err %v", pair.name, cerr, err)
-		}
-		if v != cv+pair.off {
-			t.Errorf("%s (pair %d): cluster %d, core %d (+%d expected)", pair.name, i, v, cv, pair.off)
-		}
-	}
-	if err := self.Ok(); err != nil {
-		t.Errorf("remote proxy Ok = %v", err)
-	}
-}
-
-// --- multi-server fan-out ----------------------------------------------------
-
-func TestMultiServerFanout(t *testing.T) {
-	tc := newTestCluster(t, 3)
-	ctx := context.Background()
-
-	b := New(tc.client)
-	roots := make([]*Proxy, 3)
-	for i := range roots {
-		roots[i] = b.Root(tc.refs[i])
-	}
-	// Interleave recording across servers; per-server order must survive the
-	// partition: server i receives Add(1), Add(2), Add(3) in that order.
-	var futures [][]*Future
-	for step := int64(1); step <= 3; step++ {
-		for i, r := range roots {
-			if step == 1 {
-				futures = append(futures, nil)
+// TestRingCanonicalRouting is the re-sharding property test: any sequence
+// of Add/Remove ending at member set S routes every key exactly like a
+// fresh NewRing(S). It runs once with the real point hash and once with a
+// pathologically colliding one, which is what used to break — Remove never
+// restored points a member lost to a collision at Add time, so the ring
+// permanently skewed based on arrival order.
+func TestRingCanonicalRouting(t *testing.T) {
+	pool := []string{"a", "b", "c", "d", "e", "f"}
+	run := func(t *testing.T) {
+		rng := rand.New(rand.NewSource(42))
+		r := NewRing(nil)
+		members := map[string]bool{}
+		for step := 0; step < 200; step++ {
+			ep := pool[rng.Intn(len(pool))]
+			if members[ep] && rng.Intn(2) == 0 {
+				r.Remove(ep)
+				delete(members, ep)
+			} else {
+				r.Add(ep)
+				members[ep] = true
 			}
-			futures[i] = append(futures[i], r.Call("Add", step))
-		}
-	}
-	if got := b.PendingCalls(); got != 9 {
-		t.Fatalf("PendingCalls = %d, want 9", got)
-	}
-	if got := b.Destinations(); len(got) != 3 {
-		t.Fatalf("Destinations = %v, want 3 endpoints", got)
-	}
-
-	before := tc.client.CallCount()
-	if err := b.Flush(ctx); err != nil {
-		t.Fatal(err)
-	}
-	if rt := tc.client.CallCount() - before; rt != 3 {
-		t.Errorf("flush used %d round trips, want 3 (one per server)", rt)
-	}
-	if w := b.Waves(); w != 1 {
-		t.Errorf("dependency-free multi-server flush took %d waves, want 1", w)
-	}
-
-	for i := range roots {
-		// Running totals 1, 3, 6 prove in-order execution on each server.
-		for j, want := range []int64{1, 3, 6} {
-			got, err := Typed[int64](futures[i][j]).Get()
-			if err != nil {
-				t.Fatalf("server %d future %d: %v", i, j, err)
+			var set []string
+			for ep := range members {
+				set = append(set, ep)
 			}
-			if got != want {
-				t.Errorf("server %d future %d = %d, want %d", i, j, got, want)
-			}
-		}
-		if h := tc.counters[i].History(); len(h) != 3 || h[0] != 1 || h[1] != 2 || h[2] != 3 {
-			t.Errorf("server %d executed %v, want [1 2 3]", i, h)
+			routesMatch(t, r, NewRing(set), fmt.Sprintf("step %d (set %v)", step, set))
 		}
 	}
+	t.Run("realHash", run)
+	t.Run("collidingHash", func(t *testing.T) {
+		orig := vnodeHash
+		vnodeHash = func(s string) uint64 { return hashKey(s) % 64 }
+		defer func() { vnodeHash = orig }()
+		run(t)
+	})
 }
 
-func TestPartialServerFailure(t *testing.T) {
-	tc := newTestCluster(t, 2)
-	ctx := context.Background()
+// TestRingRemoveRestoresCollisionPoints pins the specific Remove bug: under
+// a colliding hash, B loses points to A at Add time; removing A must hand
+// them back, leaving exactly the table a fresh single-member ring has.
+func TestRingRemoveRestoresCollisionPoints(t *testing.T) {
+	orig := vnodeHash
+	vnodeHash = func(s string) uint64 { return hashKey(s) % 64 }
+	defer func() { vnodeHash = orig }()
 
-	b := New(tc.client)
-	good := b.Root(tc.refs[0])
-	// A root object id that server-1 never exported: its sub-batch fails
-	// at session creation, the other server's sub-batch is unaffected.
-	badRef := wire.Ref{Endpoint: tc.refs[1].Endpoint, ObjID: 12345, Iface: "cluster.Counter"}
-	bad := b.Root(badRef)
+	r := NewRing([]string{"a"})
+	r.Add("b") // b loses every colliding point to a
+	r.Remove("a")
 
-	gf := good.Call("Add", int64(7))
-	bf := bad.Call("Add", int64(7))
-
-	err := b.Flush(ctx)
-	var fe *FlushError
-	if !errors.As(err, &fe) {
-		t.Fatalf("flush error = %T %v, want *FlushError", err, err)
+	fresh := NewRing([]string{"b"})
+	r.mu.RLock()
+	gotPoints := len(r.points)
+	r.mu.RUnlock()
+	fresh.mu.RLock()
+	wantPoints := len(fresh.points)
+	fresh.mu.RUnlock()
+	if gotPoints != wantPoints {
+		t.Fatalf("after add/remove, ring has %d points; fresh ring of same set has %d", gotPoints, wantPoints)
 	}
-	if len(fe.Failures) != 1 || fe.Servers != 2 {
-		t.Fatalf("FlushError = %+v, want 1 failure of 2 servers", fe)
-	}
-	if fe.Failures[0].Endpoint != badRef.Endpoint {
-		t.Errorf("failed endpoint %q, want %q", fe.Failures[0].Endpoint, badRef.Endpoint)
-	}
-	var nso *rmi.NoSuchObjectError
-	if !errors.As(err, &nso) {
-		t.Errorf("FlushError should unwrap to NoSuchObjectError, got %v", err)
-	}
-
-	// Healthy destination settled normally.
-	if v, err := Typed[int64](gf).Get(); err != nil || v != 7 {
-		t.Errorf("healthy future = %v, %v; want 7, nil", v, err)
-	}
-	// Failed destination rethrows its server's error.
-	if _, err := bf.Get(); !errors.As(err, &nso) {
-		t.Errorf("failed future error = %v, want NoSuchObjectError", err)
-	}
-}
-
-// TestPolicyScopedPerServer checks that the exception policy applies within
-// each sub-batch: an abort on one server does not touch another server's
-// calls.
-func TestPolicyScopedPerServer(t *testing.T) {
-	tc := newTestCluster(t, 2)
-	ctx := context.Background()
-
-	b := New(tc.client) // default abort policy, per destination
-	r0 := b.Root(tc.refs[0])
-	r1 := b.Root(tc.refs[1])
-	bad := r0.Call("NoSuchMethod")
-	after := r0.Call("Add", int64(1)) // aborted with the failure on server-0
-	other := r1.Call("Add", int64(1)) // server-1 proceeds
-
-	if err := b.Flush(ctx); err != nil {
-		t.Fatalf("flush error = %v; application errors should not fail the flush", err)
-	}
-	var nsm *rmi.NoSuchMethodError
-	if err := bad.Err(); !errors.As(err, &nsm) {
-		t.Errorf("bad call error = %v, want NoSuchMethodError", err)
-	}
-	if err := after.Err(); !errors.As(err, &nsm) {
-		t.Errorf("aborted call error = %v, want the aborting NoSuchMethodError", err)
-	}
-	if v, err := Typed[int64](other).Get(); err != nil || v != 1 {
-		t.Errorf("other server future = %v, %v; want 1, nil", v, err)
-	}
-}
-
-// --- directory ---------------------------------------------------------------
-
-func TestDirectoryBindLookup(t *testing.T) {
-	tc := newTestCluster(t, 3)
-	ctx := context.Background()
-	eps := []string{"server-0", "server-1", "server-2"}
-	d := NewDirectory(tc.client, eps)
-
-	names := make([]string, 20)
-	for i := range names {
-		names[i] = fmt.Sprintf("obj-%02d", i)
-	}
-	for i, name := range names {
-		if err := d.Bind(ctx, name, tc.refs[i%3]); err != nil {
-			t.Fatalf("bind %s: %v", name, err)
-		}
-	}
-	for i, name := range names {
-		ref, err := d.Lookup(ctx, name)
-		if err != nil {
-			t.Fatalf("lookup %s: %v", name, err)
-		}
-		if ref != tc.refs[i%3] {
-			t.Errorf("lookup %s = %+v, want %+v", name, ref, tc.refs[i%3])
-		}
-		home, err := d.Home(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		// The binding must live in the home server's registry.
-		bound, err := registry.Lookup(ctx, tc.client, home, name)
-		if err != nil || bound != ref {
-			t.Errorf("name %s not bound at home %s: %v", name, home, err)
-		}
-	}
-
-	// Names spread across more than one server.
-	all, err := d.List(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
-	populated := 0
-	total := 0
-	for _, bound := range all {
-		if len(bound) > 0 {
-			populated++
-		}
-		total += len(bound)
-	}
-	if total != len(names) {
-		t.Errorf("cluster-wide List found %d names, want %d", total, len(names))
-	}
-	if populated < 2 {
-		t.Errorf("all names landed on %d server(s); ring should spread them", populated)
-	}
-
-	// Rebind and unbind round-trip.
-	if err := d.Rebind(ctx, names[0], tc.refs[1]); err != nil {
-		t.Fatal(err)
-	}
-	if ref, _ := d.Lookup(ctx, names[0]); ref != tc.refs[1] {
-		t.Errorf("rebind did not take: %+v", ref)
-	}
-	if err := d.Unbind(ctx, names[0]); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := d.Lookup(ctx, names[0]); err == nil {
-		t.Error("lookup after unbind succeeded")
-	}
-}
-
-func TestDirectoryEmpty(t *testing.T) {
-	tc := newTestCluster(t, 1)
-	d := NewDirectory(tc.client, nil)
-	if _, err := d.Lookup(context.Background(), "x"); !errors.Is(err, ErrNoServers) {
-		t.Fatalf("lookup on empty directory = %v, want ErrNoServers", err)
-	}
-}
-
-// TestParallelRootsOption: cluster.WithParallelRoots forwards the relaxed
-// replay opt-in to every per-server sub-batch. Independent roots on one
-// server still produce correct per-root results, and a sub-batch with
-// cross-root dataflow is replayed sequentially by the server's fallback —
-// same results either way.
-func TestParallelRootsOption(t *testing.T) {
-	tc := newTestCluster(t, 2)
-	extra := &counter{}
-	extraRef, err := tc.servers[0].Export(extra, "cluster.Counter")
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	b := New(tc.client, WithParallelRoots())
-	r0 := b.Root(tc.refs[0])
-	rx := b.Root(extraRef)
-	r1 := b.Root(tc.refs[1])
-	f0a := r0.Call("Add", int64(1))
-	f0b := r0.Call("Add", int64(2))
-	fxa := rx.Call("Add", int64(10))
-	f1 := r1.Call("Add", int64(7))
-	if err := b.Flush(context.Background()); err != nil {
-		t.Fatal(err)
-	}
-	for _, c := range []struct {
-		f    *Future
-		want int64
-	}{{f0a, 1}, {f0b, 3}, {fxa, 10}, {f1, 7}} {
-		if v, err := Typed[int64](c.f).Get(); err != nil || v != c.want {
-			t.Errorf("future = %v, %v; want %d", v, err, c.want)
-		}
-	}
-
-	// Cross-root dependency on one server: the executor must fall back.
-	b2 := New(tc.client, WithParallelRoots())
-	q0 := b2.Root(tc.refs[0])
-	qx := b2.Root(extraRef)
-	p := q0.CallBatch("Self")
-	absorbed := qx.Call("Absorb", p)
-	if err := b2.Flush(context.Background()); err != nil {
-		t.Fatal(err)
-	}
-	// The extra counter holds 10 from the first flush and absorbs counter
-	// 0's total of 3.
-	if v, err := Typed[int64](absorbed).Get(); err != nil || v != 13 {
-		t.Errorf("cross-root Absorb under parallel opt-in = %v, %v; want 13", v, err)
-	}
+	routesMatch(t, r, fresh, "after remove")
 }

@@ -1,10 +1,12 @@
-package cluster
+package cluster_test
 
 import (
 	"context"
 	"errors"
 	"testing"
 
+	"repro/internal/cluster"
+	"repro/internal/clustertest"
 	"repro/internal/rmi"
 )
 
@@ -16,23 +18,23 @@ import (
 // round-trip waves, with the value spliced between them. Server B also has
 // a dependency-free call, which rides wave 0.
 func TestPipelineValueSplice(t *testing.T) {
-	tc := newTestCluster(t, 2)
+	tc := clustertest.New(t, 2)
 	ctx := context.Background()
 
-	b := New(tc.client)
-	a := b.Root(tc.refs[0])
-	bb := b.Root(tc.refs[1])
+	b := cluster.New(tc.Client)
+	a := b.Root(tc.Servers[0].Ref)
+	bb := b.Root(tc.Servers[1].Ref)
 
 	b0 := bb.Call("Add", int64(1)) // stage 0: no staged inputs
 	fa := a.Call("Add", int64(5))  // stage 0: produces the spliced value
 	fb := bb.Call("Add", fa)       // stage 1: consumes A's result on B
 
-	before := tc.client.CallCount()
+	before := tc.Client.CallCount()
 	if err := b.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
 	// Trips: A once (stage 0) + B twice (stages 0 and 1). Waves: 2.
-	if rt := tc.client.CallCount() - before; rt != 3 {
+	if rt := tc.Client.CallCount() - before; rt != 3 {
 		t.Errorf("flush used %d round trips, want 3", rt)
 	}
 	if w := b.Waves(); w != 2 {
@@ -40,15 +42,15 @@ func TestPipelineValueSplice(t *testing.T) {
 	}
 	for _, c := range []struct {
 		name string
-		f    *Future
+		f    *cluster.Future
 		want int64
 	}{{"B.Add(1)", b0, 1}, {"A.Add(5)", fa, 5}, {"B.Add(<-A)", fb, 6}} {
-		if got, err := Typed[int64](c.f).Get(); err != nil || got != c.want {
+		if got, err := cluster.Typed[int64](c.f).Get(); err != nil || got != c.want {
 			t.Errorf("%s = %d, %v; want %d", c.name, got, err, c.want)
 		}
 	}
 	// B executed [1, 5] in stage order.
-	if h := tc.counters[1].History(); len(h) != 2 || h[0] != 1 || h[1] != 5 {
+	if h := tc.Servers[1].Counter.History(); len(h) != 2 || h[0] != 1 || h[1] != 5 {
 		t.Errorf("server-1 executed %v, want [1 5]", h)
 	}
 }
@@ -58,30 +60,30 @@ func TestPipelineValueSplice(t *testing.T) {
 // REFERENCE into server B's wave — the client never sees the value, and B
 // receives a stub it can call.
 func TestPipelineRemoteForward(t *testing.T) {
-	tc := newTestCluster(t, 2)
+	tc := clustertest.New(t, 2)
 	ctx := context.Background()
 
-	b := New(tc.client)
-	a := b.Root(tc.refs[0])
-	bb := b.Root(tc.refs[1])
+	b := cluster.New(tc.Client)
+	a := b.Root(tc.Servers[0].Ref)
+	bb := b.Root(tc.Servers[1].Ref)
 
 	fork := a.CallBatch("Fork", int64(42)) // fresh remote object on server-0
 	fb := bb.Call("AddRemote", fork)       // forwarded to server-1 as a stub
 
-	before := tc.client.CallCount()
+	before := tc.Client.CallCount()
 	if err := b.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
 	// 2 client trips: the fork's value itself never travels through the
 	// client, only its pinned ref does (deterministic export behaviour is
 	// covered by the core-level TestCallBatchExport tests).
-	if rt := tc.client.CallCount() - before; rt != 2 {
+	if rt := tc.Client.CallCount() - before; rt != 2 {
 		t.Errorf("flush used %d client round trips, want 2 (forwarding is not value round-tripping)", rt)
 	}
 	if w := b.Waves(); w != 2 {
 		t.Errorf("remote-forward pipeline took %d waves, want 2", w)
 	}
-	if got, err := Typed[int64](fb).Get(); err != nil || got != 42 {
+	if got, err := cluster.Typed[int64](fb).Get(); err != nil || got != 42 {
 		t.Errorf("AddRemote(fork(42)) = %d, %v; want 42", got, err)
 	}
 	if err := fork.Ok(); err != nil {
@@ -92,13 +94,13 @@ func TestPipelineRemoteForward(t *testing.T) {
 // TestPipelineThreeStages chains A -> B -> C by value (dependency depth 2):
 // stage count tracks dependency depth, three waves total.
 func TestPipelineThreeStages(t *testing.T) {
-	tc := newTestCluster(t, 3)
+	tc := clustertest.New(t, 3)
 	ctx := context.Background()
 
-	b := New(tc.client)
-	fa := b.Root(tc.refs[0]).Call("Add", int64(2))
-	fb := b.Root(tc.refs[1]).Call("Add", fa)
-	fc := b.Root(tc.refs[2]).Call("Add", fb)
+	b := cluster.New(tc.Client)
+	fa := b.Root(tc.Servers[0].Ref).Call("Add", int64(2))
+	fb := b.Root(tc.Servers[1].Ref).Call("Add", fa)
+	fc := b.Root(tc.Servers[2].Ref).Call("Add", fb)
 
 	if err := b.Flush(ctx); err != nil {
 		t.Fatal(err)
@@ -106,8 +108,8 @@ func TestPipelineThreeStages(t *testing.T) {
 	if w := b.Waves(); w != 3 {
 		t.Errorf("depth-2 A→B→C chain took %d waves, want 3", w)
 	}
-	for i, f := range []*Future{fa, fb, fc} {
-		if got, err := Typed[int64](f).Get(); err != nil || got != 2 {
+	for i, f := range []*cluster.Future{fa, fb, fc} {
+		if got, err := cluster.Typed[int64](f).Get(); err != nil || got != 2 {
 			t.Errorf("stage %d future = %d, %v; want 2", i, got, err)
 		}
 	}
@@ -117,33 +119,33 @@ func TestPipelineThreeStages(t *testing.T) {
 // server still needs a second wave, and the chained session keeps earlier
 // same-server results addressable across waves.
 func TestPipelineSameServerCrossStage(t *testing.T) {
-	tc := newTestCluster(t, 1)
+	tc := clustertest.New(t, 1)
 	ctx := context.Background()
 
-	b := New(tc.client)
-	r := b.Root(tc.refs[0])
+	b := cluster.New(tc.Client)
+	r := b.Root(tc.Servers[0].Ref)
 	f0 := r.Call("Add", int64(3)) // stage 0
 	f1 := r.Call("Add", f0)       // stage 1: value splices back to the same server
 	self := r.CallBatch("Self")   // stage 0 (no staged inputs)
 	f2 := r.Call("Absorb", self)  // hangs off stage-0 proxy: stage 0, same session
 
-	before := tc.client.CallCount()
+	before := tc.Client.CallCount()
 	if err := b.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if rt := tc.client.CallCount() - before; rt != 2 {
+	if rt := tc.Client.CallCount() - before; rt != 2 {
 		t.Errorf("flush used %d round trips, want 2", rt)
 	}
 	if w := b.Waves(); w != 2 {
 		t.Errorf("same-server cross-stage flush took %d waves, want 2", w)
 	}
-	if got, err := Typed[int64](f0).Get(); err != nil || got != 3 {
+	if got, err := cluster.Typed[int64](f0).Get(); err != nil || got != 3 {
 		t.Errorf("f0 = %d, %v; want 3", got, err)
 	}
-	if got, err := Typed[int64](f2).Get(); err != nil || got != 6 {
+	if got, err := cluster.Typed[int64](f2).Get(); err != nil || got != 6 {
 		t.Errorf("f2 (self absorb) = %d, %v; want 6", got, err)
 	}
-	if got, err := Typed[int64](f1).Get(); err != nil || got != 9 {
+	if got, err := cluster.Typed[int64](f1).Get(); err != nil || got != 9 {
 		t.Errorf("f1 (spliced) = %d, %v; want 9", got, err)
 	}
 }
@@ -155,17 +157,17 @@ func TestPipelineSameServerCrossStage(t *testing.T) {
 // healthy servers settle, and so do independent calls on servers that ALSO
 // host dependent calls.
 func TestStagedFailureIsolation(t *testing.T) {
-	tc := newTestCluster(t, 3)
+	tc := clustertest.New(t, 3)
 	ctx := context.Background()
 
-	b := New(tc.client)
-	good0 := b.Root(tc.refs[0])
+	b := cluster.New(tc.Client)
+	good0 := b.Root(tc.Servers[0].Ref)
 	// A root object id server-1 never exported: its whole sub-batch fails
 	// at session creation in wave 0.
-	badRef := tc.refs[1]
+	badRef := tc.Servers[1].Ref
 	badRef.ObjID = 12345
 	bad := b.Root(badRef)
-	good2 := b.Root(tc.refs[2])
+	good2 := b.Root(tc.Servers[2].Ref)
 
 	gf := good0.Call("Add", int64(7))    // server-0, stage 0: healthy
 	bp := bad.CallBatch("Self")          // server-1, stage 0: destination fails
@@ -174,7 +176,7 @@ func TestStagedFailureIsolation(t *testing.T) {
 	trans := good0.Call("Add", dep)      // server-0, stage 2: transitively dependent
 
 	err := b.Flush(ctx)
-	var fe *FlushError
+	var fe *cluster.FlushError
 	if !errors.As(err, &fe) {
 		t.Fatalf("flush error = %T %v, want *FlushError", err, err)
 	}
@@ -186,10 +188,10 @@ func TestStagedFailureIsolation(t *testing.T) {
 	}
 
 	// Independent calls settled on both healthy servers.
-	if v, err := Typed[int64](gf).Get(); err != nil || v != 7 {
+	if v, err := cluster.Typed[int64](gf).Get(); err != nil || v != 7 {
 		t.Errorf("server-0 independent future = %v, %v; want 7", v, err)
 	}
-	if v, err := Typed[int64](indep).Get(); err != nil || v != 3 {
+	if v, err := cluster.Typed[int64](indep).Get(); err != nil || v != 3 {
 		t.Errorf("server-2 independent future = %v, %v; want 3", v, err)
 	}
 
@@ -203,10 +205,10 @@ func TestStagedFailureIsolation(t *testing.T) {
 	}
 
 	// The dependent calls never executed.
-	if got := tc.counters[2].Get(); got != 3 {
+	if got := tc.Servers[2].Counter.Get(); got != 3 {
 		t.Errorf("server-2 counter = %d, want 3 (AddRemote must not run)", got)
 	}
-	if got := tc.counters[0].Get(); got != 7 {
+	if got := tc.Servers[0].Counter.Get(); got != 7 {
 		t.Errorf("server-0 counter = %d, want 7 (transitive Add must not run)", got)
 	}
 }

@@ -32,10 +32,53 @@ import (
 type Rebalancer struct {
 	dir       *Directory
 	perObject bool
+	probe     MigrationProbe
 }
 
 // RebalanceOption configures a Rebalancer.
 type RebalanceOption func(*Rebalancer)
+
+// MigrationStage identifies one batched trip of a (source, destination)
+// migration flow, in execution order: snapshot (read the moving state off
+// the source), arrive (adopt copies at the destination), depart (install
+// the tombstones at the source).
+type MigrationStage string
+
+// The three trips of a migration flow.
+const (
+	StageSnapshot MigrationStage = "snapshot"
+	StageArrive   MigrationStage = "arrive"
+	StageDepart   MigrationStage = "depart"
+)
+
+// MigrationProbe observes a migration flow immediately before each of its
+// batched trips. Returning an error aborts the flow at exactly that point,
+// leaving the same partial state a real fault there would — which is what
+// fault-injection tests and the chaos harness use it for: cutting a
+// migration between its copy and tombstone trips and asserting that a
+// retried AddServer/RemoveServer converges with no lost or duplicated
+// objects. names lists every name of the flow, non-movable bindings
+// included (under WithPerObjectMigration the probe fires per object with a
+// single-name slice).
+type MigrationProbe func(stage MigrationStage, src, dst string, names []string) error
+
+// WithMigrationProbe installs a probe on every migration flow the
+// rebalancer runs.
+func WithMigrationProbe(p MigrationProbe) RebalanceOption {
+	return func(r *Rebalancer) { r.probe = p }
+}
+
+// probeStage consults the installed probe, if any.
+func (r *Rebalancer) probeStage(stage MigrationStage, src, dst string, moves []move) error {
+	if r.probe == nil {
+		return nil
+	}
+	names := make([]string, len(moves))
+	for i, m := range moves {
+		names[i] = m.name
+	}
+	return r.probe(stage, src, dst, names)
+}
 
 // WithPerObjectMigration disables migration batching: every moving object
 // pays its own snapshot/depart/arrive round trips. This is the ablation
@@ -297,6 +340,9 @@ func (r *Rebalancer) migrate(ctx context.Context, plan map[pairKey][]move, epoch
 func (r *Rebalancer) migratePair(ctx context.Context, src, dst string, moves []move, epoch uint64) error {
 	peer := r.dir.peer
 
+	if err := r.probeStage(StageSnapshot, src, dst, moves); err != nil {
+		return err
+	}
 	movable := make([]bool, len(moves))
 	states := make([]*core.Future, len(moves))
 	var sb *core.Batch
@@ -322,6 +368,9 @@ func (r *Rebalancer) migratePair(ctx context.Context, src, dst string, moves []m
 		}
 	}
 
+	if err := r.probeStage(StageArrive, src, dst, moves); err != nil {
+		return err
+	}
 	ab := core.New(peer, NodeRef(dst))
 	anode := ab.Root()
 	arrives := make([]*core.Future, len(moves))
@@ -345,6 +394,9 @@ func (r *Rebalancer) migratePair(ctx context.Context, src, dst string, moves []m
 		}
 	}
 
+	if err := r.probeStage(StageDepart, src, dst, moves); err != nil {
+		return err
+	}
 	db := core.New(peer, NodeRef(src))
 	dnode := db.Root()
 	departs := make([]*core.Future, len(moves))
@@ -368,8 +420,16 @@ func (r *Rebalancer) migratePair(ctx context.Context, src, dst string, moves []m
 func (r *Rebalancer) migratePairPerObject(ctx context.Context, src, dst string, moves []move, epoch uint64) error {
 	peer := r.dir.peer
 	for _, m := range moves {
+		one := []move{m}
 		var state any
 		movable := movableAt(m.ref, src)
+		// Probe the snapshot stage for non-movable objects too: the batched
+		// path fires it once per flow regardless of movability, and a probe
+		// cutting "the flow containing name X" must behave the same under
+		// the per-object ablation.
+		if err := r.probeStage(StageSnapshot, src, dst, one); err != nil {
+			return err
+		}
 		if movable {
 			res, err := peer.Call(ctx, m.ref, "Snapshot")
 			if err != nil {
@@ -379,8 +439,14 @@ func (r *Rebalancer) migratePairPerObject(ctx context.Context, src, dst string, 
 				state = res[0]
 			}
 		}
+		if err := r.probeStage(StageArrive, src, dst, one); err != nil {
+			return err
+		}
 		if _, err := peer.Call(ctx, NodeRef(dst), "Arrive", m.name, m.ref.Iface, movable, state, m.ref); err != nil {
 			return fmt.Errorf("arrive %q: %w", m.name, err)
+		}
+		if err := r.probeStage(StageDepart, src, dst, one); err != nil {
+			return err
 		}
 		if _, err := peer.Call(ctx, NodeRef(src), "Depart", m.name, epoch); err != nil {
 			return fmt.Errorf("depart %q: %w", m.name, err)

@@ -1,0 +1,189 @@
+package cluster_test
+
+// Fault-injection tests for migration retry idempotence: the rebalancer's
+// MigrationProbe cuts a flow immediately before a chosen batched trip,
+// leaving exactly the partial state a real fault there would, and a retried
+// AddServer must converge — every moved name resolves at its ring home
+// exactly once, with its state intact, and appears in exactly one member's
+// manifest (nothing lost, nothing duplicated).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/clustertest"
+	"repro/internal/rmi"
+)
+
+var errInjected = errors.New("injected migration fault")
+
+// failAtStage returns a probe failing every flow at the given stage.
+func failAtStage(stage cluster.MigrationStage) cluster.MigrationProbe {
+	return func(s cluster.MigrationStage, src, dst string, names []string) error {
+		if s == stage {
+			return fmt.Errorf("%w: %s %s->%s %v", errInjected, s, src, dst, names)
+		}
+		return nil
+	}
+}
+
+// checkConverged asserts the cluster-wide post-rebalance invariant for the
+// given names: resolvable at the ring-assigned home, expected state, and
+// exactly one manifest entry across the cluster.
+func checkConverged(t *testing.T, ec *clustertest.Cluster, dir *cluster.Directory, seeds map[string]int64) {
+	t.Helper()
+	ctx := context.Background()
+	for name, seed := range seeds {
+		home, err := dir.Home(name)
+		if err != nil {
+			t.Fatalf("home %s: %v", name, err)
+		}
+		ref, err := dir.Lookup(ctx, name)
+		if err != nil {
+			t.Fatalf("lookup %s after retry: %v", name, err)
+		}
+		if ref.Endpoint != home {
+			t.Errorf("%s resolves to %s, want ring home %s", name, ref.Endpoint, home)
+		}
+		res, err := ec.Client.Call(ctx, ref, "Get")
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		if got := res[0].(int64); got != seed {
+			t.Errorf("%s state = %d, want %d (lost or doubly-restored)", name, got, seed)
+		}
+		// Exactly one member's manifest carries the name.
+		holders := 0
+		for _, s := range ec.Servers {
+			for _, b := range s.Node.Manifest() {
+				if b.Name == name {
+					holders++
+				}
+			}
+		}
+		if holders != 1 {
+			t.Errorf("%s appears in %d manifests, want exactly 1", name, holders)
+		}
+	}
+}
+
+// TestAddServerRetryConvergesAfterInjectedFault runs the scale-out with the
+// migration cut before each of its three trips in turn. Whatever partial
+// state the cut leaves — nothing copied, copies adopted but the old home
+// not tombstoned — a plain retried AddServer converges.
+func TestAddServerRetryConvergesAfterInjectedFault(t *testing.T) {
+	for _, stage := range []cluster.MigrationStage{cluster.StageSnapshot, cluster.StageArrive, cluster.StageDepart} {
+		t.Run(string(stage), func(t *testing.T) {
+			ec := clustertest.New(t, 3)
+			ctx := context.Background()
+			dir := cluster.NewDirectory(ec.Client, []string{"server-0", "server-1"})
+			grown := cluster.NewRing([]string{"server-0", "server-1", "server-2"})
+
+			moving := clustertest.PickNames(dir.Ring(), grown, "server-0", "server-2", 2)
+			moving = append(moving, clustertest.PickNames(dir.Ring(), grown, "server-1", "server-2", 1)...)
+			seeds := map[string]int64{}
+			for i, name := range moving {
+				seeds[name] = int64(100 * (i + 1))
+				ec.BindCounter(dir, name, seeds[name])
+			}
+
+			// First attempt: every flow dies right before `stage`.
+			faulty := cluster.NewRebalancer(dir, cluster.WithMigrationProbe(failAtStage(stage)))
+			if _, err := faulty.AddServer(ctx, "server-2"); !errors.Is(err, errInjected) {
+				t.Fatalf("faulted AddServer error = %v, want the injected fault", err)
+			}
+
+			// The state must never be lost mid-way: every name still reads
+			// back its seed from wherever it currently lives (old home, or
+			// both homes during the arrive/depart window).
+			for name, seed := range seeds {
+				ref, err := dir.Lookup(ctx, name)
+				if err != nil {
+					t.Fatalf("lookup %s after fault: %v", name, err)
+				}
+				res, err := ec.Client.Call(ctx, ref, "Get")
+				if err != nil {
+					t.Fatalf("read %s after fault: %v", name, err)
+				}
+				if got := res[0].(int64); got != seed {
+					t.Errorf("%s = %d after faulted run, want %d", name, got, seed)
+				}
+			}
+
+			// Retry without the fault: must converge, moving exactly the
+			// leftovers.
+			stats, err := cluster.NewRebalancer(dir).AddServer(ctx, "server-2")
+			if err != nil {
+				t.Fatalf("retried AddServer: %v", err)
+			}
+			if stage == cluster.StageDepart && stats.Moved != len(moving) {
+				// The copies arrived but the sources never tombstoned: the
+				// retry still sees every name mis-homed and must re-run the
+				// (idempotent) flows.
+				t.Errorf("retry after depart-cut moved %d, want %d leftovers", stats.Moved, len(moving))
+			}
+			checkConverged(t, ec, dir, seeds)
+
+			// A further retry is a clean no-op.
+			if again, err := cluster.NewRebalancer(dir).AddServer(ctx, "server-2"); err != nil || again.Moved != 0 {
+				t.Errorf("third AddServer = %+v, %v; want converged no-op", again, err)
+			}
+		})
+	}
+}
+
+// TestRemoveServerRetryConvergesAfterInjectedArriveFault: same property for
+// the drain direction — a RemoveServer cut before its arrive trip is
+// completed by a retry, and the drained names land on the survivors exactly
+// once.
+func TestRemoveServerRetryConvergesAfterInjectedArriveFault(t *testing.T) {
+	ec := clustertest.New(t, 3)
+	ctx := context.Background()
+	dir := cluster.NewDirectory(ec.Client, []string{"server-0", "server-1", "server-2"})
+
+	seeds := map[string]int64{}
+	for i := 0; len(seeds) < 2; i++ {
+		name := fmt.Sprintf("drain-%d", i)
+		if home, _ := dir.Home(name); home == "server-2" {
+			seeds[name] = int64(10 + i)
+			ec.BindCounter(dir, name, seeds[name])
+		}
+	}
+
+	faulty := cluster.NewRebalancer(dir, cluster.WithMigrationProbe(failAtStage(cluster.StageArrive)))
+	if _, err := faulty.RemoveServer(ctx, "server-2"); !errors.Is(err, errInjected) {
+		t.Fatalf("faulted RemoveServer error = %v, want the injected fault", err)
+	}
+
+	if _, err := cluster.NewRebalancer(dir).RemoveServer(ctx, "server-2"); err != nil {
+		t.Fatalf("retried RemoveServer: %v", err)
+	}
+	if dir.Ring().Contains("server-2") {
+		t.Fatal("victim still in the ring after retried remove")
+	}
+	checkConverged(t, ec, dir, seeds)
+	for name := range seeds {
+		if ref, err := dir.Lookup(ctx, name); err != nil || ref.Endpoint == "server-2" {
+			t.Errorf("%s still resolves to the removed server (ref %v, err %v)", name, ref, err)
+		}
+	}
+	// The departed copies on the victim answer wrong-home, not stale data.
+	for i, s := range ec.Servers {
+		if s.Endpoint != "server-2" {
+			continue
+		}
+		for name := range seeds {
+			if _, err := s.Reg.Lookup(name); err == nil {
+				t.Errorf("server %d still binds %s cleanly after drain", i, name)
+			} else {
+				var wrong *rmi.WrongHomeError
+				if !errors.As(err, &wrong) {
+					t.Errorf("drained binding %s error = %v, want WrongHomeError", name, err)
+				}
+			}
+		}
+	}
+}

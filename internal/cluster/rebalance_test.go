@@ -1,289 +1,42 @@
-package cluster
+package cluster_test
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
-	"sync"
 	"testing"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/netsim"
+	"repro/internal/cluster"
+	"repro/internal/clustertest"
 	"repro/internal/registry"
 	"repro/internal/rmi"
 	"repro/internal/wire"
 )
 
-// shardCounter is the movable test workload: counter state that follows its
-// name to a new home when the ring changes.
-type shardCounter struct {
-	rmi.RemoteBase
-	mu sync.Mutex
-	n  int64
-}
-
-const shardCounterIface = "cluster.ShardCounter"
-
-func init() {
-	RegisterMovable(shardCounterIface, func() rmi.Remote { return &shardCounter{} })
-}
-
-func (c *shardCounter) Add(d int64) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.n += d
-	return c.n
-}
-
-func (c *shardCounter) Get() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
-
-// Self returns the counter as a remote result, so tests can record
-// cross-root dataflow on one server.
-func (c *shardCounter) Self() *shardCounter { return c }
-
-// AbsorbFrom adds another counter's total into this one.
-func (c *shardCounter) AbsorbFrom(o *shardCounter) int64 {
-	n := o.Get()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.n += n
-	return c.n
-}
-
-func (c *shardCounter) Snapshot() (any, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n, nil
-}
-
-func (c *shardCounter) Restore(state any) error {
-	n, ok := state.(int64)
-	if !ok {
-		return fmt.Errorf("restore: unexpected state %T", state)
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.n = n
-	return nil
-}
-
-// elasticCluster is k full nodes (BRMI executor, registry, cluster node
-// service) plus a client — the deployment shape live re-sharding needs.
-type elasticCluster struct {
-	network *netsim.Network
-	servers []*rmi.Peer
-	nodes   []*Node
-	client  *rmi.Peer
-}
-
-func newElasticCluster(t *testing.T, k int) *elasticCluster {
-	t.Helper()
-	ec := &elasticCluster{network: netsim.New(netsim.Instant)}
-	t.Cleanup(func() { _ = ec.network.Close() })
-	for i := 0; i < k; i++ {
-		srv := rmi.NewPeer(ec.network, rmi.WithLogf(silentLogf))
-		if err := srv.Serve(fmt.Sprintf("server-%d", i)); err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(func() { _ = srv.Close() })
-		exec, err := core.Install(srv)
-		if err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(exec.Stop)
-		reg, err := registry.Start(srv)
-		if err != nil {
-			t.Fatal(err)
-		}
-		node, err := StartNode(srv, reg, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ec.servers = append(ec.servers, srv)
-		ec.nodes = append(ec.nodes, node)
-	}
-	ec.client = rmi.NewPeer(ec.network, rmi.WithLogf(silentLogf))
-	t.Cleanup(func() { _ = ec.client.Close() })
-	return ec
-}
-
-func (ec *elasticCluster) server(endpoint string) *rmi.Peer {
-	for _, srv := range ec.servers {
-		if srv.Endpoint() == endpoint {
-			return srv
-		}
-	}
-	return nil
-}
-
-// bindCounter exports a fresh shardCounter at name's home and binds it.
-func (ec *elasticCluster) bindCounter(t *testing.T, dir *Directory, name string, seed int64) wire.Ref {
-	t.Helper()
-	home, err := dir.Home(name)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ref, err := ec.server(home).Export(&shardCounter{n: seed}, shardCounterIface)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := dir.Bind(context.Background(), name, ref); err != nil {
-		t.Fatal(err)
-	}
-	return ref
-}
-
-// pickNames generates names routed to oldHome by old and to newHome by
-// grown — the deterministic moved (or staying, when oldHome == newHome)
-// sets the re-sharding tests need.
-func pickNames(old, grown *Ring, oldHome, newHome string, count int) []string {
-	var names []string
-	for i := 0; len(names) < count; i++ {
-		name := fmt.Sprintf("obj-%d", i)
-		if old.Route(name) == oldHome && grown.Route(name) == newHome {
-			names = append(names, name)
-		}
-		if i > 100000 {
-			panic("pickNames: no matching names found")
-		}
-	}
-	return names
-}
-
-// --- ring epoch and canonical rebuild ----------------------------------------
-
-func TestRingEpoch(t *testing.T) {
-	r := NewRing([]string{"a", "b"})
-	if e := r.Epoch(); e != 0 {
-		t.Fatalf("fresh ring epoch = %d, want 0", e)
-	}
-	r.Add("c")
-	if e := r.Epoch(); e != 1 {
-		t.Fatalf("epoch after add = %d, want 1", e)
-	}
-	r.Add("c") // duplicate: no change
-	if e := r.Epoch(); e != 1 {
-		t.Fatalf("epoch after duplicate add = %d, want 1", e)
-	}
-	r.Remove("a")
-	if e := r.Epoch(); e != 2 {
-		t.Fatalf("epoch after remove = %d, want 2", e)
-	}
-	r.Remove("a") // non-member: no change
-	if e := r.Epoch(); e != 2 {
-		t.Fatalf("epoch after duplicate remove = %d, want 2", e)
-	}
-	r.Reset([]string{"x", "y"}, 9)
-	if e := r.Epoch(); e != 9 {
-		t.Fatalf("epoch after reset = %d, want 9", e)
-	}
-	if got := r.Endpoints(); len(got) != 2 || got[0] != "x" || got[1] != "y" {
-		t.Fatalf("members after reset = %v", got)
-	}
-}
-
-// routesMatch compares key routing between two rings over a key sample.
-func routesMatch(t *testing.T, got, want *Ring, label string) {
-	t.Helper()
-	for i := 0; i < 200; i++ {
-		key := fmt.Sprintf("key-%d", i)
-		if g, w := got.Route(key), want.Route(key); g != w {
-			t.Fatalf("%s: key %q routes to %q, fresh ring says %q", label, key, g, w)
-		}
-	}
-}
-
-// TestRingCanonicalRouting is the re-sharding property test: any sequence
-// of Add/Remove ending at member set S routes every key exactly like a
-// fresh NewRing(S). It runs once with the real point hash and once with a
-// pathologically colliding one, which is what used to break — Remove never
-// restored points a member lost to a collision at Add time, so the ring
-// permanently skewed based on arrival order.
-func TestRingCanonicalRouting(t *testing.T) {
-	pool := []string{"a", "b", "c", "d", "e", "f"}
-	run := func(t *testing.T) {
-		rng := rand.New(rand.NewSource(42))
-		r := NewRing(nil)
-		members := map[string]bool{}
-		for step := 0; step < 200; step++ {
-			ep := pool[rng.Intn(len(pool))]
-			if members[ep] && rng.Intn(2) == 0 {
-				r.Remove(ep)
-				delete(members, ep)
-			} else {
-				r.Add(ep)
-				members[ep] = true
-			}
-			var set []string
-			for ep := range members {
-				set = append(set, ep)
-			}
-			routesMatch(t, r, NewRing(set), fmt.Sprintf("step %d (set %v)", step, set))
-		}
-	}
-	t.Run("realHash", run)
-	t.Run("collidingHash", func(t *testing.T) {
-		orig := vnodeHash
-		vnodeHash = func(s string) uint64 { return hashKey(s) % 64 }
-		defer func() { vnodeHash = orig }()
-		run(t)
-	})
-}
-
-// TestRingRemoveRestoresCollisionPoints pins the specific Remove bug: under
-// a colliding hash, B loses points to A at Add time; removing A must hand
-// them back, leaving exactly the table a fresh single-member ring has.
-func TestRingRemoveRestoresCollisionPoints(t *testing.T) {
-	orig := vnodeHash
-	vnodeHash = func(s string) uint64 { return hashKey(s) % 64 }
-	defer func() { vnodeHash = orig }()
-
-	r := NewRing([]string{"a"})
-	r.Add("b") // b loses every colliding point to a
-	r.Remove("a")
-
-	fresh := NewRing([]string{"b"})
-	r.mu.RLock()
-	gotPoints := len(r.points)
-	r.mu.RUnlock()
-	fresh.mu.RLock()
-	wantPoints := len(fresh.points)
-	fresh.mu.RUnlock()
-	if gotPoints != wantPoints {
-		t.Fatalf("after add/remove, ring has %d points; fresh ring of same set has %d", gotPoints, wantPoints)
-	}
-	routesMatch(t, r, fresh, "after remove")
-}
-
 // --- migration on membership change ------------------------------------------
 
 func TestAddServerMigratesStateAndBindings(t *testing.T) {
-	ec := newElasticCluster(t, 3)
+	ec := clustertest.New(t, 3)
 	ctx := context.Background()
 	base := []string{"server-0", "server-1"}
-	dir := NewDirectory(ec.client, base)
-	grown := NewRing([]string{"server-0", "server-1", "server-2"})
+	dir := cluster.NewDirectory(ec.Client, base)
+	grown := cluster.NewRing([]string{"server-0", "server-1", "server-2"})
 
 	// Three names that will move to the newcomer, one that stays.
-	moving := pickNames(dir.Ring(), grown, "server-0", "server-2", 2)
-	moving = append(moving, pickNames(dir.Ring(), grown, "server-1", "server-2", 1)...)
-	staying := pickNames(dir.Ring(), grown, "server-1", "server-1", 1)[0]
+	moving := clustertest.PickNames(dir.Ring(), grown, "server-0", "server-2", 2)
+	moving = append(moving, clustertest.PickNames(dir.Ring(), grown, "server-1", "server-2", 1)...)
+	staying := clustertest.PickNames(dir.Ring(), grown, "server-1", "server-1", 1)[0]
 
 	seeds := map[string]int64{staying: 99}
 	oldRefs := map[string]wire.Ref{}
 	for i, name := range moving {
 		seeds[name] = int64(10 * (i + 1))
-		oldRefs[name] = ec.bindCounter(t, dir, name, seeds[name])
+		oldRefs[name] = ec.BindCounter(dir, name, seeds[name])
 	}
-	ec.bindCounter(t, dir, staying, seeds[staying])
+	ec.BindCounter(dir, staying, seeds[staying])
 
-	reb := NewRebalancer(dir)
+	reb := cluster.NewRebalancer(dir)
 	stats, err := reb.AddServer(ctx, "server-2")
 	if err != nil {
 		t.Fatal(err)
@@ -305,7 +58,7 @@ func TestAddServerMigratesStateAndBindings(t *testing.T) {
 		if ref.Endpoint != "server-2" {
 			t.Errorf("%s resolves to %s, want server-2", name, ref.Endpoint)
 		}
-		res, err := ec.client.Call(ctx, ref, "Get")
+		res, err := ec.Client.Call(ctx, ref, "Get")
 		if err != nil {
 			t.Fatalf("read %s: %v", name, err)
 		}
@@ -322,15 +75,15 @@ func TestAddServerMigratesStateAndBindings(t *testing.T) {
 	// wrong-home error carrying the name and new epoch.
 	var wrong *rmi.WrongHomeError
 	name := moving[0]
-	if _, err := ec.client.Call(ctx, oldRefs[name], "Get"); !errors.As(err, &wrong) {
+	if _, err := ec.Client.Call(ctx, oldRefs[name], "Get"); !errors.As(err, &wrong) {
 		t.Fatalf("stale ref error = %v, want *WrongHomeError", err)
 	} else if wrong.Key != name || wrong.NewEpoch != 1 {
 		t.Errorf("WrongHomeError = %+v, want key %s epoch 1", wrong, name)
 	}
 
 	// Every node learned the new membership.
-	for i, node := range ec.nodes {
-		snap := node.RingState()
+	for i, s := range ec.Servers {
+		snap := s.Node.RingState()
 		if snap.Epoch != 1 || len(snap.Members) != 3 {
 			t.Errorf("node %d ring state = %+v, want 3 members at epoch 1", i, snap)
 		}
@@ -343,16 +96,16 @@ func TestAddServerMigratesStateAndBindings(t *testing.T) {
 }
 
 func TestRemoveServerDrains(t *testing.T) {
-	ec := newElasticCluster(t, 3)
+	ec := clustertest.New(t, 3)
 	ctx := context.Background()
-	dir := NewDirectory(ec.client, []string{"server-0", "server-1", "server-2"})
+	dir := cluster.NewDirectory(ec.Client, []string{"server-0", "server-1", "server-2"})
 
 	seeds := map[string]int64{}
 	var onVictim int
 	for i := 0; i < 12; i++ {
 		name := fmt.Sprintf("drain-%d", i)
 		seeds[name] = int64(100 + i)
-		ec.bindCounter(t, dir, name, seeds[name])
+		ec.BindCounter(dir, name, seeds[name])
 		if home, _ := dir.Home(name); home == "server-1" {
 			onVictim++
 		}
@@ -361,7 +114,7 @@ func TestRemoveServerDrains(t *testing.T) {
 		t.Fatal("test needs at least one name homed on the victim server")
 	}
 
-	reb := NewRebalancer(dir)
+	reb := cluster.NewRebalancer(dir)
 	stats, err := reb.RemoveServer(ctx, "server-1")
 	if err != nil {
 		t.Fatal(err)
@@ -380,7 +133,7 @@ func TestRemoveServerDrains(t *testing.T) {
 		if ref.Endpoint == "server-1" {
 			t.Errorf("%s still resolves to the removed server", name)
 		}
-		res, err := ec.client.Call(ctx, ref, "Get")
+		res, err := ec.Client.Call(ctx, ref, "Get")
 		if err != nil {
 			t.Fatalf("read %s: %v", name, err)
 		}
@@ -402,17 +155,17 @@ func TestRemoveServerDrains(t *testing.T) {
 // membership change follows the wrong-home error to the nodes, refreshes
 // its ring, and retries the lookup at the new home — transparently.
 func TestStaleDirectoryLookupRetries(t *testing.T) {
-	ec := newElasticCluster(t, 3)
+	ec := clustertest.New(t, 3)
 	ctx := context.Background()
 	base := []string{"server-0", "server-1"}
-	admin := NewDirectory(ec.client, base)
-	stale := NewDirectory(ec.client, base)
+	admin := cluster.NewDirectory(ec.Client, base)
+	stale := cluster.NewDirectory(ec.Client, base)
 
-	grown := NewRing([]string{"server-0", "server-1", "server-2"})
-	name := pickNames(admin.Ring(), grown, "server-0", "server-2", 1)[0]
-	ec.bindCounter(t, admin, name, 7)
+	grown := cluster.NewRing([]string{"server-0", "server-1", "server-2"})
+	name := clustertest.PickNames(admin.Ring(), grown, "server-0", "server-2", 1)[0]
+	ec.BindCounter(admin, name, 7)
 
-	if _, err := NewRebalancer(admin).AddServer(ctx, "server-2"); err != nil {
+	if _, err := cluster.NewRebalancer(admin).AddServer(ctx, "server-2"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -435,20 +188,20 @@ func TestStaleDirectoryLookupRetries(t *testing.T) {
 // wrong-home, the flush refreshes the ring, re-partitions the affected
 // calls to the objects' new homes, and completes in a single retry.
 func TestStaleFlushRetry(t *testing.T) {
-	ec := newElasticCluster(t, 3)
+	ec := clustertest.New(t, 3)
 	ctx := context.Background()
-	dir := NewDirectory(ec.client, []string{"server-0", "server-1"})
-	grown := NewRing([]string{"server-0", "server-1", "server-2"})
+	dir := cluster.NewDirectory(ec.Client, []string{"server-0", "server-1"})
+	grown := cluster.NewRing([]string{"server-0", "server-1", "server-2"})
 
-	moving := pickNames(dir.Ring(), grown, "server-0", "server-2", 2)
-	staying := pickNames(dir.Ring(), grown, "server-1", "server-1", 1)[0]
-	ec.bindCounter(t, dir, moving[0], 10)
-	ec.bindCounter(t, dir, moving[1], 20)
-	ec.bindCounter(t, dir, staying, 30)
+	moving := clustertest.PickNames(dir.Ring(), grown, "server-0", "server-2", 2)
+	staying := clustertest.PickNames(dir.Ring(), grown, "server-1", "server-1", 1)[0]
+	ec.BindCounter(dir, moving[0], 10)
+	ec.BindCounter(dir, moving[1], 20)
+	ec.BindCounter(dir, staying, 30)
 
 	// Record before the membership change: the roots resolve to the OLD
 	// homes.
-	b := New(ec.client, WithDirectory(dir))
+	b := cluster.New(ec.Client, cluster.WithDirectory(dir))
 	p0, err := b.RootNamed(ctx, moving[0])
 	if err != nil {
 		t.Fatal(err)
@@ -466,7 +219,7 @@ func TestStaleFlushRetry(t *testing.T) {
 	fs := ps.Call("Add", int64(1))
 
 	// The cluster grows while the batch is in flight.
-	stats, err := NewRebalancer(dir).AddServer(ctx, "server-2")
+	stats, err := cluster.NewRebalancer(dir).AddServer(ctx, "server-2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -477,13 +230,13 @@ func TestStaleFlushRetry(t *testing.T) {
 	if err := b.Flush(ctx); err != nil {
 		t.Fatalf("stale flush did not recover: %v", err)
 	}
-	if v, err := Typed[int64](f0).Get(); err != nil || v != 15 {
+	if v, err := cluster.Typed[int64](f0).Get(); err != nil || v != 15 {
 		t.Errorf("moved counter add = %v, %v; want 15", v, err)
 	}
-	if v, err := Typed[int64](f1).Get(); err != nil || v != 20 {
+	if v, err := cluster.Typed[int64](f1).Get(); err != nil || v != 20 {
 		t.Errorf("moved counter get = %v, %v; want 20", v, err)
 	}
-	if v, err := Typed[int64](fs).Get(); err != nil || v != 31 {
+	if v, err := cluster.Typed[int64](fs).Get(); err != nil || v != 31 {
 		t.Errorf("staying counter add = %v, %v; want 31", v, err)
 	}
 	// One regular wave plus exactly one retry wave.
@@ -499,7 +252,7 @@ func TestStaleFlushRetry(t *testing.T) {
 	if ref.Endpoint != "server-2" {
 		t.Fatalf("%s not homed on server-2 after flush", moving[0])
 	}
-	res, err := ec.client.Call(ctx, ref, "Get")
+	res, err := ec.Client.Call(ctx, ref, "Get")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -511,26 +264,26 @@ func TestStaleFlushRetry(t *testing.T) {
 // Without a directory the batch has no way to re-route, so the wrong-home
 // rejection surfaces as a per-destination flush failure.
 func TestStaleFlushWithoutDirectoryFails(t *testing.T) {
-	ec := newElasticCluster(t, 3)
+	ec := clustertest.New(t, 3)
 	ctx := context.Background()
-	dir := NewDirectory(ec.client, []string{"server-0", "server-1"})
-	grown := NewRing([]string{"server-0", "server-1", "server-2"})
-	name := pickNames(dir.Ring(), grown, "server-0", "server-2", 1)[0]
-	ec.bindCounter(t, dir, name, 10)
+	dir := cluster.NewDirectory(ec.Client, []string{"server-0", "server-1"})
+	grown := cluster.NewRing([]string{"server-0", "server-1", "server-2"})
+	name := clustertest.PickNames(dir.Ring(), grown, "server-0", "server-2", 1)[0]
+	ec.BindCounter(dir, name, 10)
 	ref, err := dir.Lookup(ctx, name)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	b := New(ec.client)
+	b := cluster.New(ec.Client)
 	f := b.Root(ref).Call("Get")
 
-	if _, err := NewRebalancer(dir).AddServer(ctx, "server-2"); err != nil {
+	if _, err := cluster.NewRebalancer(dir).AddServer(ctx, "server-2"); err != nil {
 		t.Fatal(err)
 	}
 
 	err = b.Flush(ctx)
-	var fe *FlushError
+	var fe *cluster.FlushError
 	if !errors.As(err, &fe) {
 		t.Fatalf("flush error = %T %v, want *FlushError", err, err)
 	}
@@ -571,17 +324,17 @@ func (b *boom) Boom() (int64, error) {
 // pure session close must still reach the server — otherwise the session
 // leaks until its TTL.
 func TestSessionCloseSurvivesCancel(t *testing.T) {
-	tc := newTestCluster(t, 2)
+	tc := clustertest.New(t, 2)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	boomRef, err := tc.servers[1].Export(&boom{fire: cancel}, "cluster.Boom")
+	boomRef, err := tc.Servers[1].Peer.Export(&boom{fire: cancel}, "cluster.Boom")
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	b := New(tc.client)
-	a := b.Root(tc.refs[0])
+	b := cluster.New(tc.Client)
+	a := b.Root(tc.Servers[0].Ref)
 	bp := b.Root(boomRef)
 	a.Call("Add", int64(1)) // server-0, stage 0: opens the chained session
 	g := bp.Call("Boom")    // server-1, stage 0: cancels ctx, then fails
@@ -594,7 +347,7 @@ func TestSessionCloseSurvivesCancel(t *testing.T) {
 	}
 	// server-0 must not appear among the failures: its close succeeded even
 	// though ctx was canceled by then.
-	var fe *FlushError
+	var fe *cluster.FlushError
 	if errors.As(err, &fe) {
 		for _, f := range fe.Failures {
 			if f.Endpoint == "server-0" {
@@ -603,7 +356,7 @@ func TestSessionCloseSurvivesCancel(t *testing.T) {
 		}
 	}
 	// The regression: no chained session may leak on server-0.
-	if n := tc.execs[0].NumSessions(); n != 0 {
+	if n := tc.Servers[0].Exec.NumSessions(); n != 0 {
 		t.Errorf("server-0 leaked %d chained sessions after canceled flush", n)
 	}
 }
@@ -622,14 +375,14 @@ func (a *anchored) Get() int64 { return a.v }
 // must not tombstone its export — the re-bound reference still points at
 // the original server, and calls through it keep working.
 func TestAddServerNonMovableKeepsObjectCallable(t *testing.T) {
-	ec := newElasticCluster(t, 3)
+	ec := clustertest.New(t, 3)
 	ctx := context.Background()
 	base := []string{"server-0", "server-1"}
-	dir := NewDirectory(ec.client, base)
-	grown := NewRing([]string{"server-0", "server-1", "server-2"})
-	name := pickNames(dir.Ring(), grown, "server-0", "server-2", 1)[0]
+	dir := cluster.NewDirectory(ec.Client, base)
+	grown := cluster.NewRing([]string{"server-0", "server-1", "server-2"})
+	name := clustertest.PickNames(dir.Ring(), grown, "server-0", "server-2", 1)[0]
 
-	ref, err := ec.server("server-0").Export(&anchored{v: 41}, "cluster.Anchored")
+	ref, err := ec.Server("server-0").Peer.Export(&anchored{v: 41}, "cluster.Anchored")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -637,7 +390,7 @@ func TestAddServerNonMovableKeepsObjectCallable(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := NewRebalancer(dir).AddServer(ctx, "server-2"); err != nil {
+	if _, err := cluster.NewRebalancer(dir).AddServer(ctx, "server-2"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -651,14 +404,14 @@ func TestAddServerNonMovableKeepsObjectCallable(t *testing.T) {
 	}
 	// ...and the object is still callable, both via the fresh lookup and
 	// via a stale direct reference.
-	res, err := ec.client.Call(ctx, got, "Get")
+	res, err := ec.Client.Call(ctx, got, "Get")
 	if err != nil {
 		t.Fatalf("call after scale-out: %v", err)
 	}
 	if res[0].(int64) != 41 {
 		t.Errorf("value = %v, want 41", res[0])
 	}
-	if _, err := ec.client.Call(ctx, ref, "Get"); err != nil {
+	if _, err := ec.Client.Call(ctx, ref, "Get"); err != nil {
 		t.Errorf("stale direct ref to non-movable object failed: %v", err)
 	}
 }
@@ -668,17 +421,17 @@ func TestAddServerNonMovableKeepsObjectCallable(t *testing.T) {
 // directly) is completed by calling AddServer again — it must not
 // short-circuit on existing membership.
 func TestAddServerRetryCompletesPartialMigration(t *testing.T) {
-	ec := newElasticCluster(t, 3)
+	ec := clustertest.New(t, 3)
 	ctx := context.Background()
-	dir := NewDirectory(ec.client, []string{"server-0", "server-1"})
-	grown := NewRing([]string{"server-0", "server-1", "server-2"})
-	name := pickNames(dir.Ring(), grown, "server-0", "server-2", 1)[0]
-	ec.bindCounter(t, dir, name, 77)
+	dir := cluster.NewDirectory(ec.Client, []string{"server-0", "server-1"})
+	grown := cluster.NewRing([]string{"server-0", "server-1", "server-2"})
+	name := clustertest.PickNames(dir.Ring(), grown, "server-0", "server-2", 1)[0]
+	ec.BindCounter(dir, name, 77)
 
 	// Simulate the failed first attempt: membership changed, nothing moved.
 	dir.Ring().Add("server-2")
 
-	stats, err := NewRebalancer(dir).AddServer(ctx, "server-2")
+	stats, err := cluster.NewRebalancer(dir).AddServer(ctx, "server-2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -692,7 +445,7 @@ func TestAddServerRetryCompletesPartialMigration(t *testing.T) {
 	if ref.Endpoint != "server-2" {
 		t.Errorf("%s resolves to %s after retry, want server-2", name, ref.Endpoint)
 	}
-	res, err := ec.client.Call(ctx, ref, "Get")
+	res, err := ec.Client.Call(ctx, ref, "Get")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -705,11 +458,11 @@ func TestAddServerRetryCompletesPartialMigration(t *testing.T) {
 // before the drain's tombstones, so a directory that routes a drained name
 // to the removed server recovers via refresh + retry.
 func TestRemoveServerStaleLookupRetries(t *testing.T) {
-	ec := newElasticCluster(t, 3)
+	ec := clustertest.New(t, 3)
 	ctx := context.Background()
 	all := []string{"server-0", "server-1", "server-2"}
-	admin := NewDirectory(ec.client, all)
-	stale := NewDirectory(ec.client, all)
+	admin := cluster.NewDirectory(ec.Client, all)
+	stale := cluster.NewDirectory(ec.Client, all)
 
 	// A name homed on the victim.
 	var victimName string
@@ -720,9 +473,9 @@ func TestRemoveServerStaleLookupRetries(t *testing.T) {
 			break
 		}
 	}
-	ec.bindCounter(t, admin, victimName, 13)
+	ec.BindCounter(admin, victimName, 13)
 
-	if _, err := NewRebalancer(admin).RemoveServer(ctx, "server-2"); err != nil {
+	if _, err := cluster.NewRebalancer(admin).RemoveServer(ctx, "server-2"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -738,7 +491,7 @@ func TestRemoveServerStaleLookupRetries(t *testing.T) {
 	if e := stale.Epoch(); e != 1 {
 		t.Errorf("stale directory epoch after retry = %d, want 1", e)
 	}
-	res, err := ec.client.Call(ctx, ref, "Get")
+	res, err := ec.Client.Call(ctx, ref, "Get")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -752,29 +505,30 @@ func TestRemoveServerStaleLookupRetries(t *testing.T) {
 // the name live at BOTH homes. The retry must depart the old copy without
 // overwriting the adopted one — even after routed traffic has mutated it.
 func TestAddServerRetryAfterPartialArrive(t *testing.T) {
-	ec := newElasticCluster(t, 3)
+	ec := clustertest.New(t, 3)
 	ctx := context.Background()
-	dir := NewDirectory(ec.client, []string{"server-0", "server-1"})
-	grown := NewRing([]string{"server-0", "server-1", "server-2"})
-	name := pickNames(dir.Ring(), grown, "server-0", "server-2", 1)[0]
-	oldRef := ec.bindCounter(t, dir, name, 5)
+	dir := cluster.NewDirectory(ec.Client, []string{"server-0", "server-1"})
+	grown := cluster.NewRing([]string{"server-0", "server-1", "server-2"})
+	name := clustertest.PickNames(dir.Ring(), grown, "server-0", "server-2", 1)[0]
+	oldRef := ec.BindCounter(dir, name, 5)
 
 	// Simulate the partial first run: ring grown, snapshot taken, copy
 	// adopted at the newcomer — but the depart trip never landed.
 	dir.Ring().Add("server-2")
-	if err := ec.nodes[2].Arrive(name, shardCounterIface, true, int64(5), wire.Ref{}); err != nil {
+	state := &clustertest.CounterState{N: 5}
+	if err := ec.Servers[2].Node.Arrive(name, clustertest.CounterIface, true, state, wire.Ref{}); err != nil {
 		t.Fatal(err)
 	}
 	// New-ring traffic mutates the adopted copy before the retry.
-	adopted, err := registry.Lookup(ctx, ec.client, "server-2", name)
+	adopted, err := registry.Lookup(ctx, ec.Client, "server-2", name)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ec.client.Call(ctx, adopted, "Add", int64(10)); err != nil {
+	if _, err := ec.Client.Call(ctx, adopted, "Add", int64(10)); err != nil {
 		t.Fatal(err)
 	}
 
-	stats, err := NewRebalancer(dir).AddServer(ctx, "server-2")
+	stats, err := cluster.NewRebalancer(dir).AddServer(ctx, "server-2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -791,7 +545,7 @@ func TestAddServerRetryAfterPartialArrive(t *testing.T) {
 	if ref.Endpoint != "server-2" {
 		t.Fatalf("%s resolves to %s, want server-2", name, ref.Endpoint)
 	}
-	res, err := ec.client.Call(ctx, ref, "Get")
+	res, err := ec.Client.Call(ctx, ref, "Get")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -800,7 +554,7 @@ func TestAddServerRetryAfterPartialArrive(t *testing.T) {
 	}
 	// The old copy is tombstoned now.
 	var wrong *rmi.WrongHomeError
-	if _, err := ec.client.Call(ctx, oldRef, "Get"); !errors.As(err, &wrong) {
+	if _, err := ec.Client.Call(ctx, oldRef, "Get"); !errors.As(err, &wrong) {
 		t.Errorf("old copy error = %v, want *WrongHomeError", err)
 	}
 }
@@ -811,19 +565,19 @@ func TestAddServerRetryAfterPartialArrive(t *testing.T) {
 // a clear error carrying the wrong-home cause — and still execute the rest
 // of the sub-batch at the new homes.
 func TestStaleFlushRetrySplitDependency(t *testing.T) {
-	ec := newElasticCluster(t, 3)
+	ec := clustertest.New(t, 3)
 	ctx := context.Background()
-	dir := NewDirectory(ec.client, []string{"server-0", "server-1"})
-	grown := NewRing([]string{"server-0", "server-1", "server-2"})
+	dir := cluster.NewDirectory(ec.Client, []string{"server-0", "server-1"})
+	grown := cluster.NewRing([]string{"server-0", "server-1", "server-2"})
 
 	// Two names on server-0; the first moves to the newcomer, the second
 	// stays.
-	movingName := pickNames(dir.Ring(), grown, "server-0", "server-2", 1)[0]
-	stayingName := pickNames(dir.Ring(), grown, "server-0", "server-0", 1)[0]
-	ec.bindCounter(t, dir, movingName, 10)
-	ec.bindCounter(t, dir, stayingName, 100)
+	movingName := clustertest.PickNames(dir.Ring(), grown, "server-0", "server-2", 1)[0]
+	stayingName := clustertest.PickNames(dir.Ring(), grown, "server-0", "server-0", 1)[0]
+	ec.BindCounter(dir, movingName, 10)
+	ec.BindCounter(dir, stayingName, 100)
 
-	b := New(ec.client, WithDirectory(dir))
+	b := cluster.New(ec.Client, cluster.WithDirectory(dir))
 	pm, err := b.RootNamed(ctx, movingName)
 	if err != nil {
 		t.Fatal(err)
@@ -835,10 +589,10 @@ func TestStaleFlushRetrySplitDependency(t *testing.T) {
 	// Cross-root dataflow within what is, at record time, one server: the
 	// staying counter absorbs the moving one's result object.
 	self := pm.CallBatch("Self")
-	absorbed := ps.Call("AbsorbFrom", self)
+	absorbed := ps.Call("Absorb", self)
 	independent := ps.Call("Add", int64(1))
 
-	if _, err := NewRebalancer(dir).AddServer(ctx, "server-2"); err != nil {
+	if _, err := cluster.NewRebalancer(dir).AddServer(ctx, "server-2"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -855,7 +609,7 @@ func TestStaleFlushRetrySplitDependency(t *testing.T) {
 		t.Errorf("split-dependency error %v does not carry the wrong-home cause", aerr)
 	}
 	// The independent call on the same (staying) root executed at its home.
-	if v, err := Typed[int64](independent).Get(); err != nil || v != 101 {
+	if v, err := cluster.Typed[int64](independent).Get(); err != nil || v != 101 {
 		t.Errorf("independent call = %v, %v; want 101", v, err)
 	}
 	// The moved root's producing call replayed at the new home.
@@ -869,33 +623,33 @@ func TestStaleFlushRetrySplitDependency(t *testing.T) {
 // close its session — the executor must reap it in the background instead
 // of leaking it until the server TTL.
 func TestFailedDestinationSessionReaped(t *testing.T) {
-	tc := newTestCluster(t, 2)
+	tc := clustertest.New(t, 2)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	boomRef, err := tc.servers[1].Export(&boom{fire: cancel}, "cluster.Boom2")
+	boomRef, err := tc.Servers[1].Peer.Export(&boom{fire: cancel}, "cluster.Boom2")
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	b := New(tc.client)
-	a := b.Root(tc.refs[0])
+	b := cluster.New(tc.Client)
+	a := b.Root(tc.Servers[0].Ref)
 	bp := b.Root(boomRef)
 	f0 := a.Call("Add", int64(1)) // server-0, stage 0: opens the chained session
 	bp.Call("Boom")               // server-1, stage 0: cancels ctx after a delay
 	a.Call("Add", f0)             // server-0, stage 1: REAL pending call under canceled ctx
 
 	err = b.Flush(ctx)
-	var fe *FlushError
+	var fe *cluster.FlushError
 	if !errors.As(err, &fe) {
 		t.Fatalf("flush error = %T %v, want *FlushError (server-0's stage-1 flush ran under a canceled context)", err, err)
 	}
 
 	// The orphaned session on server-0 is reaped in the background.
 	deadline := time.Now().Add(2 * time.Second)
-	for tc.execs[0].NumSessions() != 0 {
+	for tc.Servers[0].Exec.NumSessions() != 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("server-0 still holds %d chained sessions after failed flush", tc.execs[0].NumSessions())
+			t.Fatalf("server-0 still holds %d chained sessions after failed flush", tc.Servers[0].Exec.NumSessions())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

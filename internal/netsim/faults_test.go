@@ -1,0 +1,318 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// faultNet builds a network with one server endpoint and an accept loop that
+// collects server-side conns, returning the network and a named client host.
+func faultNet(t *testing.T, p Profile, opts ...Option) (*Network, *Host) {
+	t.Helper()
+	n := New(p, opts...)
+	t.Cleanup(func() { _ = n.Close() })
+	l, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			// Echo server: copy until the conn dies.
+			go func() { _, _ = io.Copy(c, c) }()
+		}
+	}()
+	return n, n.Host("alice")
+}
+
+func roundTrip(c net.Conn, b byte) error {
+	if _, err := c.Write([]byte{b}); err != nil {
+		return err
+	}
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return err
+	}
+	if buf[0] != b {
+		return errors.New("echo mismatch")
+	}
+	return nil
+}
+
+func TestPartitionRefusesDialsAndResetsConns(t *testing.T) {
+	n, alice := faultNet(t, Instant)
+	c, err := alice.Dial(context.Background(), "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := roundTrip(c, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	n.Partition("alice", "srv")
+	// The established conn was reset: the next write fails (either the
+	// fault check or the closed link reports it).
+	if _, err := c.Write([]byte{2}); err == nil {
+		t.Fatal("write across partition succeeded")
+	}
+	// New dials from alice are refused...
+	if _, err := alice.Dial(context.Background(), "srv"); err == nil {
+		t.Fatal("dial across partition succeeded")
+	}
+	// ...but an unrelated host still gets through (directional, per-source).
+	c2, err := n.Host("bob").Dial(context.Background(), "srv")
+	if err != nil {
+		t.Fatalf("unrelated host blocked by partition: %v", err)
+	}
+	if err := roundTrip(c2, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	n.Heal("alice", "srv")
+	c3, err := alice.Dial(context.Background(), "srv")
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	if err := roundTrip(c3, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashAndRestart(t *testing.T) {
+	n, alice := faultNet(t, Instant)
+	c, err := alice.Dial(context.Background(), "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := roundTrip(c, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	n.Crash("srv")
+	if !n.Down("srv") {
+		t.Fatal("Down(srv) = false after Crash")
+	}
+	if _, err := alice.Dial(context.Background(), "srv"); err == nil {
+		t.Fatal("dial to crashed endpoint succeeded")
+	}
+	// The established conn died with the crash.
+	if _, err := io.ReadFull(c, make([]byte, 1)); err == nil {
+		t.Fatal("read from crashed endpoint's conn succeeded")
+	}
+
+	n.Restart("srv")
+	c2, err := alice.Dial(context.Background(), "srv")
+	if err != nil {
+		t.Fatalf("dial after restart: %v", err)
+	}
+	if err := roundTrip(c2, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillConnsForcesRedialButKeepsEndpointUp(t *testing.T) {
+	n, alice := faultNet(t, Instant)
+	c, err := alice.Dial(context.Background(), "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.KillConns("srv")
+	if err := roundTrip(c, 1); err == nil {
+		t.Fatal("killed conn still echoes")
+	}
+	// The endpoint never went down: an immediate redial works.
+	c2, err := alice.Dial(context.Background(), "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := roundTrip(c2, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkDropFaultResetsEventually(t *testing.T) {
+	n, alice := faultNet(t, Instant, WithFaultSeed(7))
+	n.SetLinkFaults("alice", "srv", LinkFaults{DropPerWrite: 0.5})
+	// With p=0.5 per write, 64 consecutive surviving round trips have
+	// probability 2^-64: the loop below must observe a reset.
+	broke := false
+	for i := 0; i < 64; i++ {
+		c, err := alice.Dial(context.Background(), "srv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := roundTrip(c, byte(i)); err != nil {
+			broke = true
+			break
+		}
+		_ = c.Close()
+	}
+	if !broke {
+		t.Fatal("no connection reset under DropPerWrite=0.5")
+	}
+	// Clearing the fault restores a clean link.
+	n.SetLinkFaults("alice", "srv", LinkFaults{})
+	c, err := alice.Dial(context.Background(), "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if err := roundTrip(c, byte(i)); err != nil {
+			t.Fatalf("round trip %d after clearing faults: %v", i, err)
+		}
+	}
+}
+
+func TestLinkFaultSeedReproducible(t *testing.T) {
+	// Two networks with the same fault seed must break on the same write.
+	run := func() int {
+		n, alice := faultNet(t, Instant, WithFaultSeed(42))
+		n.SetLinkFaults("alice", "srv", LinkFaults{DropPerWrite: 0.2})
+		c, err := alice.Dial(context.Background(), "srv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; ; i++ {
+			if err := roundTrip(c, byte(i)); err != nil {
+				return i
+			}
+			if i > 1000 {
+				t.Fatal("no drop in 1000 writes at p=0.2")
+			}
+		}
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed dropped at write %d then %d", a, b)
+	}
+}
+
+func TestExtraLatencyAppliedOnVirtualClock(t *testing.T) {
+	clk := NewVirtualClock()
+	t.Cleanup(clk.Stop)
+	n, alice := faultNet(t, Instant, WithClock(clk))
+	n.SetLinkFaults("alice", "srv", LinkFaults{ExtraLatency: 5 * time.Second})
+
+	c, err := alice.Dial(context.Background(), "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vstart := clk.Now()
+	wstart := time.Now()
+	if err := roundTrip(c, 1); err != nil {
+		t.Fatal(err)
+	}
+	// 5 virtual seconds of injected latency passed...
+	if adv := clk.Now().Sub(vstart); adv < 5*time.Second {
+		t.Errorf("virtual clock advanced %v, want >= 5s", adv)
+	}
+	// ...in far less wall time: the virtual clock compressed it.
+	if wall := time.Since(wstart); wall > 5*time.Second {
+		t.Errorf("wall time %v for 5s virtual latency — clock not virtual", wall)
+	}
+}
+
+func TestVirtualClockFiresInDueOrder(t *testing.T) {
+	clk := NewVirtualClock()
+	t.Cleanup(clk.Stop)
+	var mu sync.Mutex
+	var fired []int
+	done := make(chan struct{})
+	record := func(i int) func() {
+		return func() {
+			mu.Lock()
+			fired = append(fired, i)
+			n := len(fired)
+			mu.Unlock()
+			if n == 3 {
+				close(done)
+			}
+		}
+	}
+	// Armed out of order; must fire in due order.
+	clk.AfterFunc(30*time.Millisecond, record(3))
+	clk.AfterFunc(10*time.Millisecond, record(1))
+	clk.AfterFunc(20*time.Millisecond, record(2))
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("virtual timers never fired")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range fired {
+		if v != i+1 {
+			t.Fatalf("fired order %v, want [1 2 3]", fired)
+		}
+	}
+}
+
+func TestVirtualClockStopCancelsTimers(t *testing.T) {
+	clk := NewVirtualClock()
+	tm := clk.AfterFunc(time.Hour, func() { t.Error("stopped timer fired") })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer = false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop = true")
+	}
+	clk.Stop()
+	clk.Stop() // idempotent
+}
+
+// TestSetFaultSetReplacesStateAtomically: installing a fault set replaces
+// the previous one in a single step — the new faults bite, the old ones are
+// gone, and an empty set heals the network — with no reliance on
+// incremental heal/apply pairs.
+func TestSetFaultSetReplacesStateAtomically(t *testing.T) {
+	n, alice := faultNet(t, Instant)
+	n.SetFaultSet(FaultSet{Partitions: [][2]string{{"alice", "srv"}}})
+	if _, err := alice.Dial(context.Background(), "srv"); err == nil {
+		t.Fatal("dial across installed partition succeeded")
+	}
+
+	// Replace with a different set: the partition is gone, the crash bites,
+	// and the connection established in between is reset.
+	c, err := n.Host("bob").Dial(context.Background(), "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetFaultSet(FaultSet{Down: []string{"srv"}})
+	if _, err := alice.Dial(context.Background(), "srv"); err == nil {
+		t.Fatal("dial to crashed endpoint succeeded")
+	}
+	if err := roundTrip(c, 1); err == nil {
+		t.Fatal("conn to crashed endpoint still echoes")
+	}
+
+	n.SetFaultSet(FaultSet{})
+	c2, err := alice.Dial(context.Background(), "srv")
+	if err != nil {
+		t.Fatalf("dial after empty fault set: %v", err)
+	}
+	if err := roundTrip(c2, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealAllClearsEverything(t *testing.T) {
+	n, alice := faultNet(t, Instant)
+	n.Partition("alice", "srv")
+	n.Crash("srv")
+	n.SetLinkFaults("alice", "srv", LinkFaults{DropPerWrite: 1})
+	n.HealAll()
+	c, err := alice.Dial(context.Background(), "srv")
+	if err != nil {
+		t.Fatalf("dial after HealAll: %v", err)
+	}
+	if err := roundTrip(c, 9); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -82,18 +82,54 @@ func (p Profile) txTime(n int) time.Duration {
 // Network is an in-memory Network implementation (in the sense of
 // transport.Network) whose connections exhibit the profile's latency and
 // bandwidth. Endpoints are arbitrary names.
+//
+// Beyond the healthy-path profile, a Network carries a fault surface
+// (faults.go): directional partitions, per-link latency/jitter/loss,
+// connection drops, and endpoint crashes, all injectable at runtime. All
+// temporal behaviour routes through the network's Clock (clock.go), so a
+// VirtualClock makes high-latency fault scenarios cheap and host-
+// scheduling-independent.
 type Network struct {
 	profile Profile
+	clock   Clock
+	faults  *faultState
 
 	mu        sync.Mutex
 	listeners map[string]*listener
 	closed    bool
 }
 
-// New creates a network with the given link profile.
-func New(profile Profile) *Network {
-	return &Network{profile: profile, listeners: make(map[string]*listener)}
+// Option configures a Network.
+type Option func(*Network)
+
+// WithClock substitutes the network's time source (default: RealClock).
+func WithClock(c Clock) Option {
+	return func(n *Network) { n.clock = c }
 }
+
+// WithFaultSeed seeds the RNG behind probabilistic link faults (jitter
+// draws, drop rolls). The default seed is 1; chaos harnesses pass their run
+// seed so fault outcomes are reproducible.
+func WithFaultSeed(seed int64) Option {
+	return func(n *Network) { n.faults = newFaultState(seed) }
+}
+
+// New creates a network with the given link profile.
+func New(profile Profile, opts ...Option) *Network {
+	n := &Network{
+		profile:   profile,
+		clock:     RealClock,
+		faults:    newFaultState(1),
+		listeners: make(map[string]*listener),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Clock returns the network's time source.
+func (n *Network) Clock() Clock { return n.clock }
 
 // Profile returns the network's link profile.
 func (n *Network) Profile() Profile { return n.profile }
@@ -118,17 +154,39 @@ func (n *Network) Listen(endpoint string) (net.Listener, error) {
 	return l, nil
 }
 
-// Dial implements transport.Network.
+// Dial implements transport.Network. Un-attributed dials have source
+// identity "" for fault targeting; use Host views to name the dialer.
 func (n *Network) Dial(ctx context.Context, endpoint string) (net.Conn, error) {
+	return n.dialFrom(ctx, "", endpoint)
+}
+
+// dialFrom opens a connection from the named source host to endpoint,
+// subject to the network's fault state.
+func (n *Network) dialFrom(ctx context.Context, src, endpoint string) (net.Conn, error) {
+	if err := n.dialRefused(src, endpoint); err != nil {
+		return nil, err
+	}
 	n.mu.Lock()
 	l, ok := n.listeners[endpoint]
 	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("netsim: dial %q: connection refused", endpoint)
 	}
-	client, server := connPair(n.profile, endpoint)
+	client, server := n.connPair(src, endpoint)
 	select {
 	case l.backlog <- server:
+		n.register(client.(*conn))
+		n.register(server.(*conn))
+		// Re-check after registering, with the KILL-SWEEP predicate (either
+		// direction blocked, either endpoint down): a fault installed
+		// between the check above and register would miss this pair in its
+		// sweep (sweeps iterate only registered conns), silently letting a
+		// connection span a crash or partition.
+		if n.pairForbidden(pair{src, endpoint}) {
+			client.(*conn).reset()
+			server.(*conn).reset()
+			return nil, fmt.Errorf("netsim: dial %q from %q: connection reset by fault", endpoint, src)
+		}
 		return client, nil
 	case <-l.done:
 		return nil, fmt.Errorf("netsim: dial %q: connection refused", endpoint)
