@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/clustertest"
+	"repro/internal/statsnode"
 	"repro/internal/wire"
 )
 
@@ -23,6 +24,9 @@ func (r *runner) checkInvariants(ctx context.Context) {
 	r.checkFailureIsolation(logs)
 	r.checkConvergence(ctx, logs)
 	r.checkEpochs(ctx)
+	// Counters last: checkEpochs runs a final cluster flush, and its calls
+	// (retries included) must be on the books before the tally.
+	r.checkCounters(ctx)
 }
 
 // collectLogs resolves every bound name to its authoritative counter and
@@ -253,7 +257,11 @@ func (r *runner) checkEpochs(ctx context.Context) {
 		futures = append(futures, p.Call("Apply", tok, nil))
 		tok++
 	}
-	if err := b.Flush(fctx); err != nil {
+	err := b.Flush(fctx)
+	if b.StaleRetried() {
+		r.modelStaleRetries++
+	}
+	if err != nil {
 		r.violate("wrong-home termination: final flush failed on the quiesced cluster: %v", err)
 		return
 	}
@@ -261,5 +269,61 @@ func (r *runner) checkEpochs(ctx context.Context) {
 		if err := f.Err(); err != nil {
 			r.violate("wrong-home termination: final call on %s failed: %v", r.prog.names[i], err)
 		}
+	}
+}
+
+// checkCounters: invariant 6 — the observability plane agrees with the
+// model. Scraping the quiesced members through the stats.Node service (one
+// batched wave — the monitoring path under test IS a cluster flush), it
+// asserts:
+//
+//  1. the client's cluster.wrong_home_retries counter equals the model's
+//     tally of batches that spent their stale-route retry — retries never
+//     recover silently and are never double-counted;
+//  2. a scraped member's core.calls_executed matches its in-process
+//     registry — the RMI scrape path reports the truth;
+//  3. replay accounting balances: the client never acknowledges a result
+//     the servers did not execute (acked ≤ executed cluster-wide), with
+//     exact equality on a fault-free schedule — faults may lose responses
+//     for executed calls, but nothing may execute unobserved or ack
+//     unexecuted.
+//
+// It runs AFTER checkEpochs: that check's final flush executes calls, and
+// the tallies here must include them.
+func (r *runner) checkCounters(ctx context.Context) {
+	sctx, cancel := context.WithTimeout(ctx, r.cfg.FlushTimeout)
+	defer cancel()
+	snaps, err := statsnode.ScrapeCluster(sctx, r.tc.Client, r.dir.Servers())
+	if err != nil {
+		r.violate("counter consistency: stats scrape failed on the healed cluster: %v", err)
+		return
+	}
+
+	// The client registry is read after the scrape so the scrape's own
+	// acked calls are on the books, matching the executed counts its Scrape
+	// executions stamped into the server snapshots.
+	client := r.tc.ClientStats.Snapshot()
+	if got := client.Counter("cluster.wrong_home_retries"); got != int64(r.modelStaleRetries) {
+		r.violate("counter consistency: cluster.wrong_home_retries = %d, model observed %d stale-route retries",
+			got, r.modelStaleRetries)
+	}
+
+	var executed int64
+	for _, s := range r.tc.Servers {
+		local := s.Stats.Snapshot().Counter("core.calls_executed")
+		executed += local
+		if scraped, ok := snaps[s.Endpoint]; ok {
+			if got := scraped.Counter("core.calls_executed"); got != local {
+				r.violate("counter consistency: %s scraped core.calls_executed = %d, in-process registry says %d",
+					s.Endpoint, got, local)
+			}
+		}
+	}
+	acked := client.Counter("core.calls_acked")
+	if acked > executed {
+		r.violate("counter consistency: client acked %d executed calls but servers executed only %d", acked, executed)
+	}
+	if len(r.sched.Events) == 0 && acked != executed {
+		r.violate("counter consistency: fault-free run, but servers executed %d calls and the client acked %d", executed, acked)
 	}
 }

@@ -196,6 +196,10 @@ type flushRecord struct {
 	flushErr  error
 	recordErr error // RootNamed failed; the flush never ran
 	waves     int
+	// staleRetried records Batch.StaleRetried(): the flush spent its single
+	// wrong-home retry. The counter-consistency invariant tallies these
+	// against the client's cluster.wrong_home_retries counter.
+	staleRetried bool
 	// migrationConcurrent marks flushes that overlapped a membership
 	// change. DESIGN.md's in-flight window allows a stale-ring write
 	// applied to the old copy to be superseded by the move, so the
@@ -217,6 +221,11 @@ type runner struct {
 
 	flushes []*flushRecord
 	issued  map[string][]int64 // per name, tokens in issue order
+	// modelStaleRetries counts every cluster batch that spent its
+	// wrong-home retry — workload flushes and the invariant checker's own
+	// final flush alike. All cluster batches run on the main goroutine, so
+	// a plain int suffices.
+	modelStaleRetries int
 
 	rebMu      sync.Mutex
 	rebPending chan error // one async rebalance at a time
@@ -290,29 +299,11 @@ func runSim(tb testing.TB, cfg Config, prog *program, sched *Schedule) *Result {
 		if f.flushErr != nil || f.recordErr != nil {
 			res.FailedFlushes++
 		}
-		if f.flushErr == nil && f.recordErr == nil && f.waves > 0 && f.retryObserved() {
+		if f.flushErr == nil && f.recordErr == nil && f.staleRetried {
 			res.StaleRetries++
 		}
 	}
 	return res
-}
-
-// retryObserved reports whether the flush needed more waves than its
-// dependency depth — i.e. it recovered through a wrong-home retry wave.
-func (f *flushRecord) retryObserved() bool {
-	depth := 0
-	stages := make([]int, len(f.calls))
-	for i, c := range f.calls {
-		s := 0
-		if c.Dep >= 0 {
-			s = stages[c.Dep] + 1
-		}
-		stages[i] = s
-		if s > depth {
-			depth = s
-		}
-	}
-	return f.waves > depth+1
 }
 
 // scheduleBoundary installs the fault state due at a step boundary: the
@@ -445,6 +436,10 @@ func (r *runner) flush(ctx context.Context, o op, idx int, between func()) {
 	}
 	fr.flushErr = b.Flush(fctx)
 	fr.waves = b.Waves()
+	fr.staleRetried = b.StaleRetried()
+	if fr.staleRetried {
+		r.modelStaleRetries++
+	}
 	fr.outcomes = make([]error, len(futures))
 	for i, f := range futures {
 		fr.outcomes[i] = f.Err()

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rmi"
+	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
@@ -75,6 +76,13 @@ type Batch struct {
 	// failure poisons every future when recording failed; per-server flush
 	// failures stay per-group instead (see Flush).
 	failure error
+
+	// Metrics, wired from the peer's stats registry (nil and therefore
+	// no-ops when the peer is uninstrumented).
+	reg        *stats.Registry
+	flushWaves *stats.Counter   // cluster.flush_waves
+	stageNs    *stats.Histogram // cluster.stage_ns
+	wrongHome  *stats.Counter   // cluster.wrong_home_retries
 }
 
 // Option configures a cluster Batch.
@@ -126,6 +134,12 @@ func New(peer *rmi.Peer, opts ...Option) *Batch {
 	}
 	for _, o := range opts {
 		o(b)
+	}
+	if r := peer.Stats(); r != nil {
+		b.reg = r
+		b.flushWaves = r.Counter("cluster.flush_waves")
+		b.stageNs = r.Histogram("cluster.stage_ns")
+		b.wrongHome = r.Counter("cluster.wrong_home_retries")
 	}
 	return b
 }
@@ -209,6 +223,15 @@ func (b *Batch) Waves() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.waves
+}
+
+// StaleRetried reports whether the flush spent its single stale-route
+// retry (wrong-home rejection, refreshed shard map, re-flush at the new
+// homes). It is also surfaced on FlushError.Retries when the flush failed.
+func (b *Batch) StaleRetried() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.retried
 }
 
 // fail records a sticky recording violation. Caller holds b.mu.
@@ -330,6 +353,12 @@ func (b *Batch) Flush(ctx context.Context) error {
 type FlushError struct {
 	// Servers is how many destinations the flush planned to reach.
 	Servers int
+	// Retries is how many stale-route retries the flush spent before
+	// failing (0 or 1: a flush retries a wrong-home rejection at most
+	// once). A non-zero value means the reported failures are final — the
+	// shard map was refreshed and the affected calls re-flushed at their
+	// new homes before the error surfaced.
+	Retries int
 	// Failures lists each failed destination, in failure order.
 	Failures []ServerError
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/registry"
 	"repro/internal/rmi"
+	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
@@ -22,13 +23,22 @@ var ErrNoServers = errors.New("cluster: no servers in the shard map")
 type Directory struct {
 	peer *rmi.Peer
 	ring *Ring
+
+	// Metrics, wired from the peer's stats registry (nil no-ops otherwise).
+	lookupRetries *stats.Counter // cluster.lookup_retries
+	refreshes     *stats.Counter // cluster.dir_refreshes
 }
 
 // NewDirectory creates a directory routing over the given server endpoints.
 // Each endpoint must run a registry (registry.Start) for naming calls to
 // succeed.
 func NewDirectory(peer *rmi.Peer, endpoints []string, opts ...RingOption) *Directory {
-	return &Directory{peer: peer, ring: NewRing(endpoints, opts...)}
+	d := &Directory{peer: peer, ring: NewRing(endpoints, opts...)}
+	if r := peer.Stats(); r != nil {
+		d.lookupRetries = r.Counter("cluster.lookup_retries")
+		d.refreshes = r.Counter("cluster.dir_refreshes")
+	}
+	return d
 }
 
 // Ring exposes the underlying shard map (e.g. to add servers at runtime).
@@ -83,6 +93,7 @@ func (d *Directory) Lookup(ctx context.Context, name string) (wire.Ref, error) {
 	if rerr := d.Refresh(ctx); rerr != nil {
 		return wire.Ref{}, fmt.Errorf("%w (ring refresh failed: %v)", err, rerr)
 	}
+	d.lookupRetries.Inc()
 	return d.lookupOnce(ctx, name)
 }
 
@@ -103,6 +114,7 @@ func (d *Directory) lookupOnce(ctx context.Context, name string) (wire.Ref, erro
 // membership change it did not witness. It fails only when no node is
 // reachable.
 func (d *Directory) Refresh(ctx context.Context) error {
+	d.refreshes.Inc()
 	members := d.ring.Endpoints()
 	if len(members) == 0 {
 		return ErrNoServers

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/registry"
 	"repro/internal/rmi"
+	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
@@ -95,6 +96,10 @@ type Node struct {
 	mu      sync.Mutex
 	members []string
 	epoch   uint64
+
+	// Migration traffic counters (nil no-ops when uninstrumented).
+	arrivals *stats.Counter // cluster.arrivals
+	departs  *stats.Counter // cluster.departs
 }
 
 // StartNode exports a cluster node service on p at the reserved node id.
@@ -106,6 +111,15 @@ func StartNode(p *rmi.Peer, reg *registry.Service, members []string) (*Node, err
 	}
 	n := &Node{peer: p, reg: reg, members: append([]string(nil), members...)}
 	sort.Strings(n.members)
+	if r := p.Stats(); r != nil {
+		n.arrivals = r.Counter("cluster.arrivals")
+		n.departs = r.Counter("cluster.departs")
+		r.Func("cluster.ring_epoch", func() int64 {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			return int64(n.epoch)
+		})
+	}
 	if _, err := p.ExportSystem(rmi.NodeObjID, n, rmi.NodeIface); err != nil {
 		return nil, fmt.Errorf("cluster: start node: %w", err)
 	}
@@ -182,6 +196,7 @@ func (n *Node) Depart(name string, epoch uint64) error {
 		}
 		return err
 	}
+	n.departs.Inc()
 	n.reg.Forward(name, epoch)
 	// An export aliased by several names is tombstoned only when the last
 	// of them departs: until then the staying names must keep resolving to
@@ -206,6 +221,7 @@ func (n *Node) Depart(name string, epoch uint64) error {
 // overwrite an adopted copy (possibly already mutated by routed traffic)
 // with a re-read of the old home's stale state.
 func (n *Node) Arrive(name string, iface string, movable bool, state any, ref wire.Ref) error {
+	n.arrivals.Inc()
 	if movable {
 		if existing, err := n.reg.Lookup(name); err == nil && existing.Endpoint == n.peer.Endpoint() {
 			return nil // already adopted by an earlier (partially failed) run

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rmi"
+	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
@@ -33,6 +34,10 @@ type Rebalancer struct {
 	dir       *Directory
 	perObject bool
 	probe     MigrationProbe
+
+	// Migration progress metrics (nil no-ops when uninstrumented).
+	migMoved     *stats.Counter // cluster.migration_moved
+	migRemaining *stats.Gauge   // cluster.migration_remaining
 }
 
 // RebalanceOption configures a Rebalancer.
@@ -93,6 +98,10 @@ func NewRebalancer(dir *Directory, opts ...RebalanceOption) *Rebalancer {
 	r := &Rebalancer{dir: dir}
 	for _, o := range opts {
 		o(r)
+	}
+	if reg := dir.peer.Stats(); reg != nil {
+		r.migMoved = reg.Counter("cluster.migration_moved")
+		r.migRemaining = reg.Gauge("cluster.migration_remaining")
 	}
 	return r
 }
@@ -296,6 +305,12 @@ func (r *Rebalancer) migrate(ctx context.Context, plan map[pairKey][]move, epoch
 	if len(plan) == 0 {
 		return nil
 	}
+	// Migration progress: the remaining gauge counts down as flows land, so
+	// an ops view polled mid-rebalance sees the drain advance; the moved
+	// counter accumulates across rebalances.
+	for _, moves := range plan {
+		r.migRemaining.Add(int64(len(moves)))
+	}
 	errs := make([]error, 0, len(plan))
 	var (
 		wg sync.WaitGroup
@@ -311,10 +326,13 @@ func (r *Rebalancer) migrate(ctx context.Context, plan map[pairKey][]move, epoch
 			} else {
 				err = r.migratePair(ctx, pair.src, pair.dst, moves, epoch)
 			}
+			r.migRemaining.Add(-int64(len(moves)))
 			if err != nil {
 				mu.Lock()
 				errs = append(errs, fmt.Errorf("cluster: migrate %s -> %s: %w", pair.src, pair.dst, err))
 				mu.Unlock()
+			} else {
+				r.migMoved.Add(uint64(len(moves)))
 			}
 		}(pair, moves)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rmi"
@@ -125,6 +126,10 @@ func (b *Batch) execute(ctx context.Context, stages [][]*subBatch) error {
 
 		// Fan out: one flush per destination, concurrently; barrier before
 		// the next stage may consume this one's results.
+		var waveStart time.Time
+		if b.reg != nil {
+			waveStart = b.reg.Now()
+		}
 		errs := make([]error, len(wave))
 		var wg sync.WaitGroup
 		for i, ds := range wave {
@@ -148,9 +153,13 @@ func (b *Batch) execute(ctx context.Context, stages [][]*subBatch) error {
 			}(i, ds)
 		}
 		wg.Wait()
+		if b.reg != nil {
+			b.stageNs.Observe(b.reg.Now().Sub(waveStart).Nanoseconds())
+		}
 
 		b.mu.Lock()
 		b.waves++
+		b.flushWaves.Inc()
 		var retries []*staleRetry
 		for i, ds := range wave {
 			if errs[i] != nil {
@@ -221,6 +230,11 @@ func (b *Batch) execute(ctx context.Context, stages [][]*subBatch) error {
 	}
 
 	if flushErr != nil {
+		b.mu.Lock()
+		if b.retried {
+			flushErr.Retries = 1
+		}
+		b.mu.Unlock()
 		return flushErr
 	}
 	return nil
@@ -351,6 +365,7 @@ func (b *Batch) canRetryStale(ds *destState, stage int, err error) bool {
 func (b *Batch) retryStale(ctx context.Context, stage int, retries []*staleRetry, reportFailure func(*destState, int, error)) {
 	b.mu.Lock()
 	b.retried = true
+	b.wrongHome.Inc()
 	b.mu.Unlock()
 
 	if err := b.dir.Refresh(ctx); err != nil {
@@ -361,6 +376,10 @@ func (b *Batch) retryStale(ctx context.Context, stage int, retries []*staleRetry
 		}
 		b.mu.Unlock()
 		return
+	}
+	var waveStart time.Time
+	if b.reg != nil {
+		waveStart = b.reg.Now()
 	}
 	flushed := make([]bool, len(retries))
 	var wg sync.WaitGroup
@@ -376,6 +395,10 @@ func (b *Batch) retryStale(ctx context.Context, stage int, retries []*staleRetry
 	for _, f := range flushed {
 		if f {
 			b.waves++
+			b.flushWaves.Inc()
+			if b.reg != nil {
+				b.stageNs.Observe(b.reg.Now().Sub(waveStart).Nanoseconds())
+			}
 			break
 		}
 	}

@@ -21,6 +21,8 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/registry"
 	"repro/internal/rmi"
+	"repro/internal/stats"
+	"repro/internal/statsnode"
 	"repro/internal/wire"
 )
 
@@ -39,6 +41,7 @@ type Server struct {
 	Exec     *core.Executor
 	Reg      *registry.Service
 	Node     *cluster.Node
+	Stats    *stats.Registry
 	Counter  *Counter
 	Ref      wire.Ref
 }
@@ -48,6 +51,9 @@ type Cluster struct {
 	Network *netsim.Network
 	Servers []*Server
 	Client  *rmi.Peer
+	// ClientStats is the client peer's metrics registry (scraped directly;
+	// the client runs no stats.Node service since it serves nothing).
+	ClientStats *stats.Registry
 
 	tb testing.TB
 }
@@ -82,7 +88,9 @@ func New(tb testing.TB, k int, opts ...Option) *Cluster {
 	for i := 0; i < k; i++ {
 		c.StartServer(fmt.Sprintf("server-%d", i))
 	}
-	c.Client = rmi.NewPeer(c.Network.Host(ClientHost), rmi.WithLogf(SilentLogf))
+	c.ClientStats = stats.New(stats.WithClock(c.Network.Clock()))
+	c.Client = rmi.NewPeer(c.Network.Host(ClientHost),
+		rmi.WithLogf(SilentLogf), rmi.WithStatsRegistry(c.ClientStats))
 	tb.Cleanup(func() { _ = c.Client.Close() })
 	return c
 }
@@ -93,7 +101,9 @@ func New(tb testing.TB, k int, opts ...Option) *Cluster {
 // restart).
 func (c *Cluster) StartServer(endpoint string) *Server {
 	c.tb.Helper()
-	srv := rmi.NewPeer(c.Network.Host(endpoint), rmi.WithLogf(SilentLogf))
+	sreg := stats.New(stats.WithClock(c.Network.Clock()))
+	srv := rmi.NewPeer(c.Network.Host(endpoint),
+		rmi.WithLogf(SilentLogf), rmi.WithStatsRegistry(sreg))
 	if err := srv.Serve(endpoint); err != nil {
 		c.tb.Fatal(err)
 	}
@@ -111,12 +121,15 @@ func (c *Cluster) StartServer(endpoint string) *Server {
 	if err != nil {
 		c.tb.Fatal(err)
 	}
+	if _, err := statsnode.Start(srv); err != nil {
+		c.tb.Fatal(err)
+	}
 	ctr := &Counter{}
 	ref, err := srv.Export(ctr, CounterIface)
 	if err != nil {
 		c.tb.Fatal(err)
 	}
-	s := &Server{Endpoint: endpoint, Peer: srv, Exec: exec, Reg: reg, Node: node, Counter: ctr, Ref: ref}
+	s := &Server{Endpoint: endpoint, Peer: srv, Exec: exec, Reg: reg, Node: node, Stats: sreg, Counter: ctr, Ref: ref}
 	c.Servers = append(c.Servers, s)
 	return s
 }

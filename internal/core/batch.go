@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/rmi"
+	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
@@ -21,6 +23,11 @@ import (
 type Batch struct {
 	peer *rmi.Peer
 	root wire.Ref
+
+	// Flush metrics from the peer's registry, nil when uninstrumented.
+	reg     *stats.Registry
+	flushNs *stats.Histogram // round-trip duration per flush
+	acked   *stats.Counter   // results acknowledged for executed calls
 
 	mu      sync.Mutex
 	extra   []wire.Ref // additional roots (AddRoot), same endpoint as root
@@ -86,6 +93,11 @@ func New(peer *rmi.Peer, root wire.Ref, opts ...Option) *Batch {
 		peer:   peer,
 		root:   root,
 		policy: defaultPolicy,
+	}
+	if reg := peer.Stats(); reg != nil {
+		b.reg = reg
+		b.flushNs = reg.Histogram("core.flush_ns")
+		b.acked = reg.Counter("core.calls_acked")
 	}
 	for _, o := range opts {
 		o(b)
@@ -407,7 +419,14 @@ func (b *Batch) flush(ctx context.Context, keep bool) error {
 	b.mu.Unlock()
 
 	svcRef := rmi.SystemRef(b.root.Endpoint, rmi.BatchObjID, rmi.BatchIface)
+	var flushStart time.Time
+	if b.reg != nil {
+		flushStart = b.reg.Now()
+	}
 	res, err := b.peer.Call(ctx, svcRef, "InvokeBatch", req)
+	if b.reg != nil {
+		b.flushNs.Observe(b.reg.Now().Sub(flushStart).Nanoseconds())
+	}
 
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -458,8 +477,15 @@ func ReleaseSession(ctx context.Context, peer *rmi.Peer, endpoint string, sessio
 // records[i] belongs to the call with sequence number base+i. Caller holds
 // b.mu.
 func (b *Batch) distribute(base int64, records []callRecord, resp *batchResponse) {
+	var executed uint64
 	for i := range resp.Results {
 		r := &resp.Results[i]
+		if !r.Skipped {
+			// The server executed this call (skipped results never reached
+			// method execution); the count mirrors the server-side
+			// core.calls_executed counter for the chaos cross-check.
+			executed++
+		}
 		idx := r.Seq - base
 		if idx < 0 || idx >= int64(len(records)) {
 			continue // response for a call we did not record; ignore
@@ -496,4 +522,5 @@ func (b *Batch) distribute(base int64, records []callRecord, resp *batchResponse
 			c.pos = -1
 		}
 	}
+	b.acked.Add(executed)
 }

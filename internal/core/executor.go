@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/rmi"
+	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
@@ -29,6 +30,14 @@ type Executor struct {
 
 	peer *rmi.Peer
 	ttl  time.Duration
+
+	// Replay metrics, nil (no-op) when the peer is uninstrumented.
+	reg        *stats.Registry
+	batchCalls *stats.Histogram // calls per received batch
+	waveNs     *stats.Histogram // replay duration per InvokeBatch
+	replayPar  *stats.Counter   // batches replayed with parallel root groups
+	replaySeq  *stats.Counter   // batches replayed sequentially
+	executed   *stats.Counter   // calls that reached method execution
 
 	mu       sync.Mutex
 	sessions map[uint64]*session
@@ -87,6 +96,14 @@ func Install(p *rmi.Peer, opts ...ExecOption) (*Executor, error) {
 	}
 	for _, o := range opts {
 		o(e)
+	}
+	if reg := p.Stats(); reg != nil {
+		e.reg = reg
+		e.batchCalls = reg.Histogram("core.batch_calls")
+		e.waveNs = reg.Histogram("core.wave_ns")
+		e.replayPar = reg.Counter("core.replay_parallel")
+		e.replaySeq = reg.Counter("core.replay_sequential")
+		e.executed = reg.Counter("core.calls_executed")
 	}
 	if _, err := p.ExportSystem(rmi.BatchObjID, e, rmi.BatchIface); err != nil {
 		return nil, fmt.Errorf("brmi: install executor: %w", err)
@@ -152,6 +169,11 @@ func (e *Executor) InvokeBatch(ctx context.Context, req *batchRequest) (*batchRe
 		return nil, err
 	}
 
+	e.batchCalls.Observe(int64(len(req.Calls)))
+	var waveStart time.Time
+	if e.reg != nil {
+		waveStart = e.reg.Now()
+	}
 	resp := &batchResponse{}
 	for restart := 0; ; restart++ {
 		var results []callResult
@@ -159,17 +181,24 @@ func (e *Executor) InvokeBatch(ctx context.Context, req *batchRequest) (*batchRe
 		if req.Parallel {
 			var ok bool
 			results, again, ok = e.runBatchParallel(ctx, sess, req.Calls)
-			if !ok {
+			if ok {
+				e.replayPar.Inc()
+			} else {
 				results, again = e.runBatch(ctx, sess, req.Calls)
+				e.replaySeq.Inc()
 			}
 		} else {
 			results, again = e.runBatch(ctx, sess, req.Calls)
+			e.replaySeq.Inc()
 		}
 		if !again || restart >= sess.policy.maxRestarts() {
 			resp.Results = results
 			resp.Restarts = int64(restart)
 			break
 		}
+	}
+	if e.reg != nil {
+		e.waveNs.Observe(e.reg.Now().Sub(waveStart).Nanoseconds())
 	}
 
 	e.mu.Lock()
@@ -481,6 +510,10 @@ func (e *Executor) runCall(ctx context.Context, sess *session, st *execState, ca
 		args[i] = v
 	}
 
+	// Executed means "reached method execution": dependency-skipped and
+	// abort-skipped calls are excluded, matching the client-side acked
+	// count (the chaos harness cross-checks the two).
+	e.executed.Inc()
 	out, err := e.execWithPolicy(ctx, sess, st, target, call.Method, args, occ, &res)
 	if err != nil {
 		res.Err = err
@@ -631,6 +664,7 @@ func (e *Executor) runCursor(ctx context.Context, sess *session, st *execState, 
 		args[i] = v
 	}
 
+	e.executed.Inc()
 	out, err := e.execWithPolicy(ctx, sess, st, target, call.Method, args, occ, res)
 	if st.restart {
 		return

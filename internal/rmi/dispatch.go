@@ -366,7 +366,9 @@ func (p *Peer) FromWire(v any) any {
 // response is encoded into a pooled buffer the transport recycles after the
 // write — the request/response hot path allocates no per-message []byte.
 func (p *Peer) handle(ctx context.Context, payload []byte) ([]byte, error) {
+	decStart := p.statsNow()
 	msg, err := wire.Unmarshal(payload)
+	p.observeSince(p.decNs, decStart)
 	if err != nil {
 		return nil, fmt.Errorf("decode request: %w", err)
 	}
@@ -398,7 +400,9 @@ func (p *Peer) handle(ctx context.Context, payload []byte) ([]byte, error) {
 		resp.Err = &NoSuchObjectError{ObjID: req.ObjID}
 	}
 
+	encStart := p.statsNow()
 	out, err := wire.MarshalAppend(transport.GetBuffer(), resp)
+	p.observeSince(p.encNs, encStart)
 	if err != nil {
 		// The response contained an unencodable value; degrade to an error
 		// response rather than killing the connection.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/dgc"
+	"repro/internal/stats"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -32,6 +33,15 @@ type Peer struct {
 	// benchmark harness reports it alongside latency.
 	calls atomic.Uint64
 
+	// Observability: reg is the peer's metric registry (nil when not
+	// instrumented); tstats is the transport bundle shared by the client
+	// pool and the serving side; the histograms time the wire codec on
+	// both the issue and dispatch paths.
+	reg    *stats.Registry
+	tstats *transport.Stats
+	encNs  *stats.Histogram
+	decNs  *stats.Histogram
+
 	mu        sync.Mutex
 	endpoint  string
 	tsrv      *transport.Server
@@ -51,6 +61,7 @@ type options struct {
 	lease         time.Duration
 	sweepEvery    time.Duration
 	renewEvery    time.Duration
+	reg           *stats.Registry
 }
 
 // Option configures a Peer.
@@ -66,6 +77,15 @@ func WithLocalShortcut() Option {
 // WithLogf routes diagnostics. Pass a no-op to silence.
 func WithLogf(logf func(format string, args ...any)) Option {
 	return func(o *options) { o.logf = logf }
+}
+
+// WithStatsRegistry attaches a metrics registry: the peer instruments its
+// transport (frames, bytes, pending calls, dials, pool hit rate), its
+// wire codec (encode/decode latency, pooled-state reuse), and its own
+// call counter on r. Without the option the peer runs uninstrumented at
+// zero cost (nil metric handles no-op).
+func WithStatsRegistry(r *stats.Registry) Option {
+	return func(o *options) { o.reg = r }
 }
 
 // WithLease sets the DGC lease duration granted to clients of this peer,
@@ -103,7 +123,31 @@ func NewPeer(network transport.Network, opts ...Option) *Peer {
 		done:      make(chan struct{}),
 	}
 	p.leases = dgc.NewTable(func(id uint64) { p.exports.collect(id) }, dgc.WithLease(o.lease))
+	p.reg = o.reg
+	p.tstats = transport.NewStats(o.reg)
+	p.pool.SetStats(p.tstats)
+	if o.reg != nil {
+		p.encNs = o.reg.Histogram("wire.encode_ns")
+		p.decNs = o.reg.Histogram("wire.decode_ns")
+		o.reg.Func("rmi.calls", func() int64 { return int64(p.calls.Load()) })
+		o.reg.Func("rmi.exported_objects", func() int64 { return int64(p.exports.size()) })
+		o.reg.Func("wire.enc_state_gets", func() int64 { g, _, _, _ := wire.CodecStats(); return int64(g) })
+		o.reg.Func("wire.enc_state_allocs", func() int64 { _, a, _, _ := wire.CodecStats(); return int64(a) })
+		o.reg.Func("wire.dec_state_gets", func() int64 { _, _, g, _ := wire.CodecStats(); return int64(g) })
+		o.reg.Func("wire.dec_state_allocs", func() int64 { _, _, _, a := wire.CodecStats(); return int64(a) })
+	}
 	return p
+}
+
+// Stats returns the metrics registry attached with WithStatsRegistry, or
+// nil for an uninstrumented peer (nil receiver included — plan-only tests
+// build recording layers with no peer at all). Layers above (core,
+// cluster) hang their own metrics off it.
+func (p *Peer) Stats() *stats.Registry {
+	if p == nil {
+		return nil
+	}
+	return p.reg
 }
 
 // newClientID produces a process-unique DGC client identity.
@@ -148,7 +192,7 @@ func (p *Peer) Serve(endpoint string) error {
 	if err != nil {
 		return fmt.Errorf("rmi: listen %s: %w", endpoint, err)
 	}
-	tsrv := transport.NewServer(p.handle, transport.WithLogf(p.opts.logf), transport.WithBufferReuse())
+	tsrv := transport.NewServer(p.handle, transport.WithLogf(p.opts.logf), transport.WithBufferReuse(), transport.WithStats(p.tstats))
 	if err := tsrv.Serve(l); err != nil {
 		_ = l.Close()
 		return err
@@ -325,18 +369,22 @@ func (p *Peer) Call(ctx context.Context, ref wire.Ref, method string, args ...an
 	}
 	// Encode into a pooled buffer: the transport hands the payload to the
 	// connection synchronously, so once Call returns the buffer is free.
+	encStart := p.statsNow()
 	payload, err := wire.MarshalAppend(transport.GetBuffer(), req)
 	if err != nil {
 		return nil, fmt.Errorf("rmi: encode call %s: %w", method, err)
 	}
+	p.observeSince(p.encNs, encStart)
 
 	respBytes, err := p.pool.Call(ctx, ref.Endpoint, payload)
 	transport.PutBuffer(payload)
 	if err != nil {
 		return nil, &RemoteException{Op: "call " + method, Endpoint: ref.Endpoint, Err: err}
 	}
+	decStart := p.statsNow()
 	msg, err := wire.Unmarshal(respBytes)
 	transport.PutBuffer(respBytes)
+	p.observeSince(p.decNs, decStart)
 	if err != nil {
 		return nil, &RemoteException{Op: "decode " + method, Endpoint: ref.Endpoint, Err: err}
 	}
@@ -353,6 +401,24 @@ func (p *Peer) Call(ctx context.Context, ref wire.Ref, method string, args ...an
 		results[i] = p.FromWire(r)
 	}
 	return results, nil
+}
+
+// statsNow reads the registry clock, or the zero time when the peer is
+// uninstrumented (keeping the clock read off the fast path).
+func (p *Peer) statsNow() time.Time {
+	if p.reg == nil {
+		return time.Time{}
+	}
+	return p.reg.Now()
+}
+
+// observeSince records the elapsed nanoseconds since start on h. A zero
+// start (uninstrumented peer) records nothing.
+func (p *Peer) observeSince(h *stats.Histogram, start time.Time) {
+	if h == nil || start.IsZero() {
+		return
+	}
+	h.Observe(p.reg.Now().Sub(start).Nanoseconds())
 }
 
 // trackHold records that this peer holds a reference to ref, starts the

@@ -65,6 +65,7 @@ const (
 	RegistryObjID uint64 = 1 // naming service (internal/registry)
 	BatchObjID    uint64 = 2 // BRMI batch executor (internal/core)
 	NodeObjID     uint64 = 3 // cluster membership/migration service (internal/cluster)
+	StatsObjID    uint64 = 4 // metrics scrape service (internal/statsnode)
 
 	// FirstUserObjID is the first identifier handed to application exports.
 	FirstUserObjID uint64 = 16
@@ -76,6 +77,7 @@ const (
 	RegistryIface = "rmi.Registry"
 	BatchIface    = "rmi.BatchService"
 	NodeIface     = "cluster.Node"
+	StatsIface    = "stats.Node"
 )
 
 // SystemRef builds the well-known reference of a system service at endpoint.

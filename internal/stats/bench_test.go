@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"testing"
+)
+
+// The alloc budget for the hot path is zero: instrumented layers call
+// these on every frame/call, so a single allocation here would show up
+// in every throughput benchmark.
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := New()
+	c := r.Counter("bench.counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if testing.AllocsPerRun(100, func() { c.Inc() }) != 0 {
+		b.Fatal("Counter.Inc allocates")
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	r := New()
+	c := r.Counter("bench.counter")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkGaugeAdd(b *testing.B) {
+	r := New()
+	g := r.Gauge("bench.gauge")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Add(1)
+	}
+	if testing.AllocsPerRun(100, func() { g.Add(1) }) != 0 {
+		b.Fatal("Gauge.Add allocates")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := New()
+	h := r.Histogram("bench.hist")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+	if testing.AllocsPerRun(100, func() { h.Observe(4096) }) != 0 {
+		b.Fatal("Histogram.Observe allocates")
+	}
+}
+
+func BenchmarkNilMetricOps(b *testing.B) {
+	var c *Counter
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	r := New()
+	for i := 0; i < 16; i++ {
+		r.Counter(names16[i]).Add(uint64(i))
+		r.Histogram("h." + names16[i]).Observe(int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}
+
+var names16 = []string{
+	"a", "b", "c", "d", "e", "f", "g", "h",
+	"i", "j", "k", "l", "m", "n", "o", "p",
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready;
+// a nil Counter ignores writes and reads as zero.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (n must be non-negative; negative deltas are ignored).
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Get returns the current total.
+func (c *Counter) Get() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 level (queue depth, in-flight calls).
+// The zero value is ready; a nil Gauge ignores writes and reads as zero.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Get returns the current level.
+func (g *Gauge) Get() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count: bucket i counts observations
+// whose value has bit length i, i.e. v == 0 for bucket 0 and
+// 2^(i-1) <= v < 2^i for i >= 1. Exponential buckets cover the full
+// int64 range (nanosecond latencies through gigabyte sizes) with ~2x
+// resolution and need no per-histogram configuration, which keeps
+// snapshots mergeable across servers by construction.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket exponential histogram. Observe is a bucket
+// index computation plus three atomic adds — no locks, no allocation.
+// The zero value is ready; a nil Histogram ignores observations.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a value to its bucket. Negative values clamp to
+// bucket 0; values with bit length >= histBuckets clamp to the last.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i (the value
+// reported for percentiles landing in that bucket).
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= histBuckets-1 {
+		return int64(^uint64(0) >> 1) // effectively +Inf
+	}
+	return (int64(1) << i) - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// read captures the histogram into plain values. Buckets are trimmed to
+// the highest non-empty one; count/sum/buckets are each atomically read
+// but not mutually atomic (documented snapshot semantics: per-value
+// consistency, not cross-value).
+func (h *Histogram) read() (count, sum int64, buckets []int64) {
+	count = h.count.Load()
+	sum = h.sum.Load()
+	top := -1
+	var raw [histBuckets]int64
+	for i := range h.buckets {
+		raw[i] = h.buckets[i].Load()
+		if raw[i] != 0 {
+			top = i
+		}
+	}
+	if top >= 0 {
+		buckets = append([]int64(nil), raw[:top+1]...)
+	}
+	return count, sum, buckets
+}

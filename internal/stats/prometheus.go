@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders per-server snapshots in the Prometheus text
+// exposition format (version 0.0.4). Metric names gain a "brmi_" prefix
+// with dots mapped to underscores; every series carries a server label;
+// counters get the "_total" suffix; histograms expand to cumulative
+// _bucket{le=...} series plus _sum and _count. Servers are emitted in
+// sorted order under a single # TYPE header per metric, as the format
+// requires.
+func WritePrometheus(w io.Writer, snaps map[string]*Snapshot) error {
+	servers := make([]string, 0, len(snaps))
+	for ep := range snaps {
+		servers = append(servers, ep)
+	}
+	sort.Strings(servers)
+
+	type series struct {
+		server string
+		snap   *Snapshot
+	}
+	all := make([]series, 0, len(servers))
+	for _, ep := range servers {
+		if snaps[ep] != nil {
+			all = append(all, series{server: ep, snap: snaps[ep]})
+		}
+	}
+
+	// Collect the union of metric names per section so each metric is
+	// emitted once, grouped across servers.
+	names := func(get func(*Snapshot) []string) []string {
+		set := make(map[string]struct{})
+		for _, s := range all {
+			for _, n := range get(s.snap) {
+				set[n] = struct{}{}
+			}
+		}
+		out := make([]string, 0, len(set))
+		for n := range set {
+			out = append(out, n)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	for _, name := range names(func(s *Snapshot) []string { return valueNames(s.Counters) }) {
+		pn := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", pn); err != nil {
+			return err
+		}
+		for _, s := range all {
+			if _, err := fmt.Fprintf(w, "%s{server=%q} %d\n", pn, s.server, s.snap.Counter(name)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range names(func(s *Snapshot) []string { return valueNames(s.Gauges) }) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", pn); err != nil {
+			return err
+		}
+		for _, s := range all {
+			if _, err := fmt.Fprintf(w, "%s{server=%q} %d\n", pn, s.server, s.snap.Gauge(name)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range names(func(s *Snapshot) []string { return histNames(s.Hists) }) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		for _, s := range all {
+			h := s.snap.Hist(name)
+			var cum int64
+			if h != nil {
+				for i, n := range h.Buckets {
+					cum += n
+					if _, err := fmt.Fprintf(w, "%s_bucket{server=%q,le=\"%d\"} %d\n", pn, s.server, BucketUpper(i), cum); err != nil {
+						return err
+					}
+				}
+			}
+			var count, sum int64
+			if h != nil {
+				count, sum = h.Count, h.Sum
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{server=%q,le=\"+Inf\"} %d\n", pn, s.server, count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum{server=%q} %d\n", pn, s.server, sum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count{server=%q} %d\n", pn, s.server, count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promName maps a registry metric name to a Prometheus metric name.
+func promName(name string) string {
+	return "brmi_" + strings.NewReplacer(".", "_", "-", "_", "/", "_").Replace(name)
+}
+
+func valueNames(vs []NamedValue) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Name
+	}
+	return out
+}
+
+func histNames(hs []NamedHist) []string {
+	out := make([]string, len(hs))
+	for i, h := range hs {
+		out[i] = h.Name
+	}
+	return out
+}

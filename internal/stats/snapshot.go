@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// NamedValue is one counter or gauge reading.
+type NamedValue struct {
+	Name string
+	V    int64
+}
+
+// NamedHist is one histogram reading. Buckets[i] counts observations of
+// bit length i (see Histogram); trailing empty buckets are trimmed.
+type NamedHist struct {
+	Name    string
+	Count   int64
+	Sum     int64
+	Buckets []int64
+}
+
+// Snapshot is a point-in-time capture of a registry, in canonical form:
+// each section sorted by name. Snapshots travel over the wire (the
+// stats.Node service returns them) and merge associatively, so
+// cluster-wide aggregation is Merge-reduce over per-server scrapes.
+type Snapshot struct {
+	Counters []NamedValue
+	Gauges   []NamedValue
+	Hists    []NamedHist
+}
+
+func init() {
+	wire.MustRegister("stats.NamedValue", NamedValue{})
+	wire.MustRegister("stats.NamedHist", NamedHist{})
+	wire.MustRegister("stats.Snapshot", &Snapshot{})
+}
+
+// Counter returns the named counter's value (0 if absent).
+func (s *Snapshot) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	i := sort.Search(len(s.Counters), func(i int) bool { return s.Counters[i].Name >= name })
+	if i < len(s.Counters) && s.Counters[i].Name == name {
+		return s.Counters[i].V
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's value (0 if absent).
+func (s *Snapshot) Gauge(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	i := sort.Search(len(s.Gauges), func(i int) bool { return s.Gauges[i].Name >= name })
+	if i < len(s.Gauges) && s.Gauges[i].Name == name {
+		return s.Gauges[i].V
+	}
+	return 0
+}
+
+// Hist returns the named histogram reading, or nil if absent.
+func (s *Snapshot) Hist(name string) *NamedHist {
+	if s == nil {
+		return nil
+	}
+	i := sort.Search(len(s.Hists), func(i int) bool { return s.Hists[i].Name >= name })
+	if i < len(s.Hists) && s.Hists[i].Name == name {
+		return &s.Hists[i]
+	}
+	return nil
+}
+
+// Quantile returns the value at quantile q (0 < q <= 1) as the upper
+// bound of the bucket where the rank falls — an overestimate by at most
+// 2x, which is the resolution the exponential buckets buy. Returns 0 for
+// an empty histogram.
+func (h *NamedHist) Quantile(q float64) int64 {
+	if h == nil || h.Count <= 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var cum int64
+	for i, n := range h.Buckets {
+		cum += n
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(len(h.Buckets) - 1)
+}
+
+// Mean returns the arithmetic mean of observations (0 when empty).
+func (h *NamedHist) Mean() int64 {
+	if h == nil || h.Count <= 0 {
+		return 0
+	}
+	return h.Sum / h.Count
+}
+
+// Merge returns the element-wise sum of a and b as a new canonical
+// Snapshot: counters, gauges, and histogram counts/sums/buckets all add.
+// Merge is commutative and associative (snapshot canonical form makes
+// the result independent of merge order), so folding any tree of
+// per-server snapshots yields the same cluster total.
+func Merge(a, b *Snapshot) *Snapshot {
+	if a == nil {
+		a = &Snapshot{}
+	}
+	if b == nil {
+		b = &Snapshot{}
+	}
+	out := &Snapshot{}
+	out.Counters = mergeValues(a.Counters, b.Counters)
+	out.Gauges = mergeValues(a.Gauges, b.Gauges)
+	out.Hists = mergeHists(a.Hists, b.Hists)
+	return out
+}
+
+func mergeValues(a, b []NamedValue) []NamedValue {
+	out := make([]NamedValue, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Name < b[j].Name:
+			out = append(out, a[i])
+			i++
+		case a[i].Name > b[j].Name:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, NamedValue{Name: a[i].Name, V: a[i].V + b[j].V})
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func mergeHists(a, b []NamedHist) []NamedHist {
+	out := make([]NamedHist, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Name < b[j].Name:
+			out = append(out, copyHist(a[i]))
+			i++
+		case a[i].Name > b[j].Name:
+			out = append(out, copyHist(b[j]))
+			j++
+		default:
+			out = append(out, addHists(a[i], b[j]))
+			i++
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		out = append(out, copyHist(a[i]))
+	}
+	for ; j < len(b); j++ {
+		out = append(out, copyHist(b[j]))
+	}
+	return out
+}
+
+func copyHist(h NamedHist) NamedHist {
+	h.Buckets = append([]int64(nil), h.Buckets...)
+	return h
+}
+
+func addHists(a, b NamedHist) NamedHist {
+	n := len(a.Buckets)
+	if len(b.Buckets) > n {
+		n = len(b.Buckets)
+	}
+	buckets := make([]int64, n)
+	copy(buckets, a.Buckets)
+	for i, v := range b.Buckets {
+		buckets[i] += v
+	}
+	return NamedHist{Name: a.Name, Count: a.Count + b.Count, Sum: a.Sum + b.Sum, Buckets: buckets}
+}

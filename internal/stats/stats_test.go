@@ -1,0 +1,440 @@
+package stats
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("layer.things")
+	c.Inc()
+	c.Add(4)
+	if got := c.Get(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("layer.things") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("layer.depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Get(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	r.Func("layer.fn", func() int64 { return 42 })
+	s := r.Snapshot()
+	if got := s.Counter("layer.things"); got != 5 {
+		t.Fatalf("snapshot counter = %d, want 5", got)
+	}
+	if got := s.Gauge("layer.depth"); got != 4 {
+		t.Fatalf("snapshot gauge = %d, want 4", got)
+	}
+	if got := s.Gauge("layer.fn"); got != 42 {
+		t.Fatalf("snapshot func gauge = %d, want 42", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("layer.lat")
+	for _, v := range []int64{0, 1, 2, 3, 4, 1000, -5} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Hist("layer.lat")
+	if s == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if s.Sum != 0+1+2+3+4+1000-5 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	// 0 and -5 land in bucket 0; 1 in bucket 1; 2,3 in bucket 2; 4 in
+	// bucket 3; 1000 in bucket 10.
+	want := []int64{2, 1, 2, 1, 0, 0, 0, 0, 0, 0, 1}
+	if !reflect.DeepEqual(s.Buckets, want) {
+		t.Fatalf("buckets = %v, want %v", s.Buckets, want)
+	}
+	if q := s.Quantile(0.5); q != 3 {
+		t.Fatalf("p50 = %d, want 3 (upper bound of bucket 2)", q)
+	}
+	if q := s.Quantile(0.99); q != 1023 {
+		t.Fatalf("p99 = %d, want 1023 (upper bound of bucket 10)", q)
+	}
+	if m := s.Mean(); m != 1005/7 {
+		t.Fatalf("mean = %d, want %d", m, 1005/7)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	r.Func("x", func() int64 { return 1 })
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	if r.Now().IsZero() {
+		t.Fatal("nil registry Now returned zero time")
+	}
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	var h *Histogram
+	h.Observe(5)
+	var nh *NamedHist
+	if nh.Quantile(0.5) != 0 || nh.Mean() != 0 {
+		t.Fatal("nil NamedHist not zero")
+	}
+}
+
+type fixedClock struct{ t time.Time }
+
+func (f fixedClock) Now() time.Time { return f.t }
+
+func TestWithClock(t *testing.T) {
+	at := time.Unix(1234, 0)
+	r := New(WithClock(fixedClock{t: at}))
+	if !r.Now().Equal(at) {
+		t.Fatalf("Now() = %v, want %v", r.Now(), at)
+	}
+}
+
+// TestConcurrentHammer drives every metric kind from many goroutines so
+// the race detector can vet the hot path, then checks the totals.
+func TestConcurrentHammer(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(rng.Int63n(1 << 30))
+			}
+		}(int64(w))
+	}
+	// Concurrent get-or-create from other goroutines.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Counter(fmt.Sprintf("dyn.%d", i%10)).Inc()
+				_ = r.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Get(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Get(); got != workers*per {
+		t.Fatalf("gauge = %d, want %d", got, workers*per)
+	}
+	s := r.Snapshot().Hist("h")
+	if s.Count != workers*per {
+		t.Fatalf("hist count = %d, want %d", s.Count, workers*per)
+	}
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d after quiesce", bucketTotal, s.Count)
+	}
+}
+
+// TestSnapshotDuringWrite takes snapshots while writers run: every
+// captured value must be a value the metric actually passed through
+// (monotone, within bounds), never torn.
+func TestSnapshotDuringWrite(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50000; i++ {
+			c.Inc()
+			h.Observe(int64(i))
+		}
+	}()
+	var lastC, lastH int64
+	for i := 0; i < 200; i++ {
+		s := r.Snapshot()
+		cv := s.Counter("c")
+		if cv < lastC {
+			t.Fatalf("counter went backwards: %d then %d", lastC, cv)
+		}
+		lastC = cv
+		if hs := s.Hist("h"); hs != nil {
+			if hs.Count < lastH {
+				t.Fatalf("hist count went backwards: %d then %d", lastH, hs.Count)
+			}
+			lastH = hs.Count
+			var bucketTotal int64
+			for _, b := range hs.Buckets {
+				bucketTotal += b
+			}
+			// Buckets are read after count; concurrent observes may push
+			// the bucket total past the captured count but never below
+			// count minus in-flight writes. The strict check is the final
+			// quiesced snapshot below.
+			if bucketTotal < 0 {
+				t.Fatal("negative bucket total")
+			}
+		}
+	}
+	<-done
+	s := r.Snapshot()
+	if got := s.Counter("c"); got != 50000 {
+		t.Fatalf("final counter = %d, want 50000", got)
+	}
+	hs := s.Hist("h")
+	var bucketTotal int64
+	for _, b := range hs.Buckets {
+		bucketTotal += b
+	}
+	if hs.Count != 50000 || bucketTotal != 50000 {
+		t.Fatalf("final hist count=%d buckets=%d, want 50000/50000", hs.Count, bucketTotal)
+	}
+}
+
+// randomSnapshot builds a snapshot with a randomized subset of a shared
+// name universe so merges exercise disjoint and overlapping names.
+func randomSnapshot(rng *rand.Rand) *Snapshot {
+	r := New()
+	for i := 0; i < 8; i++ {
+		if rng.Intn(2) == 0 {
+			c := r.Counter(fmt.Sprintf("c.%d", i))
+			c.Add(uint64(rng.Intn(100)))
+		}
+		if rng.Intn(2) == 0 {
+			r.Gauge(fmt.Sprintf("g.%d", i)).Set(rng.Int63n(100) - 50)
+		}
+		if rng.Intn(2) == 0 {
+			h := r.Histogram(fmt.Sprintf("h.%d", i))
+			for j := rng.Intn(20); j > 0; j-- {
+				h.Observe(rng.Int63n(1 << 20))
+			}
+		}
+	}
+	return r.Snapshot()
+}
+
+// TestMergeAssociativity: property test — Merge(a, Merge(b, c)) ==
+// Merge(Merge(a, b), c) and Merge(a, b) == Merge(b, a) on randomized
+// snapshots, byte-for-byte (canonical form makes DeepEqual valid).
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		a, b, c := randomSnapshot(rng), randomSnapshot(rng), randomSnapshot(rng)
+		left := Merge(Merge(a, b), c)
+		right := Merge(a, Merge(b, c))
+		if !snapshotsEqual(left, right) {
+			t.Fatalf("iter %d: associativity violated:\n left %+v\nright %+v", iter, left, right)
+		}
+		ab, ba := Merge(a, b), Merge(b, a)
+		if !snapshotsEqual(ab, ba) {
+			t.Fatalf("iter %d: commutativity violated", iter)
+		}
+		// Identity: merging the empty snapshot changes nothing.
+		if !snapshotsEqual(Merge(a, &Snapshot{}), normalize(a)) {
+			t.Fatalf("iter %d: empty merge not identity", iter)
+		}
+	}
+}
+
+// normalize passes a snapshot through copyHist so DeepEqual ignores
+// nil-vs-empty bucket slice spelling.
+func normalize(s *Snapshot) *Snapshot {
+	return Merge(s, &Snapshot{})
+}
+
+func snapshotsEqual(a, b *Snapshot) bool {
+	return reflect.DeepEqual(normalize(a), normalize(b))
+}
+
+func TestSnapshotWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := randomSnapshot(rng)
+	data, err := wire.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	v, err := wire.Unmarshal(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	got, ok := v.(*Snapshot)
+	if !ok {
+		t.Fatalf("decoded %T, want *Snapshot", v)
+	}
+	if !snapshotsEqual(s, got) {
+		t.Fatalf("round trip mismatch:\n sent %+v\n got %+v", s, got)
+	}
+}
+
+// TestPrometheusConformance parses every exported line: series lines
+// must match the exposition grammar, every series must carry a server
+// label, no (name, labels) pair may repeat, histogram buckets must be
+// cumulative, and each # TYPE must precede its series.
+func TestPrometheusConformance(t *testing.T) {
+	reg1, reg2 := New(), New()
+	for _, r := range []*Registry{reg1, reg2} {
+		r.Counter("transport.frames_in").Add(10)
+		r.Gauge("transport.pending_calls").Set(3)
+		h := r.Histogram("core.wave_ns")
+		for i := int64(1); i < 5000; i *= 3 {
+			h.Observe(i)
+		}
+	}
+	reg2.Counter("cluster.wrong_home_retries").Inc() // name present on one server only
+
+	var sb strings.Builder
+	err := WritePrometheus(&sb, map[string]*Snapshot{
+		"s1": reg1.Snapshot(),
+		"s2": reg2.Snapshot(),
+	})
+	if err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+
+	seriesRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)\{([^}]*)\} (-?[0-9]+)$`)
+	typeRe := regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	labelRe := regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="([^"\\]*)"$`)
+
+	typed := make(map[string]string) // base metric name -> type
+	seen := make(map[string]bool)    // full series key -> emitted
+	type histState struct {
+		lastCum int64
+		count   map[string]int64 // server -> _count value
+		infSeen map[string]int64 // server -> +Inf bucket value
+	}
+	hists := make(map[string]*histState)
+
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if m := typeRe.FindStringSubmatch(line); m != nil {
+			if _, dup := typed[m[1]]; dup {
+				t.Fatalf("duplicate # TYPE for %s", m[1])
+			}
+			typed[m[1]] = m[2]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unrecognized comment line: %q", line)
+		}
+		m := seriesRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line does not match exposition grammar: %q", line)
+		}
+		name, labels := m[1], m[2]
+		if seen[name+"{"+labels+"}"] {
+			t.Fatalf("duplicate series: %s{%s}", name, labels)
+		}
+		seen[name+"{"+labels+"}"] = true
+		var server, le string
+		for _, l := range strings.Split(labels, ",") {
+			lm := labelRe.FindStringSubmatch(l)
+			if lm == nil {
+				t.Fatalf("bad label %q in line %q", l, line)
+			}
+			switch lm[1] {
+			case "server":
+				server = lm[2]
+			case "le":
+				le = lm[2]
+			}
+		}
+		if server == "" {
+			t.Fatalf("series without server label: %q", line)
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count", "_total"} {
+			if strings.HasSuffix(name, suffix) {
+				if typed[strings.TrimSuffix(name, suffix)] != "" {
+					base = strings.TrimSuffix(name, suffix)
+				}
+			}
+		}
+		mtype, ok := typed[base]
+		if !ok {
+			t.Fatalf("series %s has no preceding # TYPE", name)
+		}
+		if !strings.HasPrefix(base, "brmi_") {
+			t.Fatalf("metric %s missing brmi_ prefix", base)
+		}
+		if mtype == "counter" && !strings.HasSuffix(name, "_total") {
+			t.Fatalf("counter series %s missing _total suffix", name)
+		}
+		if mtype == "histogram" {
+			hs := hists[base]
+			if hs == nil {
+				hs = &histState{count: map[string]int64{}, infSeen: map[string]int64{}}
+				hists[base] = hs
+			}
+			var v int64
+			fmt.Sscanf(m[3], "%d", &v)
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le == "" {
+					t.Fatalf("bucket series without le label: %q", line)
+				}
+				if le == "+Inf" {
+					hs.infSeen[server] = v
+					hs.lastCum = 0
+				} else {
+					if v < hs.lastCum {
+						t.Fatalf("non-cumulative buckets in %s: %d after %d", name, v, hs.lastCum)
+					}
+					hs.lastCum = v
+				}
+			case strings.HasSuffix(name, "_count"):
+				hs.count[server] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for base, hs := range hists {
+		for server, count := range hs.count {
+			if inf, ok := hs.infSeen[server]; !ok || inf != count {
+				t.Fatalf("%s server %s: +Inf bucket %d != count %d", base, server, hs.infSeen[server], count)
+			}
+		}
+	}
+	// The one-sided counter must appear for both servers (0 on the other).
+	if !strings.Contains(out, `brmi_cluster_wrong_home_retries_total{server="s1"} 0`) {
+		t.Fatal("union of metric names not emitted for all servers")
+	}
+}

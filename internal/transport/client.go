@@ -23,6 +23,7 @@ const numShards = 16
 type Client struct {
 	network  Network
 	endpoint string
+	st       *Stats
 
 	nextID atomic.Uint64
 	cur    atomic.Pointer[clientConn]
@@ -68,11 +69,20 @@ type response struct {
 // NewClient creates a client for endpoint. No connection is opened until
 // the first Call.
 func NewClient(network Network, endpoint string) *Client {
-	c := &Client{network: network, endpoint: endpoint}
+	c := &Client{network: network, endpoint: endpoint, st: noStats}
 	for i := range c.shards {
 		c.shards[i].m = make(map[uint64]*pendingCall)
 	}
 	return c
+}
+
+// SetStats attaches the transport metric bundle. Call before the first
+// Call; a nil bundle detaches.
+func (c *Client) SetStats(st *Stats) {
+	if st == nil {
+		st = noStats
+	}
+	c.st = st
 }
 
 // Endpoint returns the endpoint this client dials.
@@ -97,6 +107,7 @@ func (c *Client) Call(ctx context.Context, payload []byte) ([]byte, error) {
 	sh.mu.Lock()
 	sh.m[id] = pc
 	sh.mu.Unlock()
+	c.st.Pending.Add(1)
 
 	if err := cc.fw.write(frameRequest, id, payload); err != nil {
 		if errors.Is(err, ErrTooLarge) {
@@ -154,6 +165,9 @@ func (c *Client) remove(id uint64) bool {
 		delete(sh.m, id)
 	}
 	sh.mu.Unlock()
+	if ok {
+		c.st.Pending.Add(-1)
+	}
 	return ok
 }
 
@@ -166,6 +180,9 @@ func (c *Client) take(id uint64) *pendingCall {
 		delete(sh.m, id)
 	}
 	sh.mu.Unlock()
+	if pc != nil {
+		c.st.Pending.Add(-1)
+	}
 	return pc
 }
 
@@ -187,7 +204,11 @@ func (c *Client) conn(ctx context.Context) (*clientConn, error) {
 		return nil, fmt.Errorf("transport: dial %s: %w", c.endpoint, err)
 	}
 	c.gen++
-	cc := &clientConn{conn: conn, fw: newFrameWriter(conn), gen: c.gen}
+	c.st.Dials.Inc()
+	if c.gen > 1 {
+		c.st.Redials.Inc()
+	}
+	cc := &clientConn{conn: conn, fw: newFrameWriter(conn, c.st), gen: c.gen}
 	c.cur.Store(cc)
 	c.readers.Add(1)
 	go c.readLoop(cc)
@@ -204,6 +225,8 @@ func (c *Client) readLoop(cc *clientConn) {
 			c.failConn(cc, fmt.Errorf("transport: connection to %s lost: %w", c.endpoint, err))
 			return
 		}
+		c.st.FramesIn.Inc()
+		c.st.BytesIn.Add(uint64(frameHeaderLen + len(payload)))
 		pc := c.take(id)
 		if pc == nil {
 			PutBuffer(payload) // canceled call; drop late response
@@ -246,6 +269,7 @@ func (c *Client) failPending(match func(*pendingCall) bool, err error) {
 			}
 		}
 		sh.mu.Unlock()
+		c.st.Pending.Add(-int64(len(failed)))
 		for _, pc := range failed {
 			pc.ch <- response{err: err}
 		}
@@ -286,6 +310,7 @@ func (c *Client) Close() error {
 // steady state, so Get reads a copy-on-write snapshot without locking.
 type Pool struct {
 	network Network
+	st      *Stats
 
 	snap    atomic.Pointer[map[string]*Client]
 	mu      sync.Mutex
@@ -295,10 +320,21 @@ type Pool struct {
 
 // NewPool creates an empty client pool over network.
 func NewPool(network Network) *Pool {
-	p := &Pool{network: network, clients: make(map[string]*Client)}
+	p := &Pool{network: network, st: noStats, clients: make(map[string]*Client)}
 	empty := map[string]*Client{}
 	p.snap.Store(&empty)
 	return p
+}
+
+// SetStats attaches the transport metric bundle; clients created after
+// the call inherit it. Call before first use; a nil bundle detaches.
+func (p *Pool) SetStats(st *Stats) {
+	if st == nil {
+		st = noStats
+	}
+	p.mu.Lock()
+	p.st = st
+	p.mu.Unlock()
 }
 
 // Get returns the pooled client for endpoint, creating it if needed.
@@ -315,6 +351,7 @@ func (p *Pool) Get(endpoint string) (*Client, error) {
 		return c, nil
 	}
 	c := NewClient(p.network, endpoint)
+	c.SetStats(p.st)
 	p.clients[endpoint] = c
 	next := make(map[string]*Client, len(p.clients))
 	for k, v := range p.clients {

@@ -46,8 +46,10 @@ func getSizedBuffer(n int) []byte {
 	b := GetBuffer()
 	if cap(b) < n {
 		PutBuffer(b)
+		poolMisses.Add(1)
 		return make([]byte, n)
 	}
+	poolHits.Add(1)
 	return b[:n]
 }
 
@@ -64,6 +66,7 @@ func getSizedBuffer(n int) []byte {
 type frameWriter struct {
 	w     io.Writer
 	isTCP bool
+	st    *Stats
 
 	mu      sync.Mutex
 	err     error // sticky: the connection is dead
@@ -83,9 +86,12 @@ type frameWriter struct {
 var headerPool = sync.Pool{New: func() any { return new([frameHeaderLen]byte) }}
 var waiterPool = sync.Pool{New: func() any { return make(chan error, 1) }}
 
-func newFrameWriter(w io.Writer) *frameWriter {
+func newFrameWriter(w io.Writer, st *Stats) *frameWriter {
 	_, isTCP := w.(*net.TCPConn)
-	return &frameWriter{w: w, isTCP: isTCP}
+	if st == nil {
+		st = noStats
+	}
+	return &frameWriter{w: w, isTCP: isTCP, st: st}
 }
 
 // write sends one frame, blocking until the frame has been handed to the
@@ -159,6 +165,15 @@ func (fw *frameWriter) write(kind byte, id uint64, payload []byte) error {
 
 // flush writes one batch of header/payload spans.
 func (fw *frameWriter) flush(queue [][]byte) error {
+	if fw.st != noStats {
+		fw.st.FramesOut.Add(uint64(len(queue) / 2))
+		fw.st.Writev.Observe(int64(len(queue) / 2))
+		var total int
+		for _, b := range queue {
+			total += len(b)
+		}
+		fw.st.BytesOut.Add(uint64(total))
+	}
 	if fw.isTCP {
 		bufs := net.Buffers(queue)
 		_, err := bufs.WriteTo(fw.w)

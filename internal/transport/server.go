@@ -22,6 +22,7 @@ type Server struct {
 	handler Handler
 	logf    func(format string, args ...any)
 	reuse   bool
+	st      *Stats
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -68,12 +69,23 @@ func WithBufferReuse() ServerOption {
 	return func(s *Server) { s.reuse = true }
 }
 
+// WithStats attaches the transport metric bundle to the server's frame
+// traffic (frames/bytes in and out, writev batch sizes).
+func WithStats(st *Stats) ServerOption {
+	return func(s *Server) {
+		if st != nil {
+			s.st = st
+		}
+	}
+}
+
 // NewServer creates a Server that dispatches to handler.
 func NewServer(handler Handler, opts ...ServerOption) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		handler: handler,
 		logf:    log.Printf,
+		st:      noStats,
 		conns:   make(map[net.Conn]struct{}),
 		ctx:     ctx,
 		cancel:  cancel,
@@ -159,7 +171,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer s.untrack(conn)
 	defer conn.Close()
 
-	fw := newFrameWriter(conn)
+	fw := newFrameWriter(conn, s.st)
 	for {
 		kind, id, payload, err := readFrame(conn)
 		if err != nil {
@@ -168,6 +180,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		s.st.FramesIn.Inc()
+		s.st.BytesIn.Add(uint64(frameHeaderLen + len(payload)))
 		switch kind {
 		case frameRequest, frameOneWay:
 			select {

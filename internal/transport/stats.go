@@ -1,0 +1,56 @@
+package transport
+
+import (
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Stats is the transport-layer metric bundle. Individual fields may be
+// nil (stats.Counter et al. no-op on nil receivers), so an uninstrumented
+// component pays one predictable branch per event. Components hold a
+// never-nil *Stats; noStats is the detached default.
+type Stats struct {
+	FramesIn  *stats.Counter   // frames received (client responses + server requests)
+	FramesOut *stats.Counter   // frames written
+	BytesIn   *stats.Counter   // wire bytes received, headers included
+	BytesOut  *stats.Counter   // wire bytes written, headers included
+	Writev    *stats.Histogram // frames coalesced per flush (group-commit batch size)
+	Pending   *stats.Gauge     // in-flight calls in the pending table
+	Dials     *stats.Counter   // successful dials
+	Redials   *stats.Counter   // successful dials after a connection loss
+}
+
+var noStats = &Stats{}
+
+// NewStats builds the transport metric bundle on r and registers the
+// process-global buffer-pool hit/miss counters as snapshot-time gauges
+// (the pool is shared by every peer in the process; see DESIGN.md).
+// A nil registry returns the detached bundle.
+func NewStats(r *stats.Registry) *Stats {
+	if r == nil {
+		return noStats
+	}
+	r.Func("transport.pool_hit", func() int64 { return int64(poolHits.Load()) })
+	r.Func("transport.pool_miss", func() int64 { return int64(poolMisses.Load()) })
+	return &Stats{
+		FramesIn:  r.Counter("transport.frames_in"),
+		FramesOut: r.Counter("transport.frames_out"),
+		BytesIn:   r.Counter("transport.bytes_in"),
+		BytesOut:  r.Counter("transport.bytes_out"),
+		Writev:    r.Histogram("transport.writev_frames"),
+		Pending:   r.Gauge("transport.pending_calls"),
+		Dials:     r.Counter("transport.dials"),
+		Redials:   r.Counter("transport.redials"),
+	}
+}
+
+// poolHits/poolMisses count sized-buffer requests served from the shared
+// payload pool vs. falling through to make. Process-global by necessity:
+// the pool itself is.
+var poolHits, poolMisses atomic.Uint64
+
+// PoolCounters returns the process-global payload-pool hit/miss totals.
+func PoolCounters() (hits, misses uint64) {
+	return poolHits.Load(), poolMisses.Load()
+}

@@ -1,0 +1,20 @@
+package wire
+
+import "sync/atomic"
+
+// Codec-state reuse accounting. The encoder/decoder pools are package
+// globals (one codec per process, like the registry), so these counters
+// are process-global too; stats registries expose them as snapshot-time
+// gauges. A get that did not allocate was served by the pool, so the
+// reuse rate is (gets - allocs) / gets.
+var (
+	encGets, encAllocs atomic.Uint64
+	decGets, decAllocs atomic.Uint64
+)
+
+// CodecStats reports the process-global codec-state pool traffic:
+// encoder/decoder acquisitions and how many of them had to allocate
+// fresh state.
+func CodecStats() (encoderGets, encoderAllocs, decoderGets, decoderAllocs uint64) {
+	return encGets.Load(), encAllocs.Load(), decGets.Load(), decAllocs.Load()
+}

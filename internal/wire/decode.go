@@ -107,9 +107,13 @@ type streamType struct {
 // real type set.
 const maxStreamTypes = 1 << 16
 
-var decoderPool = sync.Pool{New: func() any { return new(decoder) }}
+var decoderPool = sync.Pool{New: func() any {
+	decAllocs.Add(1)
+	return new(decoder)
+}}
 
 func getDecoder(data []byte) *decoder {
+	decGets.Add(1)
 	d := decoderPool.Get().(*decoder)
 	d.data = data
 	d.pos = 0

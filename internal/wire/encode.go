@@ -74,9 +74,13 @@ type encoder struct {
 	lastPlan *structPlan
 }
 
-var encoderPool = sync.Pool{New: func() any { return new(encoder) }}
+var encoderPool = sync.Pool{New: func() any {
+	encAllocs.Add(1)
+	return new(encoder)
+}}
 
 func getEncoder(buf []byte) *encoder {
+	encGets.Add(1)
 	e := encoderPool.Get().(*encoder)
 	e.buf = buf
 	e.typeNames = e.namesArr[:0]
