@@ -86,6 +86,10 @@ var figures = []figSpec{
 		return bench.RunThroughput(c.instant, []int{1, 4, 16}, 1200)
 	},
 		"hot-path throughput: C client goroutines over 4 sharded servers, mixed flush sizes, instant network"},
+	{"cache", func(c config) (*bench.Table, error) {
+		return bench.RunCache(c.wan, bench.CacheReadObjects, []int{0, 25, 50, 75, 90, 100})
+	},
+		"readonly lease cache: batched cached reads at swept hit rates vs the uncached PR4 path, WAN"},
 }
 
 func main() {

@@ -2,8 +2,10 @@
 // stats.Node service — ONE cluster batch flush per refresh, so a scrape
 // costs a single parallel round-trip wave regardless of cluster size — and
 // renders a per-server table of executed-call rate, executor wave latency
-// quantiles, transport buffer-pool and wire codec reuse rates, migration
-// progress, and ring epoch (with skew markers).
+// quantiles, transport buffer-pool and wire codec reuse rates, readonly
+// lease-cache hit rate, migration progress, and ring epoch (with skew
+// markers). Cache counters live client-side, so in -sim mode the view adds
+// the client's own registry as a pseudo-row.
 //
 // Usage:
 //
@@ -59,6 +61,7 @@ func run(endpoints string, interval time.Duration, once, sim bool, simN int) err
 	var (
 		client *rmi.Peer
 		eps    []string
+		local  func() *stats.Snapshot
 	)
 	switch {
 	case sim:
@@ -67,7 +70,7 @@ func run(endpoints string, interval time.Duration, once, sim bool, simN int) err
 			return err
 		}
 		defer demo.stop()
-		client, eps = demo.client, demo.endpoints
+		client, eps, local = demo.client, demo.endpoints, demo.local
 	case endpoints != "":
 		for _, ep := range strings.Split(endpoints, ",") {
 			if ep = strings.TrimSpace(ep); ep != "" {
@@ -83,17 +86,28 @@ func run(endpoints string, interval time.Duration, once, sim bool, simN int) err
 		return fmt.Errorf("nothing to watch: pass -endpoints or -sim")
 	}
 
+	// addLocal appends the client's own registry as a pseudo-row: the
+	// lease-cache counters the CACHE column reads live in the client process,
+	// not on any scraped server.
+	addLocal := func(cur map[string]*stats.Snapshot) {
+		if local != nil && cur != nil {
+			cur["client (local)"] = local()
+		}
+	}
+
 	if once {
 		prev, err := statsnode.ScrapeCluster(ctx, client, eps)
 		if err != nil {
 			return err
 		}
+		addLocal(prev)
 		const sample = time.Second
 		time.Sleep(sample)
 		cur, err := statsnode.ScrapeCluster(ctx, client, eps)
 		if err != nil {
 			return err
 		}
+		addLocal(cur)
 		statsnode.RenderTable(os.Stdout, statsnode.BuildRows(cur, prev, sample))
 		return nil
 	}
@@ -106,10 +120,12 @@ func run(endpoints string, interval time.Duration, once, sim bool, simN int) err
 		if err != nil && len(cur) == 0 {
 			return err
 		}
+		scraped := len(cur)
+		addLocal(cur)
 		rows := statsnode.BuildRows(cur, prev, now.Sub(last))
 		fmt.Print("\x1b[H\x1b[2J") // home + clear: redraw in place
 		fmt.Printf("brmitop — %d/%d servers — %s (refresh %s, ctrl-c to quit)\n\n",
-			len(cur), len(eps), now.Format("15:04:05"), interval)
+			scraped, len(eps), now.Format("15:04:05"), interval)
 		statsnode.RenderTable(os.Stdout, rows)
 		if err != nil {
 			fmt.Printf("\npartial scrape: %v\n", err)
@@ -130,12 +146,19 @@ type simCounter struct {
 // Add increments the counter and returns the new value.
 func (c *simCounter) Add(n int64) int64 { return c.v.Add(n) }
 
+// Get reads the counter; the sim issues it through CallRO so the client's
+// lease cache (and the CACHE column) has traffic.
+func (c *simCounter) Get() int64 { return c.v.Load() }
+
 const simIface = "brmitop.Counter"
 
 type simDemo struct {
 	client    *rmi.Peer
 	endpoints []string
-	stop      func()
+	// local snapshots the client peer's own registry: cache hit/miss
+	// counters live client-side, so the view shows them as a pseudo-row.
+	local func() *stats.Snapshot
+	stop  func()
 }
 
 // startSim brings up n full servers (executor + registry + node + stats
@@ -193,28 +216,38 @@ func startSim(n int) (*simDemo, error) {
 
 	client := rmi.NewPeer(network, silent, rmi.WithStatsRegistry(stats.New()))
 	cleanup = append(cleanup, func() { _ = client.Close() })
+	cache := cluster.NewCache(client, nil)
 
-	// Synthetic load: one multi-root cluster batch across all servers, a few
-	// calls per root, flushed every few milliseconds until shutdown.
+	// Synthetic load: every tick a cached-read batch (CallRO on each root —
+	// mostly lease hits), and every fourth tick a write batch that
+	// invalidates the leases, so the hit rate hovers rather than pinning at
+	// 100%. Writes are one multi-root cluster batch, a few calls per root.
 	done := make(chan struct{})
 	go func() {
 		tick := time.NewTicker(5 * time.Millisecond)
 		defer tick.Stop()
-		for {
+		for i := 0; ; i++ {
 			select {
 			case <-done:
 				return
 			case <-tick.C:
 			}
-			b := cluster.New(client)
-			for _, ref := range refs {
-				p := b.Root(ref)
-				for j := 0; j < 3; j++ {
-					p.Call("Add", int64(1))
-				}
-			}
 			fctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			_ = b.Flush(fctx) // faults are impossible on a clean netsim LAN
+			if i%4 == 0 {
+				b := cluster.New(client, cluster.WithCache(cache))
+				for _, ref := range refs {
+					p := b.Root(ref)
+					for j := 0; j < 3; j++ {
+						p.Call("Add", int64(1))
+					}
+				}
+				_ = b.Flush(fctx) // faults are impossible on a clean netsim LAN
+			}
+			rb := cluster.New(client, cluster.WithCache(cache))
+			for _, ref := range refs {
+				rb.Root(ref).CallRO("Get")
+			}
+			_ = rb.Flush(fctx)
 			cancel()
 		}
 	}()
@@ -223,6 +256,7 @@ func startSim(n int) (*simDemo, error) {
 	return &simDemo{
 		client:    client,
 		endpoints: eps,
+		local:     client.Stats().Snapshot,
 		stop: func() {
 			stopLoad()
 			shutdown()

@@ -450,3 +450,25 @@ func TestThroughputWorkload(t *testing.T) {
 		t.Fatalf("allocs per call regressed: %.1f (budget 22)", res.AllocsPerCall)
 	}
 }
+
+// TestCacheShape smoke-tests the lease-cache figure: at a 0% hit rate the
+// cached path still pays the round trip (and only that); at 100% every read
+// settles from its lease and the flush performs zero round trips — the
+// zero-round-trip claim BENCH_cache.json tracks.
+func TestCacheShape(t *testing.T) {
+	table, err := RunCache(fastCfg(), 8, []int{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRoundTrips(t, table, 0, []uint64{1, 1})
+	assertRoundTrips(t, table, 100, []uint64{1, 0})
+	// At 100% the cached flush never touches the wire, so it must be far
+	// below the uncached one (which still pays the RTT).
+	speedup, err := table.SpeedupAt(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup < 5 {
+		t.Errorf("uncached/cached at 100%% hit = %.2fx, want >= 5x", speedup)
+	}
+}

@@ -21,6 +21,12 @@
 //  5. Epoch monotonicity and wrong-home termination: the directory's epoch
 //     never decreases, no node runs ahead of it at quiesce, and a final
 //     cluster-wide flush completes (stale-route retries terminate).
+//  6. Counter consistency: the observability plane agrees with the model —
+//     retry counters match the model's tally and the client never acks a
+//     result the servers did not execute.
+//  7. Cached-read freshness: a lease-cached readonly result never serves a
+//     value older than its lease epoch allows — reads include every durably
+//     applied prior write, replay real counter states, and never regress.
 //
 // Everything a run injects derives from one int64 seed: the workload
 // program and the fault schedule are pure functions of it (pinned by
@@ -139,11 +145,14 @@ type Result struct {
 	// StaleRetries counts flushes that recovered through the wrong-home
 	// retry path (waves > planned stages).
 	StaleRetries int
+	// CachedReads counts executed cached-read ops; CacheHits is how many
+	// were served from a lease without a wire fetch.
+	CachedReads, CacheHits int
 }
 
 func (r *Result) summary() string {
-	return fmt.Sprintf("seed=%d flushes=%d (failed %d) rebalances=%d (failed %d) faults=%d staleRetries=%d",
-		r.Seed, r.Flushes, r.FailedFlushes, r.Rebalances, r.FailedRebalances, r.FaultEvents, r.StaleRetries)
+	return fmt.Sprintf("seed=%d flushes=%d (failed %d) rebalances=%d (failed %d) faults=%d staleRetries=%d cachedReads=%d (hits %d)",
+		r.Seed, r.Flushes, r.FailedFlushes, r.Rebalances, r.FailedRebalances, r.FaultEvents, r.StaleRetries, r.CachedReads, r.CacheHits)
 }
 
 // newNetwork builds the seeded simulated network for cfg: instant base

@@ -178,6 +178,35 @@ func TestStaleRouteRetryDuringMigration(t *testing.T) {
 	}
 }
 
+// TestCachedReadServedFromLease pins the cached-read op deterministically:
+// on a fault-free run, the second read of an untouched name is served from
+// its lease (a cache hit), a write invalidates it, and the cached-read
+// invariant holds throughout.
+func TestCachedReadServedFromLease(t *testing.T) {
+	cfg := Config{Seed: 21, Servers: 2, Spares: 1, Names: 2, Faults: false}.withDefaults()
+	prog := &program{
+		names: []string{"obj-0", "obj-1"},
+		ops: []op{
+			{Kind: opFlush, Calls: []callSpec{{Name: "obj-0", Token: 1_000_000, Dep: -1}}},
+			{Kind: opCachedRead, Name: "obj-0"}, // miss: mints the lease
+			{Kind: opCachedRead, Name: "obj-0"}, // hit: zero round trips
+			{Kind: opFlush, Calls: []callSpec{{Name: "obj-0", Token: 1_000_001, Dep: -1}}},
+			{Kind: opCachedRead, Name: "obj-0"}, // the write dropped the lease: re-fetch
+			{Kind: opCachedRead, Name: "obj-0"}, // hit again
+		},
+	}
+	res := runSim(t, cfg, prog, &Schedule{})
+	if len(res.Violations) > 0 {
+		t.Fatalf("cached-read scenario violated invariants:\n%s", indent(res.Violations))
+	}
+	if res.CachedReads != 4 {
+		t.Errorf("ran %d cached reads, want 4", res.CachedReads)
+	}
+	if res.CacheHits != 2 {
+		t.Errorf("observed %d cache hits, want exactly 2 (one per untouched lease)", res.CacheHits)
+	}
+}
+
 // TestCrashMidFlushAtMostOnce pins the crash regime directly: a server
 // crashes in the middle of a fan-out flush and restarts with its state; the
 // flush may fail, but nothing may execute twice, no dependent may outrun a

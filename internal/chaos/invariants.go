@@ -22,6 +22,7 @@ func (r *runner) checkInvariants(ctx context.Context) {
 	r.checkProgramOrder(logs)
 	r.checkAtMostOnce(logs)
 	r.checkFailureIsolation(logs)
+	r.checkCachedReads(logs)
 	r.checkConvergence(ctx, logs)
 	r.checkEpochs(ctx)
 	// Counters last: checkEpochs runs a final cluster flush, and its calls
@@ -171,6 +172,57 @@ func (r *runner) checkFailureIsolation(logs map[string][]int64) {
 				}
 			}
 		}
+	}
+}
+
+// checkCachedReads: invariant 7 — a cached read never serves a value older
+// than its lease epoch allows. Writes invalidate their object's lease at
+// record time and membership changes bump the epoch (dropping every lease),
+// so for reads outside migration windows:
+//
+//  1. freshness / read-your-writes: the value includes every token durably
+//     applied to the name before the read was issued — a lease minted
+//     before one of those writes could not have survived its invalidation;
+//  2. the value is a real counter state: some prefix sum of the name's
+//     final applied-delta log (a hit replays history, never invents it);
+//  3. per name, values never regress across reads — the counter only grows,
+//     so serving an older lease after a newer fetch would show time moving
+//     backward.
+//
+// Reads that erred or overlapped a rebalance / open migration window are
+// exempt: there the counter state itself may regress (a stale-ring write
+// superseded by the retried move), which the durability exemption already
+// documents — and any lease minted inside a window dies with the epoch bump
+// that closes it, so it can never leak into a non-exempt read.
+func (r *runner) checkCachedReads(logs map[string][]int64) {
+	prefixes := make(map[string]map[int64]bool, len(logs))
+	for name, log := range logs {
+		set := map[int64]bool{0: true}
+		var sum int64
+		for _, d := range log {
+			sum += d
+			set[sum] = true
+		}
+		prefixes[name] = set
+	}
+	lastVal := make(map[string]int64)
+	for _, rr := range r.reads {
+		if rr.err != nil || rr.exempt {
+			continue
+		}
+		if rr.val < rr.required {
+			r.violate("cached read: op %d read %s = %d, but %d was durably applied before the read — the lease predates an invalidating write",
+				rr.op+1, rr.name, rr.val, rr.required)
+		}
+		if set, ok := prefixes[rr.name]; ok && !set[rr.val] {
+			r.violate("cached read: op %d read %s = %d, which is no prefix sum of its applied log — the value was never a real counter state",
+				rr.op+1, rr.name, rr.val)
+		}
+		if prev, ok := lastVal[rr.name]; ok && rr.val < prev {
+			r.violate("cached read: op %d read %s = %d after an earlier read saw %d — a stale lease outlived its epoch",
+				rr.op+1, rr.name, rr.val, prev)
+		}
+		lastVal[rr.name] = rr.val
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/clustertest"
 	"repro/internal/netsim"
+	"repro/internal/rcache"
 )
 
 // --- program -----------------------------------------------------------------
@@ -39,6 +40,11 @@ const (
 	opAddServer
 	opRemoveServer
 	opLookup
+	// opCachedRead flushes one CallRO("Get") on a name through the shared
+	// lease cache: sometimes a wire fetch that mints a lease, sometimes a
+	// zero-round-trip cache hit. The cached-read invariant checks that no
+	// hit ever serves a value older than its lease epoch allows.
+	opCachedRead
 )
 
 // op is one workload step.
@@ -79,6 +85,8 @@ func (o op) trace() string {
 		return fmt.Sprintf("remove %s async=%v", o.Endpoint, o.Async)
 	case opLookup:
 		return fmt.Sprintf("lookup %s", o.Name)
+	case opCachedRead:
+		return fmt.Sprintf("cachedread %s", o.Name)
 	}
 	return "unknown"
 }
@@ -161,15 +169,15 @@ func genProgram(cfg Config) *program {
 
 	for step := 0; step < cfg.Steps; step++ {
 		switch q := rng.Float64(); {
-		case q < 0.58:
+		case q < 0.52:
 			p.ops = append(p.ops, op{Kind: opFlush, Calls: genCalls()})
-		case q < 0.68:
+		case q < 0.62:
 			if ep, add, ok := membershipChange(); ok {
 				p.ops = append(p.ops, op{Kind: opStaleFlush, Calls: genCalls(), Endpoint: ep, Add: add})
 			} else {
 				p.ops = append(p.ops, op{Kind: opFlush, Calls: genCalls()})
 			}
-		case q < 0.86:
+		case q < 0.78:
 			if ep, add, ok := membershipChange(); ok {
 				kind := opRemoveServer
 				if add {
@@ -179,8 +187,10 @@ func genProgram(cfg Config) *program {
 			} else {
 				p.ops = append(p.ops, op{Kind: opFlush, Calls: genCalls()})
 			}
-		default:
+		case q < 0.88:
 			p.ops = append(p.ops, op{Kind: opLookup, Name: p.names[rng.Intn(len(p.names))]})
+		default:
+			p.ops = append(p.ops, op{Kind: opCachedRead, Name: p.names[rng.Intn(len(p.names))]})
 		}
 	}
 	return p
@@ -208,6 +218,25 @@ type flushRecord struct {
 	migrationConcurrent bool
 }
 
+// readRecord is the ledger entry of one cached-read op: a CallRO("Get")
+// flushed through the run's shared lease cache.
+type readRecord struct {
+	op   int
+	name string
+	val  int64
+	err  error
+	// exempt marks reads that overlapped a rebalance or an open migration
+	// window: the counter state itself may regress across a superseded
+	// write there, so freshness and monotonicity are waived (the cache is
+	// not the thing being imprecise).
+	exempt bool
+	// required is the sum of tokens durably applied to name before the read
+	// was issued. Every durable write invalidated the name's lease at
+	// record time, so whatever lease serves this read was minted after
+	// them — the value must include them all.
+	required int64
+}
+
 // runner executes one program under one schedule.
 type runner struct {
 	tb    testing.TB
@@ -215,12 +244,18 @@ type runner struct {
 	prog  *program
 	sched *Schedule
 
-	tc  *clustertest.Cluster
-	dir *cluster.Directory
-	reb *cluster.Rebalancer
+	tc    *clustertest.Cluster
+	dir   *cluster.Directory
+	reb   *cluster.Rebalancer
+	cache *rcache.Cache
 
 	flushes []*flushRecord
+	reads   []*readRecord
 	issued  map[string][]int64 // per name, tokens in issue order
+	// durable is, per name, the running sum of tokens applied by flushes
+	// whose success is unconditional (clean flush, clean outcome, no
+	// concurrent migration) — the floor every later cached read must see.
+	durable map[string]int64
 	// modelStaleRetries counts every cluster batch that spent its
 	// wrong-home retry — workload flushes and the invariant checker's own
 	// final flush alike. All cluster batches run on the main goroutine, so
@@ -269,7 +304,9 @@ func runSim(tb testing.TB, cfg Config, prog *program, sched *Schedule) *Result {
 	r := &runner{
 		tb: tb, cfg: cfg, prog: prog, sched: sched,
 		tc: tc, dir: dir, reb: cluster.NewRebalancer(dir),
-		issued: make(map[string][]int64),
+		cache:   cluster.NewCache(tc.Client, dir, rcache.WithTTL(5*time.Minute)),
+		issued:  make(map[string][]int64),
+		durable: make(map[string]int64),
 	}
 	ctx := context.Background()
 	for _, name := range prog.names {
@@ -293,6 +330,8 @@ func runSim(tb testing.TB, cfg Config, prog *program, sched *Schedule) *Result {
 		Rebalances:       r.rebCount,
 		FailedRebalances: r.rebFailed,
 		FaultEvents:      len(sched.Events),
+		CachedReads:      len(r.reads),
+		CacheHits:        int(tc.ClientStats.Snapshot().Counter("cache.hits")),
 	}
 	for _, f := range r.flushes {
 		res.Flushes++
@@ -390,6 +429,39 @@ func (r *runner) exec(ctx context.Context, o op, idx int) {
 		lctx, cancel := context.WithTimeout(ctx, r.cfg.FlushTimeout)
 		_, _ = r.dir.Lookup(lctx, o.Name) // failures under faults are legal; epoch samples catch regressions
 		cancel()
+	case opCachedRead:
+		r.cachedRead(ctx, o, idx)
+	}
+}
+
+// cachedRead flushes one CallRO("Get") on o.Name through the run's shared
+// lease cache and ledgers the observed value for the cached-read invariant.
+func (r *runner) cachedRead(ctx context.Context, o op, idx int) {
+	rr := &readRecord{op: idx, name: o.Name, required: r.durable[o.Name]}
+	rr.exempt = r.rebalanceInFlight() || r.migrationWindowOpen()
+	r.reads = append(r.reads, rr)
+
+	rctx, cancel := context.WithTimeout(ctx, r.cfg.FlushTimeout)
+	defer cancel()
+	b := cluster.New(r.tc.Client, cluster.WithDirectory(r.dir), cluster.WithCache(r.cache))
+	p, err := b.RootNamed(rctx, o.Name)
+	if err != nil {
+		rr.err = err
+		return
+	}
+	f := p.CallRO("Get")
+	ferr := b.Flush(rctx)
+	if b.StaleRetried() {
+		r.modelStaleRetries++
+	}
+	if ferr != nil {
+		rr.err = ferr
+		return
+	}
+	rr.val, rr.err = cluster.Typed[int64](f).Get()
+	// An async rebalance may have started mid-read; re-check the window.
+	if r.rebalanceInFlight() || r.migrationWindowOpen() {
+		rr.exempt = true
 	}
 }
 
@@ -408,7 +480,7 @@ func (r *runner) flush(ctx context.Context, o op, idx int, between func()) {
 
 	fctx, cancel := context.WithTimeout(ctx, r.cfg.FlushTimeout)
 	defer cancel()
-	b := cluster.New(r.tc.Client, cluster.WithDirectory(r.dir))
+	b := cluster.New(r.tc.Client, cluster.WithDirectory(r.dir), cluster.WithCache(r.cache))
 	proxies := map[string]*cluster.Proxy{}
 	futures := make([]*cluster.Future, len(o.Calls))
 	for _, c := range o.Calls {
@@ -447,6 +519,15 @@ func (r *runner) flush(ctx context.Context, o op, idx int, between func()) {
 	// An async rebalance may have started/finished mid-flush; re-check.
 	if r.rebalanceInFlight() || r.migrationWindowOpen() {
 		fr.migrationConcurrent = true
+	}
+	// Tokens whose success is unconditional raise the freshness floor for
+	// later cached reads of their name.
+	if fr.flushErr == nil && !fr.migrationConcurrent {
+		for i, c := range fr.calls {
+			if fr.outcomes[i] == nil {
+				r.durable[c.Name] += c.Token
+			}
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/rcache"
 	"repro/internal/rmi"
 	"repro/internal/stats"
 	"repro/internal/wire"
@@ -60,6 +61,7 @@ type Batch struct {
 	singleStage   bool
 	parallelRoots bool
 	dir           *Directory
+	cache         *rcache.Cache
 
 	mu     sync.Mutex
 	groups map[string]*group // keyed by server endpoint
@@ -113,6 +115,30 @@ func WithSingleStage() Option {
 // calls to their new homes, and retries once instead of failing.
 func WithDirectory(d *Directory) Option {
 	return func(b *Batch) { b.dir = d }
+}
+
+// WithCache attaches a lease-backed result cache to the batch. Readonly
+// calls recorded with Proxy.CallRO may then settle from the cache (a batch
+// whose every call hits completes in zero round trips), identical in-flight
+// readonly calls across the cache's batches coalesce into one wire call,
+// and every non-readonly call invalidates the leases of the root object it
+// descends from. Share one cache per client — NewCache builds one wired to
+// the directory's ring epoch.
+func WithCache(c *rcache.Cache) Option {
+	return func(b *Batch) { b.cache = c }
+}
+
+// NewCache creates a lease cache for cluster batches: instrumented through
+// the peer's stats registry (hit/miss/evict/coalesce counters, nil-safe)
+// and stamped with the directory's ring epoch, so every membership change
+// or migration the directory learns of drops the older leases. Pass the
+// result to WithCache on every batch of this client.
+func NewCache(peer *rmi.Peer, dir *Directory, opts ...rcache.Option) *rcache.Cache {
+	var base []rcache.Option
+	if dir != nil {
+		base = append(base, rcache.WithEpoch(dir.Epoch))
+	}
+	return rcache.New(peer.Stats(), append(base, opts...)...)
 }
 
 // WithParallelRoots forwards core.WithParallelRoots to every per-server
@@ -247,6 +273,12 @@ func (b *Batch) fail(err error) {
 func (b *Batch) record(target *Proxy, kind int, method string, args []any) *recordedCall {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.recordLocked(target, kind, method, args, false)
+}
+
+// recordLocked is record with b.mu held; ro marks the call //brmi:readonly
+// (any other call invalidates the cache leases of the objects it reaches).
+func (b *Batch) recordLocked(target *Proxy, kind int, method string, args []any, ro bool) *recordedCall {
 	if b.closed {
 		b.fail(core.ErrBatchClosed)
 		return nil
@@ -286,6 +318,12 @@ func (b *Batch) record(target *Proxy, kind int, method string, args []any) *reco
 				b.fail(fmt.Errorf("%w: argument %d of %s", core.ErrForeignProxy, i, method))
 				return nil
 			}
+			if x.settled {
+				// A cache-hit future already holds its value; it splices in
+				// statically like a literal, needs no staged wave, and is
+				// legal even under WithSingleStage.
+				continue
+			}
 			if b.singleStage {
 				b.fail(fmt.Errorf("%w: argument %d of %s splices a future's value, which settles only "+
 					"after its producing wave; this batch is single-stage (WithSingleStage)",
@@ -298,6 +336,22 @@ func (b *Batch) record(target *Proxy, kind int, method string, args []any) *reco
 			}
 		}
 	}
+	// A recorded non-readonly call is a potential write: drop the cached
+	// leases of every root object it can reach, at record time, so readonly
+	// calls later in program order can never serve the pre-write value.
+	if !ro && b.cache != nil {
+		if root := rootOf(target); !root.rootRef.IsZero() {
+			b.cache.InvalidateObject(rcache.ObjKey(root.rootRef))
+		}
+		for _, a := range args {
+			if x, ok := a.(*Proxy); ok {
+				if root := rootOf(x); !root.rootRef.IsZero() {
+					b.cache.InvalidateObject(rcache.ObjKey(root.rootRef))
+				}
+			}
+		}
+	}
+
 	c := &recordedCall{
 		index:  len(b.calls),
 		group:  target.group,
@@ -305,9 +359,18 @@ func (b *Batch) record(target *Proxy, kind int, method string, args []any) *reco
 		target: target,
 		method: method,
 		args:   args,
+		ro:     ro,
 	}
 	b.calls = append(b.calls, c)
 	return c
+}
+
+// rootOf walks a proxy's producer chain back to its root proxy.
+func rootOf(p *Proxy) *Proxy {
+	for p.origin != nil {
+		p = p.origin.target
+	}
+	return p
 }
 
 // Flush runs the plan/execute pipeline over the recording: plan the stage
@@ -431,6 +494,44 @@ func (p *Proxy) Call(method string, args ...any) *Future {
 	return f
 }
 
+// CallRO records a method invocation declared //brmi:readonly. On a batch
+// carrying a lease cache (WithCache), a cacheable call — root target, plain
+// marshalable arguments — consults the cache at record time: a hit returns
+// an already-settled future and the batch records nothing (a batch whose
+// every call hits flushes in zero round trips); a miss records normally and
+// at flush time joins the cache's singleflight table, so identical
+// in-flight readonly calls across this client's batches collapse into one
+// wire call. Without a cache (or for uncacheable shapes) it is Call.
+func (p *Proxy) CallRO(method string, args ...any) *Future {
+	b := p.b
+	f := &Future{b: b}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cache != nil && p.isRoot && p.b == b && !b.closed && b.recErr == nil {
+		if key, ok := rcache.Key(p.rootRef, method, args); ok {
+			if v, hit := b.cache.Get(key); hit {
+				f.settled = true
+				f.val = v
+				return f
+			}
+			if c := b.recordLocked(p, kindValue, method, args, true); c != nil {
+				c.future = f
+				f.origin = c
+				c.ckey = key
+				c.cobj = rcache.ObjKey(p.rootRef)
+				c.cgen = b.cache.Gen(c.cobj)
+				c.cepoch = b.cache.Epoch()
+			}
+			return f
+		}
+	}
+	if c := b.recordLocked(p, kindValue, method, args, true); c != nil {
+		c.future = f
+		f.origin = c
+	}
+	return f
+}
+
 // CallBatch records a method invocation whose result is a remote object;
 // the result stays on its server and the returned proxy records further
 // calls on it. Passing the proxy as an argument of a call bound for a
@@ -477,6 +578,11 @@ type Future struct {
 	// err is set when the call settled client-side without reaching its
 	// server (failed dependency or failed destination in an earlier stage).
 	err error
+	// settled/val carry a value that never bound to a core future: a cache
+	// hit at record time, or a coalesced readonly call settled from another
+	// call's singleflight.
+	settled bool
+	val     any
 }
 
 // Get returns the settled value. Before flush it returns core.ErrPending;
@@ -485,7 +591,11 @@ type Future struct {
 func (f *Future) Get() (any, error) {
 	f.b.mu.Lock()
 	failure, local, inner := f.b.failure, f.err, f.inner
+	settled, val := f.settled, f.val
 	f.b.mu.Unlock()
+	if settled {
+		return val, nil
+	}
 	if failure != nil {
 		return nil, failure
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/rcache"
 	"repro/internal/registry"
 	"repro/internal/rmi"
 	"repro/internal/stats"
@@ -24,9 +25,15 @@ type Directory struct {
 	peer *rmi.Peer
 	ring *Ring
 
+	// sf coalesces concurrent Refresh calls: N goroutines that each hit a
+	// WrongHomeError for the same migration share one node poll instead of
+	// issuing N identical fan-outs.
+	sf rcache.Group
+
 	// Metrics, wired from the peer's stats registry (nil no-ops otherwise).
-	lookupRetries *stats.Counter // cluster.lookup_retries
-	refreshes     *stats.Counter // cluster.dir_refreshes
+	lookupRetries    *stats.Counter // cluster.lookup_retries
+	refreshes        *stats.Counter // cluster.dir_refreshes
+	refreshCoalesced *stats.Counter // cluster.dir_refresh_coalesced
 }
 
 // NewDirectory creates a directory routing over the given server endpoints.
@@ -37,6 +44,7 @@ func NewDirectory(peer *rmi.Peer, endpoints []string, opts ...RingOption) *Direc
 	if r := peer.Stats(); r != nil {
 		d.lookupRetries = r.Counter("cluster.lookup_retries")
 		d.refreshes = r.Counter("cluster.dir_refreshes")
+		d.refreshCoalesced = r.Counter("cluster.dir_refresh_coalesced")
 	}
 	return d
 }
@@ -90,8 +98,17 @@ func (d *Directory) Lookup(ctx context.Context, name string) (wire.Ref, error) {
 	if !errors.As(err, &wrong) {
 		return wire.Ref{}, err
 	}
-	if rerr := d.Refresh(ctx); rerr != nil {
-		return wire.Ref{}, fmt.Errorf("%w (ring refresh failed: %v)", err, rerr)
+	// A coalesced Refresh may have joined a poll that STARTED before the
+	// membership change this rejection reports, adopting a ring older than
+	// wrong.NewEpoch. Retry the refresh (bounded) until the ring caught up
+	// with the epoch the rejecting server announced.
+	for attempt := 0; ; attempt++ {
+		if rerr := d.Refresh(ctx); rerr != nil {
+			return wire.Ref{}, fmt.Errorf("%w (ring refresh failed: %v)", err, rerr)
+		}
+		if d.Epoch() >= wrong.NewEpoch || attempt >= 1 {
+			break
+		}
 	}
 	d.lookupRetries.Inc()
 	return d.lookupOnce(ctx, name)
@@ -112,8 +129,21 @@ func (d *Directory) lookupOnce(ctx context.Context, name string) (wire.Ref, erro
 // Refresh polls the cluster nodes for their ring state and adopts the
 // newest epoch seen, bringing a stale directory back in sync after a
 // membership change it did not witness. It fails only when no node is
-// reachable.
+// reachable. Concurrent callers coalesce onto one in-flight poll: they
+// share its outcome (and its context), which is safe because adoption is
+// monotone — the poll installs the newest epoch any node reports,
+// regardless of which caller triggered it.
 func (d *Directory) Refresh(ctx context.Context) error {
+	_, err, shared := d.sf.Do("refresh", func() (any, error) {
+		return nil, d.refreshOnce(ctx)
+	})
+	if shared {
+		d.refreshCoalesced.Inc()
+	}
+	return err
+}
+
+func (d *Directory) refreshOnce(ctx context.Context) error {
 	d.refreshes.Inc()
 	members := d.ring.Endpoints()
 	if len(members) == 0 {

@@ -1,6 +1,9 @@
 package cluster
 
-import "repro/internal/wire"
+import (
+	"repro/internal/rcache"
+	"repro/internal/wire"
+)
 
 // Call kinds a cluster recording can hold. They mirror the core package's
 // value/remote split; cluster batches do not record cursors (use a
@@ -36,6 +39,19 @@ type recordedCall struct {
 	// failed is the error this call settled with client-side, when a
 	// dependency or its destination failed before the call could execute.
 	failed error
+
+	// ro marks a call recorded through CallRO (//brmi:readonly).
+	// The remaining fields are its cache/coalescing state: ckey/cobj and the
+	// generation+epoch captured at record time (the stale-fill guard), and
+	// the singleflight the call joined at translate time — as leader (this
+	// call executes and publishes) or follower (settles from the flight).
+	ro     bool
+	ckey   string
+	cobj   string
+	cgen   uint64
+	cepoch uint64
+	flight *rcache.Flight
+	leader bool
 }
 
 // group is one batch destination: a server endpoint and everything recorded

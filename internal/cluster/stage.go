@@ -121,6 +121,10 @@ func (b *Batch) execute(ctx context.Context, stages [][]*subBatch) error {
 		}
 		b.mu.Unlock()
 		if len(wave) == 0 {
+			// No wire work of our own, but this stage may hold readonly
+			// followers joined to flights that other batches lead; they must
+			// still settle.
+			b.resolveFlights(ctx, subs)
 			continue
 		}
 
@@ -192,6 +196,11 @@ func (b *Batch) execute(ctx context.Context, stages [][]*subBatch) error {
 			// next stage, whose sub-batches may consume these results.
 			b.retryStale(ctx, s, retries, reportFailure)
 		}
+		// Settle the stage's singleflight traffic: leaders publish their
+		// outcome (filling the cache on success), followers adopt it. This
+		// runs after the stale retry so a retried leader publishes its final
+		// outcome, not the transient wrong-home rejection.
+		b.resolveFlights(ctx, subs)
 		b.mu.Lock()
 		// Harvest the refs of results pinned in this wave and lease them
 		// (rmi.Peer.HoldRef) so they outlive the server's marshal grace for
@@ -250,6 +259,25 @@ func (b *Batch) translate(ds *destState, sb *subBatch) {
 		if c.failed != nil {
 			continue // settled earlier (e.g. a split dependency in a retry)
 		}
+		// A cacheable readonly call joins the cache's singleflight table
+		// here, at the edge of the wire: a fill that landed since record
+		// time settles it outright, the first call per key leads (executes
+		// and publishes), and every duplicate — in this batch or any other
+		// sharing the cache — becomes a follower that records nothing and
+		// settles from the leader's flight in resolveFlights. On a stale
+		// retry the call is re-translated; the flight guard keeps its role.
+		if c.kind == kindValue && c.ckey != "" {
+			if c.flight == nil {
+				if v, ok := b.cache.Get(c.ckey); ok {
+					settleValue(c, v)
+					continue
+				}
+				c.flight, c.leader = b.cache.Begin(c.ckey)
+			}
+			if !c.leader {
+				continue
+			}
+		}
 		args, err := b.resolveInputs(c)
 		if err != nil {
 			settleLocal(c, err)
@@ -306,6 +334,10 @@ func (b *Batch) resolveInputs(c *recordedCall) ([]any, error) {
 			}
 			args[i] = ref
 		case *Future:
+			if x.settled {
+				args[i] = x.val // cache hit or coalesced value, known statically
+				continue
+			}
 			if x.origin != nil && x.origin.failed != nil {
 				return nil, x.origin.failed
 			}
@@ -474,7 +506,7 @@ func (b *Batch) retryOne(ctx context.Context, stage int, r *staleRetry, reportFa
 		newGroups[g] = true
 	}
 	for _, c := range r.sb.calls {
-		g := retryRootOf(c).group
+		g := rootOf(c.target).group
 		c.group = g
 		c.target.group = g
 		if c.proxy != nil {
@@ -551,13 +583,60 @@ func (b *Batch) retryOne(ctx context.Context, stage int, r *staleRetry, reportFa
 	return true
 }
 
-// retryRootOf walks a call's target chain back to its root proxy.
-func retryRootOf(c *recordedCall) *Proxy {
-	p := c.target
-	for p.origin != nil {
-		p = p.origin.target
+// resolveFlights settles the singleflight state of a stage's readonly
+// calls once its waves (including any stale retry) ran. Leaders publish
+// first — their outcome is already decided, either a local settlement
+// (c.failed) or their core future — so same-batch followers can never
+// deadlock waiting below; a successful leader also fills the cache,
+// generation-guarded against writes that raced the flush. Followers then
+// adopt their flight's outcome. Flight hygiene: every flight Begin'd in
+// translate is Finished (leaders) or Waited (followers) exactly once here,
+// on every path, including waves that failed wholesale.
+func (b *Batch) resolveFlights(ctx context.Context, subs []*subBatch) {
+	b.mu.Lock()
+	var leaders, followers []*recordedCall
+	for _, sb := range subs {
+		for _, c := range sb.calls {
+			if c.flight == nil {
+				continue
+			}
+			if c.leader {
+				leaders = append(leaders, c)
+			} else {
+				followers = append(followers, c)
+			}
+		}
 	}
-	return p
+	for _, c := range leaders {
+		var v any
+		var err error
+		switch {
+		case c.failed != nil:
+			err = c.failed
+		case c.future == nil || c.future.inner == nil:
+			err = fmt.Errorf("cluster: internal: readonly call %s left untranslated", c.method)
+		default:
+			v, err = c.future.inner.Get()
+		}
+		if err == nil {
+			b.cache.Put(c.ckey, c.cobj, v, c.cgen, c.cepoch)
+		}
+		b.cache.Finish(c.ckey, c.flight, v, err)
+		c.flight = nil
+	}
+	b.mu.Unlock()
+
+	for _, c := range followers {
+		v, err := c.flight.Wait(ctx)
+		b.mu.Lock()
+		if err != nil {
+			settleLocal(c, err)
+		} else {
+			settleValue(c, v)
+		}
+		c.flight = nil
+		b.mu.Unlock()
+	}
 }
 
 // settleLocal marks one call as settled client-side with err: its future
@@ -570,6 +649,15 @@ func settleLocal(c *recordedCall, err error) {
 	}
 	if c.proxy != nil {
 		c.proxy.failedLocal = err
+	}
+}
+
+// settleValue settles a readonly call client-side with a cached or
+// coalesced value. Caller holds b.mu.
+func settleValue(c *recordedCall, v any) {
+	if c.future != nil {
+		c.future.settled = true
+		c.future.val = v
 	}
 }
 

@@ -46,6 +46,11 @@ type Method struct {
 	Params []Param // excluding ctx
 	Result *TypeRef
 	HasErr bool
+	// ReadOnly marks a //brmi:readonly method: declared idempotent and
+	// side-effect free, so its batch-interface method records with CallRO
+	// and the result is cacheable under a lease. Parse-time validation
+	// guarantees a serializable value result and value-only parameters.
+	ReadOnly bool
 }
 
 // Param is a method parameter.
@@ -83,6 +88,10 @@ type Package struct {
 
 // marker is the annotation selecting interfaces for generation.
 const marker = "brmi:remote"
+
+// markerReadonly is the per-method annotation declaring a method idempotent
+// and cacheable (see Method.ReadOnly).
+const markerReadonly = "brmi:readonly"
 
 // ParseDir parses the Go package in dir and extracts remote interfaces.
 // When all is false, only interfaces annotated with //brmi:remote are roots;
@@ -160,6 +169,10 @@ func parseFiles(fset *token.FileSet, pkgName string, files []*ast.File, all bool
 				if !ok {
 					continue
 				}
+				if pos, found := findDirective(markerReadonly, gd.Doc, ts.Doc, ts.Comment); found {
+					return nil, fmt.Errorf("%s: codegen: %s: //%s is a method annotation; annotate the methods that are readonly, not the interface",
+						fset.Position(pos), ts.Name.Name, markerReadonly)
+				}
 				marked := hasMarker(gd.Doc) || hasMarker(ts.Doc) || hasMarker(ts.Comment)
 				decls[ts.Name.Name] = &decl{spec: ts, it: it, marked: marked, doc: docText(gd.Doc, ts.Doc)}
 				order = append(order, ts.Name.Name)
@@ -215,6 +228,52 @@ func hasMarker(cg *ast.CommentGroup) bool {
 		}
 	}
 	return false
+}
+
+// findDirective reports whether any of the comment groups carries the exact
+// brmi directive, returning the comment's position for error reporting.
+func findDirective(directive string, groups ...*ast.CommentGroup) (token.Pos, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimLeft(c.Text, "/ \t"))
+			if name, _, _ := strings.Cut(text, " "); name == directive {
+				return c.Pos(), true
+			}
+		}
+	}
+	return token.NoPos, false
+}
+
+// methodDirectives scans one method's comment groups for brmi: annotations.
+// Unknown or misplaced directives are positioned parse errors: a typo like
+// //brmi:readnly must fail loudly, not leave the method silently uncached.
+func methodDirectives(fset *token.FileSet, iface, method string, groups ...*ast.CommentGroup) (readonly bool, err error) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimLeft(c.Text, "/ \t"))
+			if !strings.HasPrefix(text, "brmi:") {
+				continue
+			}
+			name, _, _ := strings.Cut(text, " ")
+			switch name {
+			case markerReadonly:
+				readonly = true
+			case marker:
+				return false, fmt.Errorf("%s: codegen: %s.%s: //%s is an interface annotation, not a method annotation",
+					fset.Position(c.Pos()), iface, method, marker)
+			default:
+				return false, fmt.Errorf("%s: codegen: %s.%s: unknown annotation //%s (method annotations: //%s)",
+					fset.Position(c.Pos()), iface, method, name, markerReadonly)
+			}
+		}
+	}
+	return readonly, nil
 }
 
 func docText(groups ...*ast.CommentGroup) string {
@@ -279,6 +338,11 @@ func buildIface(fset *token.FileSet, name, doc string, it *ast.InterfaceType, re
 			continue
 		}
 		method := Method{Name: m.Names[0].Name}
+		ro, err := methodDirectives(fset, name, method.Name, m.Doc, m.Comment)
+		if err != nil {
+			return nil, err
+		}
+		method.ReadOnly = ro
 
 		// Parameters.
 		if ft.Params != nil {
@@ -337,6 +401,28 @@ func buildIface(fset *token.FileSet, name, doc string, it *ast.InterfaceType, re
 				method.Result = &tr
 			default:
 				return nil, fmt.Errorf("codegen: %s.%s: more than one non-error result", name, method.Name)
+			}
+		}
+
+		// //brmi:readonly contract: the result must be a serializable value
+		// (it is what the cache stores) and every parameter must be one too
+		// (proxy arguments have no stable identity to key by). Violations
+		// are positioned parse errors, not silently-uncached methods.
+		if method.ReadOnly {
+			pos := fset.Position(m.Pos())
+			if method.Result == nil {
+				return nil, fmt.Errorf("%s: codegen: %s.%s: //%s method returns no value — there is no result to cache",
+					pos, name, method.Name, markerReadonly)
+			}
+			if method.Result.Kind != KindValue {
+				return nil, fmt.Errorf("%s: codegen: %s.%s: //%s method returns remote interface %s — remote results are not serializable values and cannot be cached",
+					pos, name, method.Name, markerReadonly, method.Result.Src)
+			}
+			for _, p := range method.Params {
+				if p.Type.Kind != KindValue {
+					return nil, fmt.Errorf("%s: codegen: %s.%s: //%s method takes remote-interface parameter %s %s — proxy arguments have no serializable cache identity",
+						pos, name, method.Name, markerReadonly, p.Name, p.Type.Src)
+				}
 			}
 		}
 		iface.Methods = append(iface.Methods, method)

@@ -211,6 +211,142 @@ func TestGenerateOutputShape(t *testing.T) {
 	}
 }
 
+func TestReadonlyAnnotationParsed(t *testing.T) {
+	dir := writeFixture(t, `package sample
+
+//brmi:remote
+type Store interface {
+	//brmi:readonly
+	Size() (int64, error)
+	Put(key string) error
+}
+`)
+	pkg, err := ParseDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := pkg.Ifaces[0].Methods
+	if !ms[0].ReadOnly {
+		t.Fatal("annotated method not marked ReadOnly")
+	}
+	if ms[1].ReadOnly {
+		t.Fatal("unannotated method marked ReadOnly")
+	}
+	src, err := Generate(pkg, Options{Prefix: "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(src)
+	if !strings.Contains(out, `CallRO("Size")`) {
+		t.Error("readonly batch method does not record via CallRO")
+	}
+	if !strings.Contains(out, `rmi.RegisterReadOnly(StoreIfaceName, "Size")`) {
+		t.Error("generated init does not register the readonly declaration")
+	}
+	if strings.Contains(out, `CallRO("Put"`) {
+		t.Error("write method records via CallRO")
+	}
+}
+
+// TestReadonlyAnnotationRejections pins the positioned parse errors for
+// malformed method annotations: each must fail loudly at generation time,
+// never degrade to a silently-uncached method.
+func TestReadonlyAnnotationRejections(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{
+			name: "remote result not serializable",
+			src: `package bad
+
+//brmi:remote
+type Store interface {
+	//brmi:readonly
+	Get(key string) (Item, error)
+}
+
+type Item interface{ Touch() error }
+`,
+			want: "not serializable",
+		},
+		{
+			name: "void method has nothing to cache",
+			src: `package bad
+
+//brmi:remote
+type Store interface {
+	//brmi:readonly
+	Ping() error
+}
+`,
+			want: "no result to cache",
+		},
+		{
+			name: "remote parameter has no cache identity",
+			src: `package bad
+
+//brmi:remote
+type Store interface {
+	//brmi:readonly
+	Contains(item Item) (bool, error)
+}
+
+type Item interface{ Touch() error }
+`,
+			want: "cache identity",
+		},
+		{
+			name: "readonly on the interface, not a method",
+			src: `package bad
+
+//brmi:remote
+//brmi:readonly
+type Store interface {
+	Get() (int, error)
+}
+`,
+			want: "method annotation",
+		},
+		{
+			name: "remote marker on a method",
+			src: `package bad
+
+//brmi:remote
+type Store interface {
+	//brmi:remote
+	Get() (int, error)
+}
+`,
+			want: "interface annotation",
+		},
+		{
+			name: "unknown brmi annotation",
+			src: `package bad
+
+//brmi:remote
+type Store interface {
+	//brmi:cached
+	Get() (int, error)
+}
+`,
+			want: "unknown annotation",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := writeFixture(t, tc.src)
+			_, err := ParseDir(dir, false)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+			// Positioned: the diagnostic must name file and line.
+			if err != nil && !strings.Contains(err.Error(), "iface.go:") {
+				t.Fatalf("diagnostic not positioned: %v", err)
+			}
+		})
+	}
+}
+
 // TestFixtureInSync regenerates the checked-in fstest fixture and fails if
 // the generator output drifted from the committed file.
 func TestFixtureInSync(t *testing.T) {

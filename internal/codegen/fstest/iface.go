@@ -15,7 +15,10 @@ type Directory interface {
 	GetFile(name string) (File, error)
 	// AllFiles lists the directory.
 	AllFiles() ([]File, error)
-	// TotalSize sums the file sizes.
+	// TotalSize sums the file sizes. It is declared readonly, so batch
+	// layers may serve and coalesce it from the lease cache.
+	//
+	//brmi:readonly
 	TotalSize() (int64, error)
 }
 
@@ -23,6 +26,7 @@ type Directory interface {
 // transitively from Directory's signatures.
 type File interface {
 	GetName() (string, error)
+	//brmi:readonly
 	GetSize() (int, error)
 	GetDate() (time.Time, error)
 	Delete() error

@@ -1,0 +1,202 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/rcache"
+	"repro/internal/rmi"
+	"repro/internal/stats"
+)
+
+// cacheFixture is newFixture plus an instrumented client peer and a shared
+// lease cache, the shape the cluster layer uses in production.
+type cacheFixture struct {
+	*fixture
+	reg   *stats.Registry
+	cache *rcache.Cache
+}
+
+func newCacheFixture(t *testing.T) *cacheFixture {
+	t.Helper()
+	network := netsim.New(netsim.Instant)
+	t.Cleanup(func() { _ = network.Close() })
+	server := rmi.NewPeer(network, rmi.WithLogf(silentLogf))
+	if err := server.Serve("server"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = server.Close() })
+	exec, err := core.Install(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(exec.Stop)
+	reg := stats.New()
+	client := rmi.NewPeer(network, rmi.WithLogf(silentLogf), rmi.WithStatsRegistry(reg))
+	t.Cleanup(func() { _ = client.Close() })
+
+	dir := &directory{}
+	dir.files = append(dir.files, &file{dir: dir, name: "a.txt", size: 1, date: baseDate(1)})
+	dir.files = append(dir.files, &file{dir: dir, name: "b.txt", size: 2, date: baseDate(2)})
+	dirRef, err := server.Export(dir, "coretest.Directory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &cacheFixture{
+		fixture: &fixture{server: server, client: client, exec: exec, dir: dir, dirRef: dirRef},
+		reg:     reg,
+		cache:   rcache.New(reg),
+	}
+}
+
+func (f *cacheFixture) counter(t *testing.T, name string) int64 {
+	t.Helper()
+	return f.reg.Snapshot().Counter(name)
+}
+
+func names(t *testing.T, fut *core.Future) []string {
+	t.Helper()
+	v, err := fut.Get()
+	if err != nil {
+		t.Fatalf("future: %v", err)
+	}
+	raw, ok := v.([]any)
+	if !ok {
+		t.Fatalf("future value %T, want []any", v)
+	}
+	out := make([]string, len(raw))
+	for i, e := range raw {
+		out[i] = e.(string)
+	}
+	return out
+}
+
+// TestCacheMissFillsAndHitSkipsWire: the first CallRO pays the round trip
+// and fills the cache; a second batch's identical CallRO settles from the
+// lease before any flush, and its all-hit flush writes zero frames.
+func TestCacheMissFillsAndHitSkipsWire(t *testing.T) {
+	f := newCacheFixture(t)
+	ctx := context.Background()
+
+	b1 := core.New(f.client, f.dirRef, core.WithCache(f.cache))
+	fut1 := b1.Root().CallRO("Names")
+	if err := b1.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got1 := names(t, fut1)
+	if f.counter(t, "cache.misses") != 1 || f.counter(t, "cache.hits") != 0 {
+		t.Fatalf("after miss: hits=%d misses=%d", f.counter(t, "cache.hits"), f.counter(t, "cache.misses"))
+	}
+
+	framesBefore := f.counter(t, "transport.frames_out")
+	b2 := core.New(f.client, f.dirRef, core.WithCache(f.cache))
+	fut2 := b2.Root().CallRO("Names")
+	// The hit settles before flush: the future is readable immediately.
+	got2 := names(t, fut2)
+	if err := b2.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if f.counter(t, "cache.hits") != 1 {
+		t.Fatalf("cache.hits = %d, want 1", f.counter(t, "cache.hits"))
+	}
+	if d := f.counter(t, "transport.frames_out") - framesBefore; d != 0 {
+		t.Fatalf("all-hit batch wrote %d frames, want 0", d)
+	}
+	if b2.PendingCalls() != 0 {
+		t.Fatalf("all-hit batch recorded %d calls", b2.PendingCalls())
+	}
+	if len(got1) != 2 || len(got2) != 2 || got1[0] != got2[0] {
+		t.Fatalf("cached value diverged: %v vs %v", got1, got2)
+	}
+}
+
+// TestCacheWriteInvalidatesAtRecordTime: a non-readonly call through any
+// proxy of the object's chain drops its leases before the write even
+// flushes, so a later readonly call re-fetches.
+func TestCacheWriteInvalidatesAtRecordTime(t *testing.T) {
+	f := newCacheFixture(t)
+	ctx := context.Background()
+
+	b1 := core.New(f.client, f.dirRef, core.WithCache(f.cache))
+	_ = b1.Root().CallRO("Names")
+	if err := b1.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if f.cache.Len() != 1 {
+		t.Fatalf("cache has %d entries, want 1", f.cache.Len())
+	}
+
+	// The write travels through a derived proxy (GetFile -> Delete); the
+	// invalidation must attribute it to the chain's root object.
+	b2 := core.New(f.client, f.dirRef, core.WithCache(f.cache))
+	fp := b2.Root().CallBatch("GetFile", "a.txt")
+	_ = fp.Call("Delete")
+	if f.cache.Len() != 0 {
+		t.Fatalf("write recorded but %d leases still live", f.cache.Len())
+	}
+	if err := b2.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	b3 := core.New(f.client, f.dirRef, core.WithCache(f.cache))
+	fut := b3.Root().CallRO("Names")
+	if err := b3.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := names(t, fut); len(got) != 1 || got[0] != "b.txt" {
+		t.Fatalf("post-write read = %v, want [b.txt]", got)
+	}
+	if f.counter(t, "cache.invalidations") == 0 {
+		t.Fatal("cache.invalidations not counted")
+	}
+}
+
+// TestCacheEpochBumpDropsLeases: bumping the ring epoch makes every older
+// lease unservable without touching the entries.
+func TestCacheEpochBumpDropsLeases(t *testing.T) {
+	f := newCacheFixture(t)
+	ctx := context.Background()
+	var epoch uint64
+	cache := rcache.New(f.reg, rcache.WithEpoch(func() uint64 { return epoch }))
+
+	b1 := core.New(f.client, f.dirRef, core.WithCache(cache))
+	_ = b1.Root().CallRO("Names")
+	if err := b1.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	epoch++ // membership change / migration
+	b2 := core.New(f.client, f.dirRef, core.WithCache(cache))
+	fut := b2.Root().CallRO("Names")
+	if _, err := fut.Get(); err != core.ErrPending {
+		t.Fatalf("stale-epoch lease served: Get = %v, want ErrPending pre-flush", err)
+	}
+	if err := b2.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := names(t, fut); len(got) != 2 {
+		t.Fatalf("re-fetched read = %v", got)
+	}
+}
+
+// TestCallROUncachedBatchBehavesLikeCall: without WithCache, CallRO is an
+// ordinary recorded call — same wire traffic, same results.
+func TestCallROUncachedBatchBehavesLikeCall(t *testing.T) {
+	f := newCacheFixture(t)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		b := core.New(f.client, f.dirRef)
+		fut := b.Root().CallRO("Names")
+		if err := b.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if got := names(t, fut); len(got) != 2 {
+			t.Fatalf("round %d: %v", i, got)
+		}
+	}
+	if f.counter(t, "cache.hits")+f.counter(t, "cache.misses") != 0 {
+		t.Fatal("uncached batch touched cache counters")
+	}
+}

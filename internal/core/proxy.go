@@ -28,6 +28,12 @@ type Proxy struct {
 	failed error
 	// settled is true once flush processed the creating call.
 	settled bool
+	// root is true for proxies returned by Batch.Root / Batch.AddRoot: the
+	// only proxies whose calls have a cache identity (a stable wire ref).
+	root bool
+	// chainRoot is the exported object this proxy's call chain descends
+	// from; it keys cache invalidation for writes recorded through it.
+	chainRoot wire.Ref
 	// exportRef is the pinned exported reference of this proxy's result,
 	// set at flush when the call was recorded with CallBatchExport.
 	exportRef wire.Ref
@@ -40,7 +46,18 @@ func (p *Proxy) Batch() *Batch { return p.b }
 // future. Use CallBatch for methods returning remote objects and CallCursor
 // for methods returning slices of remote objects.
 func (p *Proxy) Call(method string, args ...any) *Future {
-	return p.b.recordValue(p, method, args)
+	return p.b.recordValue(p, method, args, false)
+}
+
+// CallRO records a method invocation declared //brmi:readonly. When the
+// batch carries a lease cache (core.WithCache) and the call is cacheable —
+// root target, plain marshalable arguments — a cache hit settles the future
+// locally without recording a wire call, and a miss fills the cache when
+// the result lands. On an uncached batch (or an uncacheable call shape) it
+// behaves exactly like Call. Generated batch stubs emit it for annotated
+// methods; the declaration is the caller's promise of idempotence.
+func (p *Proxy) CallRO(method string, args ...any) *Future {
+	return p.b.recordValue(p, method, args, true)
 }
 
 // CallBatch records a method invocation whose result is a remote object.

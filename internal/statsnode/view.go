@@ -33,6 +33,10 @@ type Row struct {
 	// CodecReuse is the wire encoder/decoder state reuse rate in [0,1]
 	// (-1 when no codec state was ever fetched).
 	CodecReuse float64
+	// CacheHit is the lease-cache hit rate for readonly calls in [0,1]
+	// (-1 when the process runs no client cache — servers usually don't;
+	// the column lights up on client pseudo-rows and co-located clients).
+	CacheHit float64
 	// MigRemaining and MigMoved describe rebalancer-side migration progress
 	// (nonzero only when the scraped process drives migrations); Arrivals
 	// and Departs are the server-side view — objects adopted by and released
@@ -84,6 +88,7 @@ func BuildRows(cur, prev map[string]*stats.Snapshot, elapsed time.Duration) []Ro
 		gets := s.Gauge("wire.enc_state_gets") + s.Gauge("wire.dec_state_gets")
 		allocs := s.Gauge("wire.enc_state_allocs") + s.Gauge("wire.dec_state_allocs")
 		r.CodecReuse = ratio(gets-allocs, allocs)
+		r.CacheHit = ratio(s.Counter("cache.hits"), s.Counter("cache.misses"))
 		if h := s.Hist("core.wave_ns"); h != nil && h.Count > 0 {
 			r.WaveP50 = time.Duration(h.Quantile(0.50))
 			r.WaveP99 = time.Duration(h.Quantile(0.99))
@@ -129,11 +134,12 @@ func dur(d time.Duration) string {
 
 // RenderTable writes the ops table. Columns: server, cumulative executed
 // calls, QPS over the last interval, executor wave p50/p99, transport
-// buffer-pool hit rate, wire codec-state reuse rate, migration state, and
-// ring epoch ("!" marks a server behind the cluster-wide maximum — epoch
-// skew, i.e. a ring broadcast it has not adopted yet).
+// buffer-pool hit rate, wire codec-state reuse rate, readonly lease-cache
+// hit rate ("-" where no cache runs), migration state, and ring epoch
+// ("!" marks a server behind the cluster-wide maximum — epoch skew, i.e.
+// a ring broadcast it has not adopted yet).
 func RenderTable(w io.Writer, rows []Row) {
-	const header = "SERVER\tCALLS\tQPS\tWAVE p50\tWAVE p99\tPOOL\tCODEC\tMIGRATION\tEPOCH"
+	const header = "SERVER\tCALLS\tQPS\tWAVE p50\tWAVE p99\tPOOL\tCODEC\tCACHE\tMIGRATION\tEPOCH"
 	lines := make([][]string, 0, len(rows)+1)
 	lines = append(lines, strings.Split(header, "\t"))
 	for _, r := range rows {
@@ -162,6 +168,7 @@ func RenderTable(w io.Writer, rows []Row) {
 			dur(r.WaveP99),
 			pct(r.PoolHit),
 			pct(r.CodecReuse),
+			pct(r.CacheHit),
 			mig,
 			epoch,
 		})

@@ -1,0 +1,42 @@
+package statsnode_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/statsnode"
+)
+
+// TestCacheHitColumn: the CACHE column shows the lease-cache hit rate for
+// processes that run a client cache and "-" for those that don't.
+func TestCacheHitColumn(t *testing.T) {
+	withCache := stats.New()
+	withCache.Counter("cache.hits").Add(3)
+	withCache.Counter("cache.misses").Add(1)
+	cur := map[string]*stats.Snapshot{
+		"client":   withCache.Snapshot(),
+		"server-0": stats.New().Snapshot(),
+	}
+	rows := statsnode.BuildRows(cur, nil, time.Second)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].Server != "client" || rows[0].CacheHit != 0.75 {
+		t.Errorf("client row CacheHit = %v, want 0.75", rows[0].CacheHit)
+	}
+	if rows[1].CacheHit != -1 {
+		t.Errorf("cacheless server CacheHit = %v, want -1 sentinel", rows[1].CacheHit)
+	}
+
+	var sb strings.Builder
+	statsnode.RenderTable(&sb, rows)
+	out := sb.String()
+	if !strings.Contains(strings.Split(out, "\n")[0], "CACHE") {
+		t.Errorf("header missing CACHE column:\n%s", out)
+	}
+	if !strings.Contains(out, "75%") {
+		t.Errorf("client hit rate not rendered:\n%s", out)
+	}
+}
