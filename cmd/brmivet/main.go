@@ -1,0 +1,87 @@
+// Command brmivet runs the brmi static analyzer suite over Go packages:
+//
+//	brmivet ./...
+//
+// It checks the batching programming model's usage rules (see DESIGN.md
+// "Static analysis"): pre-flush future reads (futurederef), batches that
+// leak without a Flush (unflushed), //brmi:readonly implementations that
+// mutate state (readonlypure), transport buffer pool pairing (poolcheck),
+// and unregistered wire types (wireregister).
+//
+// Diagnostics are suppressed with a comment on or directly above the
+// flagged line:
+//
+//	//brmivet:ignore <analyzer> <reason>
+//
+// Malformed and stale ignore directives are themselves reported. Exit
+// codes: 0 no findings, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checks"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("brmivet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	only := fs.String("run", "", "comma-separated subset of analyzers to run")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := checks.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-13s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(suite))
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "brmivet: unknown analyzer %q (see brmivet -list)\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "brmivet:", err)
+		return 2
+	}
+	prog, diags, err := analysis.Run(cwd, suite, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "brmivet:", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	analysis.Print(stdout, prog.Fset, diags)
+	return 1
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/checks"
+)
+
+// TestSuitePinned asserts cmd/brmivet registers exactly the documented
+// analyzer set, in order. Adding an analyzer means updating this list, the
+// command doc, and DESIGN.md together.
+func TestSuitePinned(t *testing.T) {
+	want := []string{"futurederef", "unflushed", "readonlypure", "poolcheck", "wireregister"}
+	suite := checks.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("checks.Suite() has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("brmivet -list exited %d: %s", code, errOut.String())
+	}
+	for _, a := range checks.Suite() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("brmivet -list output is missing %s:\n%s", a.Name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "nosuch", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("brmivet -run nosuch exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr missing explanation: %s", errOut.String())
+	}
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/brmimark"
+)
+
+// Analyzer describes one static check. Run is called once per analysis
+// unit (a package, with its in-package test files; external _test packages
+// form their own unit), in dependency order, so facts exported by a
+// dependency's pass are importable from a dependent's pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //brmivet:ignore comments. One lowercase word.
+	Name string
+	// Doc is the one-paragraph description printed by brmivet -list.
+	Doc string
+	// Run executes the analyzer on one unit.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one analysis unit.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+	facts  *FactStore
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportPackageFact publishes fact (a pointer to a fact struct) for the
+// unit's package. Later passes over packages that import this one can
+// retrieve it with ImportPackageFact. Facts are keyed by (package path,
+// fact type); exporting a second fact of the same type overwrites.
+func (p *Pass) ExportPackageFact(fact any) {
+	p.facts.set(p.Pkg.Path(), fact)
+}
+
+// ImportPackageFact copies the fact of *fact's type previously exported for
+// the package with the given import path into fact, reporting whether one
+// was found. Facts are keyed by path (not types.Object identity), so they
+// survive the boundary between source-checked units and export-data
+// imports.
+func (p *Pass) ImportPackageFact(path string, fact any) bool {
+	return p.facts.get(path, fact)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// FactStore holds package facts across the passes of one driver run.
+// It is safe for concurrent use.
+type FactStore struct {
+	mu sync.Mutex
+	m  map[factKey]any
+}
+
+type factKey struct {
+	path string
+	t    reflect.Type
+}
+
+// NewFactStore creates an empty fact store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey]any)}
+}
+
+func (s *FactStore) set(path string, fact any) {
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis: fact must be a pointer, got %T", fact))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[factKey{path, t}] = fact
+}
+
+func (s *FactStore) get(path string, fact any) bool {
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis: fact must be a pointer, got %T", fact))
+	}
+	s.mu.Lock()
+	stored, ok := s.m[factKey{path, t}]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// --- suppression --------------------------------------------------------------
+
+// ignoreDirective is one parsed //brmivet:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+// Suppress filters diags through the //brmivet:ignore comments of files. A
+// diagnostic from analyzer A at line L is dropped when a comment
+// "//brmivet:ignore A <reason>" sits on line L, or on its own at the end of
+// a run of comment lines directly above L. Malformed directives — missing
+// the analyzer name or the reason — are reported as diagnostics from the
+// pseudo-analyzer "brmivet", as are directives that suppress nothing.
+func Suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+		name string
+	}
+	directives := make(map[key]*ignoreDirective)
+	var malformed []Diagnostic
+
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, args, ok := brmimark.Directive(c.Text)
+				if !ok || name != brmimark.VetIgnore {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				analyzer, reason, _ := strings.Cut(args, " ")
+				reason = strings.TrimSpace(reason)
+				if analyzer == "" || reason == "" {
+					malformed = append(malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "brmivet",
+						Message:  fmt.Sprintf("malformed //%s: want \"//%s <analyzer> <reason>\"", brmimark.VetIgnore, brmimark.VetIgnore),
+					})
+					continue
+				}
+				d := &ignoreDirective{analyzer: analyzer, reason: reason, pos: c.Pos()}
+				// A directive covers its own line (trailing-comment form)
+				// and the line below (own-line form above the flagged
+				// statement).
+				directives[key{pos.Filename, pos.Line, analyzer}] = d
+				directives[key{pos.Filename, pos.Line + 1, analyzer}] = d
+			}
+		}
+	}
+
+	used := make(map[*ignoreDirective]bool)
+	var out []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if dir, ok := directives[key{pos.Filename, pos.Line, d.Analyzer}]; ok {
+			used[dir] = true
+			continue
+		}
+		out = append(out, d)
+	}
+
+	// An ignore that matched nothing is stale: the misuse it excused is
+	// gone (or the analyzer name is wrong), so it must go too.
+	seen := make(map[*ignoreDirective]bool)
+	for _, dir := range directives {
+		if used[dir] || seen[dir] {
+			continue
+		}
+		seen[dir] = true
+		out = append(out, Diagnostic{
+			Pos:      dir.pos,
+			Analyzer: "brmivet",
+			Message:  fmt.Sprintf("//%s %s suppresses no diagnostic (stale, or wrong analyzer name)", brmimark.VetIgnore, dir.analyzer),
+		})
+	}
+	out = append(out, malformed...)
+	sortDiags(fset, out)
+	return out
+}
+
+func sortDiags(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+}

@@ -1,0 +1,180 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest (which this module cannot
+// depend on — see internal/analysis).
+//
+// Fixtures live under <pkgdir>/testdata/src/<name>/ and are ordinary Go
+// packages, except invisible to the go tool (testdata). They import the
+// real module packages (repro/internal/core, ...), which resolve through
+// compiler export data, so the analyzers are exercised against the actual
+// types they target in production. A fixture line expecting a diagnostic
+// carries a trailing comment:
+//
+//	fut.Get() // want `before the batch's Flush`
+//
+// The backquoted string is a regexp matched against the diagnostic
+// message; multiple want clauses on one line each need a match. Lines
+// suppressed with //brmivet:ignore must NOT carry a want — the runner
+// applies the same suppression filter the brmivet driver does, so
+// suppression behavior is part of what fixtures pin.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var (
+	loadOnce sync.Once
+	loadErr  error
+	prog     *analysis.Program
+	progMu   sync.Mutex
+)
+
+// load builds the shared Program once per test binary: export data for the
+// whole module, so fixtures can import any repro package.
+func load() (*analysis.Program, error) {
+	loadOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			loadErr = err
+			return
+		}
+		prog, loadErr = analysis.Load(root, "./...")
+	})
+	return prog, loadErr
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysistest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Run applies one analyzer to the named fixture packages (directories
+// under testdata/src relative to the calling test's working directory),
+// in order, with facts flowing between them, and compares the resulting
+// diagnostics of each package against its // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	p, err := load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shared Program's fixture-override map and FileSet are mutated
+	// below; fixture runs are serialized across the test binary.
+	progMu.Lock()
+	defer progMu.Unlock()
+
+	facts := analysis.NewFactStore()
+	for _, name := range fixtures {
+		dir := filepath.Join("testdata", "src", name)
+		unit, err := p.ParseDirUnit(dir, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, diags, err := analysis.RunUnit(p, unit, []*analysis.Analyzer{a}, facts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.AddPackage(name, pkg)
+		check(t, p.Fset, unit.Files, diags)
+	}
+}
+
+// check matches diagnostics against the want comments of files.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type wantKey struct {
+		file string
+		line int
+	}
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range patterns {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[wantKey{pos.Filename, pos.Line}] = append(wants[wantKey{pos.Filename, pos.Line}], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := wantKey{pos.Filename, pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps of a "// want `...` `...`" comment.
+func parseWant(comment string) ([]string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(comment), "//"))
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil, false
+	}
+	var patterns []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		var quote byte
+		switch rest[0] {
+		case '`', '"':
+			quote = rest[0]
+		default:
+			return nil, false
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			return nil, false
+		}
+		patterns = append(patterns, rest[1:1+end])
+		rest = strings.TrimSpace(rest[end+2:])
+	}
+	return patterns, len(patterns) > 0
+}

@@ -1,0 +1,33 @@
+package checks_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/checks"
+)
+
+func TestFutureDeref(t *testing.T) {
+	analysistest.Run(t, checks.FutureDeref, "futurederef")
+}
+
+func TestUnflushed(t *testing.T) {
+	analysistest.Run(t, checks.Unflushed, "unflushed")
+}
+
+// The readonlypure_impl fixture implements an interface declared (and
+// annotated) in the readonlypure fixture, exercising the package-fact
+// path.
+func TestReadonlyPure(t *testing.T) {
+	analysistest.Run(t, checks.ReadonlyPure, "readonlypure", "readonlypure_impl")
+}
+
+func TestPoolCheck(t *testing.T) {
+	analysistest.Run(t, checks.PoolCheck, "poolcheck")
+}
+
+// The wireregister_use fixture consumes a registration made by the
+// wireregister fixture's init, exercising the package-fact path.
+func TestWireRegister(t *testing.T) {
+	analysistest.Run(t, checks.WireRegister, "wireregister", "wireregister_use")
+}

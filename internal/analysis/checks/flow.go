@@ -1,0 +1,185 @@
+package checks
+
+import "go/ast"
+
+// flowClient parameterizes the structured control-flow walker shared by the
+// path-sensitive analyzers (unflushed, poolcheck). S is the mutable
+// per-path state, cloned at branches and re-joined after them.
+type flowClient[S any] interface {
+	// Clone returns an independent copy of the path state.
+	Clone(st S) S
+	// Events processes the creation/use/discharge events of an expression
+	// or simple statement, in source order, mutating st.
+	Events(n ast.Node, st S)
+	// DeferEvents processes a deferred call, which runs at return rather
+	// than in source order; clients that care about ordering handle it
+	// separately.
+	DeferEvents(call ast.Node, st S)
+	// AtReturn is called at each return point with the path state; ret is
+	// nil for the implicit return at the end of the body. The return's own
+	// result expressions have already been fed through Events.
+	AtReturn(st S, ret *ast.ReturnStmt)
+	// Join folds branch end-states into st; terms[i] reports whether
+	// branch i terminated (cannot fall through to the join point).
+	Join(st S, branches []S, terms []bool)
+	// MergeLoop folds a loop body's end state into st, assuming the body
+	// may have run.
+	MergeLoop(st S, body S)
+	// GoTo is called on a goto statement, which the walker does not model;
+	// clients are expected to stop reporting for the whole function.
+	GoTo()
+}
+
+// walkFlow drives c over one function body.
+func walkFlow[S any](c flowClient[S], body *ast.BlockStmt, st S) {
+	if !flowStmts(c, body.List, st) {
+		c.AtReturn(st, nil)
+	}
+}
+
+// flowStmts walks a statement list with the given path state, returning
+// whether the path terminates (every sub-path returns, panics, or breaks).
+func flowStmts[S any](c flowClient[S], stmts []ast.Stmt, st S) bool {
+	for _, stmt := range stmts {
+		if flowStmt(c, stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func flowStmt[S any](c flowClient[S], stmt ast.Stmt, st S) bool {
+	switch x := stmt.(type) {
+	case *ast.BlockStmt:
+		return flowStmts(c, x.List, st)
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			flowStmt(c, x.Init, st)
+		}
+		c.Events(x.Cond, st)
+		thenSt := c.Clone(st)
+		thenTerm := flowStmts(c, x.Body.List, thenSt)
+		elseSt := c.Clone(st)
+		elseTerm := false
+		if x.Else != nil {
+			elseTerm = flowStmt(c, x.Else, elseSt)
+		}
+		c.Join(st, []S{thenSt, elseSt}, []bool{thenTerm, elseTerm})
+		return thenTerm && elseTerm && x.Else != nil
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			flowStmt(c, x.Init, st)
+		}
+		if x.Cond != nil {
+			c.Events(x.Cond, st)
+		}
+		bodySt := c.Clone(st)
+		flowStmts(c, x.Body.List, bodySt)
+		if x.Post != nil {
+			flowStmt(c, x.Post, bodySt)
+		}
+		// The body may run; a discharge inside it optimistically covers
+		// later paths (the walkers catch missing discharges, not
+		// zero-iteration loops).
+		c.MergeLoop(st, bodySt)
+		return false
+
+	case *ast.RangeStmt:
+		c.Events(x.X, st)
+		bodySt := c.Clone(st)
+		flowStmts(c, x.Body.List, bodySt)
+		c.MergeLoop(st, bodySt)
+		return false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return flowSwitch(c, stmt, st)
+
+	case *ast.LabeledStmt:
+		return flowStmt(c, x.Stmt, st)
+
+	case *ast.BranchStmt:
+		// break/continue end this path inside the enclosing construct;
+		// goto is not modeled.
+		if x.Tok.String() == "goto" {
+			c.GoTo()
+		}
+		return true
+
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			c.Events(r, st)
+		}
+		c.AtReturn(st, x)
+		return true
+
+	case *ast.DeferStmt:
+		// A deferred discharge runs on every subsequent return path.
+		c.DeferEvents(x.Call, st)
+		return false
+
+	default:
+		c.Events(stmt, st)
+		return false
+	}
+}
+
+func flowSwitch[S any](c flowClient[S], stmt ast.Stmt, st S) bool {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch x := stmt.(type) {
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			flowStmt(c, x.Init, st)
+		}
+		if x.Tag != nil {
+			c.Events(x.Tag, st)
+		}
+		body = x.Body
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			flowStmt(c, x.Init, st)
+		}
+		c.Events(x.Assign, st)
+		body = x.Body
+	case *ast.SelectStmt:
+		body = x.Body
+	}
+	var branchSts []S
+	var branchTerms []bool
+	for _, clause := range body.List {
+		cSt := c.Clone(st)
+		term := false
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				c.Events(e, st)
+			}
+			term = flowStmts(c, cl.Body, cSt)
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				flowStmt(c, cl.Comm, cSt)
+			}
+			term = flowStmts(c, cl.Body, cSt)
+		}
+		branchSts = append(branchSts, cSt)
+		branchTerms = append(branchTerms, term)
+	}
+	// A switch without a default can fall through with the pre-state.
+	if _, isSelect := stmt.(*ast.SelectStmt); !isSelect && !hasDefault {
+		branchSts = append(branchSts, c.Clone(st))
+		branchTerms = append(branchTerms, false)
+	}
+	c.Join(st, branchSts, branchTerms)
+	allTerm := len(branchSts) > 0
+	for _, t := range branchTerms {
+		allTerm = allTerm && t
+	}
+	return allTerm
+}

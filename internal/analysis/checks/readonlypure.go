@@ -1,0 +1,434 @@
+package checks
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/brmimark"
+)
+
+// ReadonlyPure checks that the implementation of every //brmi:readonly
+// interface method actually is readonly: no writes to receiver fields, no
+// stores through receiver-reachable pointers, no calls to mutating methods
+// on receiver state, no escape of the receiver to arbitrary callees.
+//
+// brmigen's parse-time validation covers the signature shape (serializable
+// result, value parameters); it cannot see implementation bodies — an
+// annotated method that mutates state silently serves stale reads from the
+// lease cache (PR 7), the proxy-contract hazard the Object Proxy Patterns
+// paper calls out. This analyzer closes that gap.
+//
+// Annotations are discovered from interface syntax and exported as a
+// package fact (ReadonlyFact), so implementations in other packages are
+// checked against interfaces they import.
+var ReadonlyPure = &analysis.Analyzer{
+	Name: "readonlypure",
+	Doc: "check that //brmi:readonly method implementations do not mutate receiver " +
+		"state; an impure readonly method poisons the client lease cache",
+	Run: runReadonlyPure,
+}
+
+// ReadonlyFact is the package fact readonlypure exports: the
+// //brmi:readonly-annotated methods of each interface declared in the
+// package, keyed by interface name.
+type ReadonlyFact struct {
+	Ifaces map[string][]string
+}
+
+// mutexAllowed are the sync/sync.atomic methods a readonly body may call
+// on receiver state: locking for consistent reads, and atomic loads.
+var mutexAllowed = map[string]bool{
+	"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true,
+	"TryLock": true, "TryRLock": true, "RLocker": true, "Load": true,
+}
+
+func runReadonlyPure(pass *analysis.Pass) error {
+	local := collectReadonlyAnnotations(pass.Files)
+	if len(local.Ifaces) > 0 {
+		pass.ExportPackageFact(&local)
+	}
+
+	// Interfaces in scope: this package's, plus annotated interfaces of
+	// every imported package (via facts).
+	type roIface struct {
+		pkg     *types.Package
+		name    string
+		iface   *types.Interface
+		methods []string
+	}
+	var ifaces []roIface
+	resolve := func(pkg *types.Package, fact *ReadonlyFact) {
+		for name, methods := range fact.Ifaces {
+			obj := pkg.Scope().Lookup(name)
+			if obj == nil {
+				continue
+			}
+			it, ok := obj.Type().Underlying().(*types.Interface)
+			if !ok {
+				continue
+			}
+			ifaces = append(ifaces, roIface{pkg: pkg, name: name, iface: it, methods: methods})
+		}
+	}
+	resolve(pass.Pkg, &local)
+	for _, imp := range pass.Pkg.Imports() {
+		var fact ReadonlyFact
+		if pass.ImportPackageFact(imp.Path(), &fact) {
+			resolve(imp, &fact)
+		}
+	}
+	if len(ifaces) == 0 {
+		return nil
+	}
+
+	// Index this package's method declarations by (receiver type name,
+	// method name) for body lookup and helper recursion.
+	decls := indexMethodDecls(pass)
+
+	checked := map[string]bool{} // "Type.Method" de-dup across interfaces
+	scope := pass.Pkg.Scope()
+	for _, tname := range scope.Names() {
+		obj, ok := scope.Lookup(tname).(*types.TypeName)
+		if !ok || obj.IsAlias() {
+			continue
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		for _, ri := range ifaces {
+			if !types.Implements(named, ri.iface) && !types.Implements(types.NewPointer(named), ri.iface) {
+				continue
+			}
+			// The annotated methods of an implemented interface must be
+			// pure in the implementation.
+			readonlySet := make(map[string]bool, len(ri.methods))
+			for _, m := range ri.methods {
+				readonlySet[m] = true
+			}
+			for _, m := range ri.methods {
+				key := tname + "." + m
+				if checked[key] {
+					continue
+				}
+				decl := decls[declKey{tname, m}]
+				if decl == nil {
+					continue // promoted from an embedded type elsewhere
+				}
+				checked[key] = true
+				p := &purity{
+					pass:     pass,
+					decls:    decls,
+					typeName: tname,
+					readonly: readonlySet,
+					memo:     map[*ast.FuncDecl]bool{},
+					visiting: map[*ast.FuncDecl]bool{},
+				}
+				p.checkMethod(decl, fmt.Sprintf("%s.%s", ri.name, m), true)
+			}
+		}
+	}
+	return nil
+}
+
+// collectReadonlyAnnotations scans interface declarations for
+// //brmi:readonly method annotations.
+func collectReadonlyAnnotations(files []*ast.File) ReadonlyFact {
+	fact := ReadonlyFact{Ifaces: map[string][]string{}}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				it, ok := ts.Type.(*ast.InterfaceType)
+				if !ok {
+					continue
+				}
+				for _, m := range it.Methods.List {
+					if len(m.Names) == 0 {
+						continue
+					}
+					if _, found := brmimark.Has(brmimark.Readonly, m.Doc, m.Comment); found {
+						fact.Ifaces[ts.Name.Name] = append(fact.Ifaces[ts.Name.Name], m.Names[0].Name)
+					}
+				}
+			}
+		}
+	}
+	return fact
+}
+
+type declKey struct {
+	typeName string
+	method   string
+}
+
+func indexMethodDecls(pass *analysis.Pass) map[declKey]*ast.FuncDecl {
+	decls := make(map[declKey]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if se, isStar := t.(*ast.StarExpr); isStar {
+				t = se.X
+			}
+			if ix, isIx := t.(*ast.IndexExpr); isIx { // generic receiver
+				t = ix.X
+			}
+			if id, isIdent := t.(*ast.Ident); isIdent {
+				decls[declKey{id.Name, fd.Name.Name}] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// purity checks one implementation type's methods for readonly violations.
+type purity struct {
+	pass     *analysis.Pass
+	decls    map[declKey]*ast.FuncDecl
+	typeName string
+	readonly map[string]bool
+	memo     map[*ast.FuncDecl]bool // decl -> pure
+	visiting map[*ast.FuncDecl]bool
+}
+
+// checkMethod analyzes decl. When report is true, violations are
+// diagnostics attributed to the annotated interface method ifaceMethod;
+// when false (helper recursion) it only computes purity.
+func (p *purity) checkMethod(decl *ast.FuncDecl, ifaceMethod string, report bool) (pure bool) {
+	if done, ok := p.memo[decl]; ok && !report {
+		return done
+	}
+	if p.visiting[decl] {
+		return true // recursion: optimistically pure; the outer frame decides
+	}
+	p.visiting[decl] = true
+	defer func() {
+		p.visiting[decl] = false
+		p.memo[decl] = pure
+	}()
+
+	recv := p.receiverObj(decl)
+	if recv == nil {
+		return true
+	}
+	info := p.pass.TypesInfo
+	aliases := map[types.Object]bool{} // receiver-reachable pointers
+
+	pure = true
+	violate := func(pos token.Pos, format string, args ...any) {
+		pure = false
+		if report {
+			p.pass.Reportf(pos, "(%s).%s implements //brmi:readonly %s but %s",
+				p.typeName, decl.Name.Name, ifaceMethod, fmt.Sprintf(format, args...))
+		}
+	}
+
+	isRecvReachable := func(e ast.Expr) bool {
+		obj := rootObj(info, e)
+		return obj != nil && (obj == recv || aliases[obj])
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+					continue // rebinding a local; aliasing handled below
+				}
+				if isRecvReachable(lhs) {
+					violate(lhs.Pos(), "writes receiver state (%s)", exprString(lhs))
+				}
+			}
+			// Track pointer/reference aliases of receiver state.
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+					if !isIdent {
+						continue
+					}
+					rhs := ast.Unparen(x.Rhs[i])
+					if ref, isRef := rhs.(*ast.UnaryExpr); isRef && ref.Op == token.AND && isRecvReachable(ref.X) {
+						if obj := info.ObjectOf(id); obj != nil {
+							aliases[obj] = true
+						}
+						continue
+					}
+					if isRecvReachable(rhs) && isRefType(info.Types[x.Rhs[i]].Type) {
+						if obj := info.ObjectOf(id); obj != nil {
+							aliases[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if isRecvReachable(x.X) {
+				violate(x.Pos(), "writes receiver state (%s)", exprString(x.X))
+			}
+		case *ast.SendStmt:
+			if isRecvReachable(x.Chan) {
+				violate(x.Pos(), "sends on a receiver-reachable channel")
+			}
+		case *ast.UnaryExpr:
+			// Taking the address of receiver state outside the alias
+			// tracking above leaks a mutable pointer.
+			if x.Op == token.AND && isRecvReachable(x.X) {
+				if _, isField := ast.Unparen(x.X).(*ast.SelectorExpr); isField {
+					violate(x.Pos(), "takes the address of receiver state (%s)", exprString(x.X))
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			p.checkCall(x, recv, aliases, isRecvReachable, violate)
+			return true
+		}
+		return true
+	})
+	return pure
+}
+
+func (p *purity) checkCall(call *ast.CallExpr, recv types.Object, aliases map[types.Object]bool, isRecvReachable func(ast.Expr) bool, violate func(token.Pos, string, ...any)) {
+	info := p.pass.TypesInfo
+	// Type conversions and non-mutating builtins cannot write through their
+	// operands; clear/copy/append/delete fall through to the argument checks.
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "len", "cap", "min", "max", "new", "make", "panic", "print", "println":
+				return
+			}
+		}
+	}
+	if recvExpr, method, ok := methodCall(info, call); ok {
+		if isRecvReachable(recvExpr) {
+			pkg := method.Pkg()
+			switch {
+			case pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic"):
+				if !mutexAllowed[method.Name()] {
+					violate(call.Pos(), "calls mutating %s.%s on receiver state", pkg.Name(), method.Name())
+				}
+			case isOwnMethod(info, recvExpr, recv):
+				// A call to another method of the same type: fine if that
+				// method is itself declared readonly, or if its body
+				// verifies pure.
+				if p.readonly[method.Name()] {
+					return
+				}
+				helper := p.decls[declKey{p.typeName, method.Name()}]
+				if helper == nil {
+					violate(call.Pos(), "calls method %s whose body is not visible for a readonly check", method.Name())
+					return
+				}
+				if !p.checkMethod(helper, "", false) {
+					violate(call.Pos(), "calls non-readonly method %s (mutates receiver state)", method.Name())
+				}
+			default:
+				// Method on a receiver-reachable value of another type:
+				// a pointer-receiver method can mutate it.
+				if sig, isSig := method.Type().(*types.Signature); isSig && sig.Recv() != nil {
+					if _, isPtr := types.Unalias(sig.Recv().Type()).(*types.Pointer); isPtr {
+						violate(call.Pos(), "calls %s on receiver-reachable state (pointer receiver may mutate)", method.Name())
+					}
+				}
+			}
+		}
+		// Receiver-reachable pointers as arguments escape below.
+	}
+	for _, arg := range call.Args {
+		arg = ast.Unparen(arg)
+		if ref, isRef := arg.(*ast.UnaryExpr); isRef && ref.Op == token.AND && isRecvReachable(ref.X) {
+			violate(arg.Pos(), "passes the address of receiver state (%s) to a call", exprString(ref.X))
+			continue
+		}
+		obj := rootObj(info, arg)
+		if obj == nil {
+			continue
+		}
+		if obj == recv {
+			if id, isIdent := ast.Unparen(arg).(*ast.Ident); isIdent && info.ObjectOf(id) == recv {
+				// Passing the receiver itself (a pointer for
+				// pointer-receiver impls) hands mutable access to the
+				// callee.
+				if _, isPtr := types.Unalias(info.Types[arg].Type).(*types.Pointer); isPtr {
+					violate(arg.Pos(), "passes the receiver to %s (escapes the readonly scope)", callName(call))
+				}
+				continue
+			}
+			// Receiver state (not the receiver) used as an argument:
+			// reference types hand the callee mutable access.
+			if isRefType(info.Types[arg].Type) {
+				violate(arg.Pos(), "passes receiver-reachable reference %s to a call", exprString(arg))
+			}
+			continue
+		}
+		if aliases[obj] {
+			violate(arg.Pos(), "passes a receiver-reachable pointer (%s) to a call", exprString(arg))
+		}
+	}
+}
+
+func (p *purity) receiverObj(decl *ast.FuncDecl) types.Object {
+	names := decl.Recv.List[0].Names
+	if len(names) == 0 {
+		return nil
+	}
+	return p.pass.TypesInfo.ObjectOf(names[0])
+}
+
+// isOwnMethod reports whether the method receiver expression is the
+// receiver variable itself (possibly deref'd/parenthesized), rather than
+// state reached through it.
+func isOwnMethod(info *types.Info, recvExpr ast.Expr, recv types.Object) bool {
+	for {
+		switch x := ast.Unparen(recvExpr).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x) == recv
+		case *ast.StarExpr:
+			recvExpr = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// isRefType reports whether t shares underlying storage when copied.
+func isRefType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan:
+		return true
+	}
+	return false
+}
+
+func callName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return "a call"
+}

@@ -1,0 +1,110 @@
+// Fixture for the readonlypure analyzer: //brmi:readonly implementations
+// that mutate receiver state.
+package readonlypure
+
+import "sync"
+
+type Sizer interface {
+	//brmi:readonly
+	Size(path string) (int64, error)
+}
+
+type Counter interface {
+	//brmi:readonly
+	Count() (int64, error)
+}
+
+type Tracker interface {
+	//brmi:readonly
+	Hits() (int64, error)
+}
+
+type Drainer interface {
+	//brmi:readonly
+	Drain() (int64, error)
+}
+
+// badStore bumps a counter inside a readonly method.
+type badStore struct {
+	sizes map[string]int64
+	gen   int64
+}
+
+func (s *badStore) Size(path string) (int64, error) {
+	s.gen++ // want `writes receiver state \(s.gen\)`
+	return s.sizes[path], nil
+}
+
+// mapWriter stores through receiver state.
+type mapWriter struct {
+	sizes map[string]int64
+}
+
+func (s *mapWriter) Size(path string) (int64, error) {
+	s.sizes[path] = 0 // want `writes receiver state \(s.sizes\)`
+	return 0, nil
+}
+
+// lockedStore locks for a consistent read: allowed.
+type lockedStore struct {
+	mu    sync.RWMutex
+	sizes map[string]int64
+}
+
+func (s *lockedStore) Size(path string) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sizes[path], nil
+}
+
+// helperStore reads through a pure helper: allowed.
+type helperStore struct {
+	sizes map[string]int64
+}
+
+func (s *helperStore) Count() (int64, error) {
+	return s.total(), nil
+}
+
+func (s *helperStore) total() int64 {
+	var n int64
+	for _, v := range s.sizes {
+		n += v
+	}
+	return n
+}
+
+// impureHelper mutates through a helper the readonly method calls.
+type impureHelper struct {
+	sizes map[string]int64
+	gen   int64
+}
+
+func (s *impureHelper) Count() (int64, error) {
+	s.bump() // want `calls non-readonly method bump`
+	return int64(len(s.sizes)), nil
+}
+
+func (s *impureHelper) bump() { s.gen++ }
+
+// drainStore hands receiver state to a mutating builtin.
+type drainStore struct {
+	sizes map[string]int64
+}
+
+func (s *drainStore) Drain() (int64, error) {
+	n := int64(len(s.sizes))
+	clear(s.sizes) // want `passes receiver-reachable reference s.sizes`
+	return n, nil
+}
+
+// suppressedTracker documents a deliberate relaxation.
+type suppressedTracker struct {
+	hits int64
+}
+
+func (s *suppressedTracker) Hits() (int64, error) {
+	//brmivet:ignore readonlypure approximate hit counter is allowed to race
+	s.hits++
+	return s.hits, nil
+}

@@ -1,0 +1,27 @@
+// Cross-package fixture for readonlypure: the Sizer interface and its
+// //brmi:readonly annotation live in the readonlypure fixture package and
+// reach this implementation via the exported package fact.
+package readonlypure_impl
+
+import "readonlypure"
+
+var _ readonlypure.Sizer = (*cachedSizer)(nil)
+var _ readonlypure.Sizer = (*cleanSizer)(nil)
+
+type cachedSizer struct {
+	sizes map[string]int64
+	last  string
+}
+
+func (c *cachedSizer) Size(path string) (int64, error) {
+	c.last = path // want `writes receiver state \(c.last\)`
+	return c.sizes[path], nil
+}
+
+type cleanSizer struct {
+	sizes map[string]int64
+}
+
+func (c *cleanSizer) Size(path string) (int64, error) {
+	return c.sizes[path], nil
+}

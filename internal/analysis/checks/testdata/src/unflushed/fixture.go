@@ -1,0 +1,95 @@
+// Fixture for the unflushed analyzer: batches that can reach a return
+// without Flush.
+package unflushed
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+func neverFlushed(peer *rmi.Peer, root wire.Ref) {
+	b := core.New(peer, root) // want `batch from core.New can reach a return without Flush`
+	b.Root().Call("Get")
+}
+
+func leaksOnEarlyReturn(peer *rmi.Peer, root wire.Ref, cond bool) error {
+	b := core.New(peer, root) // want `batch from core.New can reach a return without Flush`
+	fut := b.Root().Call("Get")
+	if cond {
+		return nil
+	}
+	if err := b.Flush(context.Background()); err != nil {
+		return err
+	}
+	return fut.Err()
+}
+
+func flushed(peer *rmi.Peer, root wire.Ref) error {
+	b := core.New(peer, root)
+	b.Root().Call("Get")
+	return b.Flush(context.Background())
+}
+
+func flushedViaDefer(peer *rmi.Peer, root wire.Ref) {
+	b := core.New(peer, root)
+	defer b.Flush(context.Background())
+	b.Root().Call("Get")
+}
+
+func flushedOnEveryBranch(peer *rmi.Peer, root wire.Ref, cond bool) {
+	b := core.New(peer, root)
+	b.Root().Call("Get")
+	if cond {
+		_ = b.Flush(context.Background())
+	} else {
+		_ = b.FlushAndContinue(context.Background())
+	}
+}
+
+// Abandoning a batch on a failure path is the documented pattern: the
+// recorded calls are plain garbage, there is nothing to release. Only
+// success paths must flush.
+func abandonedOnError(peer *rmi.Peer, root wire.Ref, extra wire.Ref) error {
+	b := core.New(peer, root)
+	b.Root().Call("Get")
+	if _, err := b.AddRoot(extra); err != nil {
+		return err
+	}
+	return b.Flush(context.Background())
+}
+
+// A batch created and flushed entirely inside one branch must not be
+// resurrected as unflushed by the sibling branch that never saw it.
+func flushedInBranch(peer *rmi.Peer, root wire.Ref, cond bool) {
+	if cond {
+		b := core.New(peer, root)
+		b.Root().Call("Get")
+		_ = b.Flush(context.Background())
+	}
+}
+
+// A returned batch is the caller's to flush.
+func escapesToCaller(peer *rmi.Peer, root wire.Ref) *core.Batch {
+	b := core.New(peer, root)
+	b.Root().Call("warm")
+	return b
+}
+
+// A batch handed to another function is that function's to flush.
+func escapesToCallee(peer *rmi.Peer, root wire.Ref) {
+	b := core.New(peer, root)
+	finish(b)
+}
+
+func finish(b *core.Batch) {
+	_ = b.Flush(context.Background())
+}
+
+func suppressedLeak(peer *rmi.Peer, root wire.Ref) {
+	//brmivet:ignore unflushed dropped batch exercises session GC
+	b := core.New(peer, root)
+	b.Root().Call("Get")
+}

@@ -1,0 +1,52 @@
+// Fixture for the wireregister analyzer: struct types crossing the wire
+// need a wire registration.
+package wireregister
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+type Point struct{ X, Y int64 }
+
+type Query struct{ Term string }
+
+func init() {
+	wire.MustRegister("wireregister.Point", Point{})
+}
+
+func registeredArg(b *core.Batch, p Point) {
+	b.Root().Call("Move", p)
+}
+
+func unregisteredArg(b *core.Batch, q Query) {
+	b.Root().Call("Find", q)         // want `wireregister.Query is passed to Call`
+	b.Root().CallRO("Find", Query{}) // want `wireregister.Query is passed to CallRO`
+}
+
+func unregisteredSlice(b *core.Batch, qs []Query) {
+	b.Root().Call("FindAll", qs) // want `wireregister.Query is passed to Call`
+}
+
+func nativeTypes(b *core.Batch, t time.Time, r wire.Ref) {
+	b.Root().Call("Touch", t, r, "name", int64(4))
+}
+
+func peerCall(ctx context.Context, p *rmi.Peer, ref wire.Ref, q Query) {
+	_, _ = p.Call(ctx, ref, "find", q) // want `wireregister.Query is passed to Call`
+}
+
+//brmi:remote
+type Finder interface {
+	Find(q Query) (Point, error) // want `wireregister.Query crosses the wire in //brmi:remote method Finder.Find`
+	Move(p Point) error
+}
+
+func suppressedArg(b *core.Batch) {
+	//brmivet:ignore wireregister decode-failure path test ships it raw
+	b.Root().Call("Find", Query{})
+}

@@ -1,0 +1,16 @@
+// Cross-package fixture for wireregister: Point is registered by the
+// wireregister fixture package's init, and that registration reaches this
+// importing package via the exported package fact. Query is registered
+// nowhere.
+package wireregister_use
+
+import (
+	"wireregister"
+
+	"repro/internal/core"
+)
+
+func use(b *core.Batch, p wireregister.Point, q wireregister.Query) {
+	b.Root().Call("Move", p)
+	b.Root().Call("Find", q) // want `wireregister.Query is passed to Call`
+}

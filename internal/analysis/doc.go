@@ -1,0 +1,23 @@
+// Package analysis is a self-contained static-analysis framework for the
+// batching programming model, shaped after golang.org/x/tools/go/analysis
+// but built only on the standard library (this module vendors nothing).
+//
+// The paper's explicit programming model comes with usage rules — record,
+// then flush; don't read a future early; a //brmi:readonly method must
+// actually be readonly; a pooled buffer is returned exactly once — that the
+// runtime can only report after the fact (a pending-future error, a stale
+// cache entry) or not at all (a leaked buffer). The analyzers in
+// internal/analysis/checks move that misuse surface to build time; this
+// package supplies what they run on:
+//
+//   - Analyzer / Pass / Diagnostic — the x/tools-shaped analyzer contract
+//   - a loader (load.go) that type-checks packages offline from compiler
+//     export data ("go list -export"), no network and no external modules
+//   - package facts, so an analyzer's findings about a dependency (e.g.
+//     which interface methods are annotated //brmi:readonly, which types
+//     are wire.Register'ed) flow to the packages that import it
+//   - //brmivet:ignore suppression handling shared by the driver and the
+//     analysistest fixture runner
+//
+// cmd/brmivet is the multichecker binary over the canonical suite.
+package analysis

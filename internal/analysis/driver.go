@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"strings"
+)
+
+// Run loads patterns from dir and applies every analyzer to every unit in
+// dependency order, one shared fact store across all passes. The returned
+// diagnostics have //brmivet:ignore suppressions already applied (including
+// the stale- and malformed-ignore meta diagnostics) and are position-sorted
+// per unit.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) (*Program, []Diagnostic, error) {
+	prog, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	var all []Diagnostic
+	facts := NewFactStore()
+	for _, u := range prog.Units {
+		pkg, diags, err := RunUnit(prog, u, analyzers, facts)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, diags...)
+		// Later units must import the source-checked package, not its bare
+		// export data: the source check includes in-package test files,
+		// whose symbols external test packages (x_test) reference. Units
+		// run in dependency order, so the override is in place before any
+		// importer needs it.
+		if !strings.HasSuffix(u.Path, "_test") {
+			prog.AddPackage(u.Path, pkg)
+		}
+	}
+	return prog, all, nil
+}
+
+// RunUnit type-checks one unit and applies the analyzers to it, filtering
+// the unit's diagnostics through its //brmivet:ignore comments. Facts
+// exported by earlier units arrive through facts; facts this unit exports
+// are added to it. The checked package is returned so callers (the
+// analysistest runner) can make it importable by later units.
+func RunUnit(prog *Program, u *Unit, analyzers []*Analyzer, facts *FactStore) (*types.Package, []Diagnostic, error) {
+	pkg, info, err := prog.Check(u)
+	if err != nil {
+		return nil, nil, err
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      prog.Fset,
+			Files:     u.Files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			facts:     facts,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, u.Path, err)
+		}
+	}
+	return pkg, Suppress(prog.Fset, u.Files, diags), nil
+}
+
+// Print writes diagnostics in the canonical file:line:col: analyzer:
+// message form.
+func Print(w io.Writer, fset *token.FileSet, diags []Diagnostic) {
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(w, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+}

@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Unit is one analysis unit: a package's compile files plus its
+// in-package test files, or the external _test package of a directory.
+// Test files ride along because the batching rules bind there too — an
+// example or test reading a future pre-flush is exactly the misuse the
+// analyzers exist for.
+type Unit struct {
+	// Path is the unit's import path; external test packages carry the
+	// "_test" suffix the compiler gives them (e.g. "repro/internal/core_test").
+	Path string
+	Dir  string
+	// Files are the unit's parsed files, with comments.
+	Files []*ast.File
+	// Deps are the import paths of module-internal dependencies, used to
+	// order passes so package facts flow forward.
+	Deps []string
+
+	filenames []string
+}
+
+// Program is a loaded set of units plus everything needed to type-check
+// them: one shared FileSet and an importer backed by compiler export data.
+type Program struct {
+	Fset  *token.FileSet
+	Units []*Unit // in dependency order
+
+	exports map[string]string // import path -> export data file
+	imp     *unitImporter
+}
+
+// listPkg mirrors the fields of `go list -json` the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	ForTest      string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	Module       *struct{ Path string }
+	Error        *struct{ Err string }
+}
+
+// Load lists patterns (e.g. "./...") in dir with the go tool, compiles
+// export data for every dependency, and returns the module units matched
+// by the patterns, dependency-ordered. It needs no network: `go list
+// -export` builds export data locally through the build cache.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// One invocation produces both the target list and export data for the
+	// whole dependency closure, test dependencies included.
+	args := append([]string{
+		"list", "-e", "-export", "-deps", "-test",
+		"-json=ImportPath,Dir,Name,Export,ForTest,GoFiles,CgoFiles,TestGoFiles,XTestGoFiles,Imports,TestImports,XTestImports,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+
+	prog := &Program{
+		Fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+	}
+	var roots []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		// Test variants ("p [p.test]") and synthesized test mains are
+		// compilation artifacts of -test; the plain entry carries the
+		// file lists the units are built from.
+		if p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.Export != "" {
+			if _, ok := prog.exports[p.ImportPath]; !ok {
+				prog.exports[p.ImportPath] = p.Export
+			}
+		}
+		if p.Module != nil {
+			q := p
+			roots = append(roots, &q)
+		}
+	}
+
+	// -deps lists the whole closure; keep only packages the patterns
+	// matched. go list prints dependencies first, so module membership
+	// alone would over-select: resolve the patterns separately.
+	matched, err := listMatched(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, p := range roots {
+		if !matched[p.ImportPath] {
+			continue
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("analysis: %s: cgo packages are not supported", p.ImportPath)
+		}
+		unit := &Unit{Path: p.ImportPath, Dir: p.Dir}
+		for _, f := range append(append([]string{}, p.GoFiles...), p.TestGoFiles...) {
+			unit.filenames = append(unit.filenames, filepath.Join(p.Dir, f))
+		}
+		unit.Deps = moduleDeps(p.Module.Path, p.Imports, p.TestImports)
+		prog.Units = append(prog.Units, unit)
+
+		if len(p.XTestGoFiles) > 0 {
+			x := &Unit{Path: p.ImportPath + "_test", Dir: p.Dir}
+			for _, f := range p.XTestGoFiles {
+				x.filenames = append(x.filenames, filepath.Join(p.Dir, f))
+			}
+			x.Deps = moduleDeps(p.Module.Path, p.XTestImports)
+			// The external test package depends on the package under test.
+			x.Deps = append(x.Deps, p.ImportPath)
+			prog.Units = append(prog.Units, x)
+		}
+	}
+
+	for _, u := range prog.Units {
+		for _, name := range u.filenames {
+			f, err := parser.ParseFile(prog.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %v", err)
+			}
+			u.Files = append(u.Files, f)
+		}
+	}
+
+	sortUnits(prog.Units)
+	prog.imp = &unitImporter{
+		gc:    importer.ForCompiler(prog.Fset, "gc", prog.lookup),
+		extra: make(map[string]*types.Package),
+	}
+	return prog, nil
+}
+
+// listMatched resolves patterns to the exact import-path set they match.
+func listMatched(dir string, patterns []string) (map[string]bool, error) {
+	cmd := exec.Command("go", append([]string{"list"}, patterns...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	matched := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			matched[line] = true
+		}
+	}
+	return matched, nil
+}
+
+func moduleDeps(modPath string, importLists ...[]string) []string {
+	seen := make(map[string]bool)
+	var deps []string
+	for _, list := range importLists {
+		for _, imp := range list {
+			if (imp == modPath || strings.HasPrefix(imp, modPath+"/")) && !seen[imp] {
+				seen[imp] = true
+				deps = append(deps, imp)
+			}
+		}
+	}
+	sort.Strings(deps)
+	return deps
+}
+
+// sortUnits orders units so every unit follows its module dependencies
+// (facts flow forward). go list's -deps order already guarantees this for
+// plain packages; the stable topological sort also slots external test
+// units after their subjects.
+func sortUnits(units []*Unit) {
+	index := make(map[string]int, len(units))
+	for i, u := range units {
+		index[u.Path] = i
+	}
+	state := make(map[string]int, len(units)) // 0 unvisited, 1 visiting, 2 done
+	var order []*Unit
+	var visit func(u *Unit)
+	visit = func(u *Unit) {
+		switch state[u.Path] {
+		case 1, 2:
+			return // cycle (impossible in valid Go) or done
+		}
+		state[u.Path] = 1
+		for _, d := range u.Deps {
+			if i, ok := index[d]; ok {
+				visit(units[i])
+			}
+		}
+		state[u.Path] = 2
+		order = append(order, u)
+	}
+	for _, u := range units {
+		visit(u)
+	}
+	copy(units, order)
+}
+
+// lookup feeds export data to the gc importer.
+func (p *Program) lookup(path string) (io.ReadCloser, error) {
+	f, ok := p.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// unitImporter resolves imports from export data, with an override map for
+// packages type-checked from source (analysistest fixture packages).
+type unitImporter struct {
+	gc    types.Importer
+	extra map[string]*types.Package
+}
+
+func (i *unitImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := i.extra[path]; ok {
+		return pkg, nil
+	}
+	return i.gc.Import(path)
+}
+
+// AddPackage registers a source-checked package under an import path, so
+// later Check calls can import it. Used by the analysistest runner for
+// multi-package fixtures.
+func (p *Program) AddPackage(path string, pkg *types.Package) {
+	p.imp.extra[path] = pkg
+}
+
+// Check type-checks a unit, returning the package and full type
+// information. Imports resolve through export data (or AddPackage
+// overrides), so units can be checked independently and in any order.
+func (p *Program) Check(u *Unit) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: p.imp}
+	pkg, err := conf.Check(u.Path, p.Fset, u.Files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-check %s: %v", u.Path, err)
+	}
+	return pkg, info, nil
+}
+
+// ParseDirUnit parses the .go files of dir (sorted, no build-tag logic —
+// fixtures keep it simple) into a Unit with import path path. Used by the
+// analysistest runner for fixture packages, which live under testdata and
+// are invisible to go list.
+func (p *Program) ParseDirUnit(dir, path string) (*Unit, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %v", err)
+	}
+	u := &Unit{Path: path, Dir: dir}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		u.Files = append(u.Files, f)
+	}
+	if len(u.Files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	return u, nil
+}

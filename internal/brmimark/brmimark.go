@@ -1,0 +1,82 @@
+// Package brmimark is the single source of truth for the comment
+// directives of the batching programming model. Both producers of the
+// markers (interface authors) and every consumer — brmigen's code
+// generator (internal/codegen) and the brmivet static analyzers
+// (internal/analysis/checks) — resolve the marker strings through this
+// package, so a marker can never drift between the generator's parse
+// and the analyzers' checks.
+//
+// Directive comments follow the Go convention for tool directives: a
+// line comment whose text starts, without a space, at the directive
+// name — e.g.
+//
+//	//brmi:remote
+//	//brmi:readonly
+//	//brmivet:ignore poolcheck buffer ownership moves to the frame writer
+package brmimark
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Marker names. The constants carry no leading "//".
+const (
+	// Remote marks an interface declaration for brmigen generation: the
+	// interface is a remote interface and gets a stub, a batch
+	// interface, and a cursor interface.
+	Remote = "brmi:remote"
+
+	// Readonly marks a method of a remote interface as declared
+	// idempotent and side-effect free: its batch-interface method
+	// records with CallRO and the result is cacheable under a lease.
+	// The declaration is a contract; brmigen validates the signature
+	// shape at parse time and the readonlypure analyzer checks the
+	// implementation bodies.
+	Readonly = "brmi:readonly"
+
+	// VetIgnore suppresses a brmivet diagnostic. The comment must name
+	// the analyzer being silenced and give a reason:
+	//
+	//	//brmivet:ignore <analyzer> <reason...>
+	//
+	// placed on the flagged line or on its own line directly above it.
+	// A VetIgnore without an analyzer name or without a reason is
+	// itself reported by brmivet.
+	VetIgnore = "brmivet:ignore"
+)
+
+// Directive splits a raw comment (with or without the leading "//")
+// into a brmi directive name and its trailing arguments. ok is false
+// when the comment is not a brmi or brmivet directive at all.
+//
+// Per the Go tool-directive convention, the name must follow the "//"
+// immediately — no space, no extra slashes. That keeps prose and doc
+// examples that merely mention a directive (like this comment) from
+// being read as one.
+func Directive(comment string) (name, args string, ok bool) {
+	text := strings.TrimPrefix(comment, "//")
+	if !strings.HasPrefix(text, "brmi:") && !strings.HasPrefix(text, "brmivet:") {
+		return "", "", false
+	}
+	name, args, _ = strings.Cut(text, " ")
+	return name, strings.TrimSpace(args), true
+}
+
+// Has reports whether any comment in the groups is exactly the named
+// directive (ignoring trailing arguments), returning the position of
+// the first matching comment.
+func Has(name string, groups ...*ast.CommentGroup) (token.Pos, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if n, _, ok := Directive(c.Text); ok && n == name {
+				return c.Pos(), true
+			}
+		}
+	}
+	return token.NoPos, false
+}

@@ -295,6 +295,7 @@ func (r *runner) checkEpochs(ctx context.Context) {
 	// resolves in the retry wave or fails this check.
 	fctx, cancel := context.WithTimeout(ctx, r.cfg.FlushTimeout)
 	defer cancel()
+	//brmivet:ignore unflushed abandoned only on the violation path, which already fails the run
 	b := cluster.New(r.tc.Client, cluster.WithDirectory(r.dir))
 	tok := int64(9_000_000)
 	var futures []*cluster.Future

@@ -443,6 +443,7 @@ func (r *runner) cachedRead(ctx context.Context, o op, idx int) {
 
 	rctx, cancel := context.WithTimeout(ctx, r.cfg.FlushTimeout)
 	defer cancel()
+	//brmivet:ignore unflushed abandoned only on the resolve-failure path, recorded in the read ledger
 	b := cluster.New(r.tc.Client, cluster.WithDirectory(r.dir), cluster.WithCache(r.cache))
 	p, err := b.RootNamed(rctx, o.Name)
 	if err != nil {
@@ -480,6 +481,7 @@ func (r *runner) flush(ctx context.Context, o op, idx int, between func()) {
 
 	fctx, cancel := context.WithTimeout(ctx, r.cfg.FlushTimeout)
 	defer cancel()
+	//brmivet:ignore unflushed abandoned only on the resolve-failure path, recorded in the flush ledger
 	b := cluster.New(r.tc.Client, cluster.WithDirectory(r.dir), cluster.WithCache(r.cache))
 	proxies := map[string]*cluster.Proxy{}
 	futures := make([]*cluster.Future, len(o.Calls))

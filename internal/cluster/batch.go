@@ -605,6 +605,7 @@ func (f *Future) Get() (any, error) {
 	if inner == nil {
 		return nil, core.ErrPending
 	}
+	//brmivet:ignore futurederef inner is only assigned at flush time, so delegating here is the settled path
 	return inner.Get()
 }
 

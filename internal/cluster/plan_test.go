@@ -73,6 +73,7 @@ func TestPlannerRandomRecordings(t *testing.T) {
 	for trial := 0; trial < 300; trial++ {
 		servers := 1 + rng.Intn(4)
 		n := 1 + rng.Intn(40)
+		//brmivet:ignore unflushed the planner is tested on the raw recording; nothing executes
 		b := randomRecording(rng, servers, n)
 		if b.recErr != nil {
 			t.Fatalf("trial %d: recording violation %v", trial, b.recErr)

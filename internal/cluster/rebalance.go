@@ -372,6 +372,7 @@ func (r *Rebalancer) migratePair(ctx context.Context, src, dst string, moves []m
 		if sb == nil {
 			// The K snapshot roots are independent objects; the executor may
 			// replay them concurrently (per-root order preserved).
+			//brmivet:ignore unflushed sb is flushed below under the same sb != nil guard that created it
 			sb = core.New(peer, NodeRef(src), core.WithParallelRoots())
 		}
 		p, err := sb.AddRoot(m.ref)

@@ -30,6 +30,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/brmimark"
 )
 
 // Iface is a parsed remote interface.
@@ -86,12 +88,14 @@ type Package struct {
 	Imports map[string]string // import path -> local name ("" if default)
 }
 
-// marker is the annotation selecting interfaces for generation.
-const marker = "brmi:remote"
+// marker is the annotation selecting interfaces for generation. The string
+// itself lives in internal/brmimark, shared with the brmivet analyzers so
+// generator and checkers can never disagree on the spelling.
+const marker = brmimark.Remote
 
 // markerReadonly is the per-method annotation declaring a method idempotent
-// and cacheable (see Method.ReadOnly).
-const markerReadonly = "brmi:readonly"
+// and cacheable (see Method.ReadOnly). Shared via internal/brmimark.
+const markerReadonly = brmimark.Readonly
 
 // ParseDir parses the Go package in dir and extracts remote interfaces.
 // When all is false, only interfaces annotated with //brmi:remote are roots;
@@ -218,49 +222,31 @@ func parseFiles(fset *token.FileSet, pkgName string, files []*ast.File, all bool
 }
 
 func hasMarker(cg *ast.CommentGroup) bool {
-	if cg == nil {
-		return false
-	}
-	for _, c := range cg.List {
-		text := strings.TrimSpace(strings.TrimLeft(c.Text, "/ \t"))
-		if strings.HasPrefix(text, marker) {
-			return true
-		}
-	}
-	return false
+	_, ok := brmimark.Has(marker, cg)
+	return ok
 }
 
 // findDirective reports whether any of the comment groups carries the exact
 // brmi directive, returning the comment's position for error reporting.
 func findDirective(directive string, groups ...*ast.CommentGroup) (token.Pos, bool) {
-	for _, g := range groups {
-		if g == nil {
-			continue
-		}
-		for _, c := range g.List {
-			text := strings.TrimSpace(strings.TrimLeft(c.Text, "/ \t"))
-			if name, _, _ := strings.Cut(text, " "); name == directive {
-				return c.Pos(), true
-			}
-		}
-	}
-	return token.NoPos, false
+	return brmimark.Has(directive, groups...)
 }
 
 // methodDirectives scans one method's comment groups for brmi: annotations.
 // Unknown or misplaced directives are positioned parse errors: a typo like
 // //brmi:readnly must fail loudly, not leave the method silently uncached.
+// brmivet: directives (analyzer suppressions) are not codegen's concern and
+// pass through untouched.
 func methodDirectives(fset *token.FileSet, iface, method string, groups ...*ast.CommentGroup) (readonly bool, err error) {
 	for _, g := range groups {
 		if g == nil {
 			continue
 		}
 		for _, c := range g.List {
-			text := strings.TrimSpace(strings.TrimLeft(c.Text, "/ \t"))
-			if !strings.HasPrefix(text, "brmi:") {
+			name, _, ok := brmimark.Directive(c.Text)
+			if !ok || strings.HasPrefix(name, "brmivet:") {
 				continue
 			}
-			name, _, _ := strings.Cut(text, " ")
 			switch name {
 			case markerReadonly:
 				readonly = true

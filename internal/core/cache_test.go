@@ -170,6 +170,7 @@ func TestCacheEpochBumpDropsLeases(t *testing.T) {
 	epoch++ // membership change / migration
 	b2 := core.New(f.client, f.dirRef, core.WithCache(cache))
 	fut := b2.Root().CallRO("Names")
+	//brmivet:ignore futurederef asserts the stale-epoch lease is NOT served before flush
 	if _, err := fut.Get(); err != core.ErrPending {
 		t.Fatalf("stale-epoch lease served: Get = %v, want ErrPending pre-flush", err)
 	}

@@ -248,8 +248,10 @@ func TestRunningExample(t *testing.T) {
 
 func TestFutureBeforeFlush(t *testing.T) {
 	fx := newFixture(t)
+	//brmivet:ignore unflushed pre-flush ErrPending is the subject under test
 	b := core.New(fx.client, fx.dirRef)
 	name := b.Root().CallBatch("GetFile", "A.txt").Call("GetName")
+	//brmivet:ignore futurederef asserts ErrPending before flush on purpose
 	if _, err := name.Get(); !errors.Is(err, core.ErrPending) {
 		t.Fatalf("got %v, want ErrPending", err)
 	}

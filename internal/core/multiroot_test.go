@@ -69,6 +69,7 @@ func TestAddRootDedupes(t *testing.T) {
 
 func TestAddRootForeignEndpointRejected(t *testing.T) {
 	fx := newFixture(t)
+	//brmivet:ignore unflushed the AddRoot rejection is the subject; nothing is recorded to flush
 	b := core.New(fx.client, fx.dirRef)
 	_, err := b.AddRoot(wire.Ref{Endpoint: "elsewhere", ObjID: 99, Iface: "coretest.Directory"})
 	if !errors.Is(err, core.ErrForeignRoot) {

@@ -401,14 +401,18 @@ func (p *Peer) handle(ctx context.Context, payload []byte) ([]byte, error) {
 	}
 
 	encStart := p.statsNow()
-	out, err := wire.MarshalAppend(transport.GetBuffer(), resp)
+	buf := transport.GetBuffer()
+	out, err := wire.MarshalAppend(buf, resp)
 	p.observeSince(p.encNs, encStart)
 	if err != nil {
 		// The response contained an unencodable value; degrade to an error
-		// response rather than killing the connection.
+		// response rather than killing the connection. The failed attempt
+		// left buf untouched (MarshalAppend returns nil on error), so it is
+		// reused for the second attempt and released if that fails too.
 		resp = &callResponse{Err: &wire.RemoteError{TypeName: "rmi.EncodeError", Message: err.Error()}}
-		out, err = wire.MarshalAppend(transport.GetBuffer(), resp)
+		out, err = wire.MarshalAppend(buf, resp)
 		if err != nil {
+			transport.PutBuffer(buf)
 			return nil, fmt.Errorf("encode response: %w", err)
 		}
 	}

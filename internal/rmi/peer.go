@@ -370,8 +370,10 @@ func (p *Peer) Call(ctx context.Context, ref wire.Ref, method string, args ...an
 	// Encode into a pooled buffer: the transport hands the payload to the
 	// connection synchronously, so once Call returns the buffer is free.
 	encStart := p.statsNow()
-	payload, err := wire.MarshalAppend(transport.GetBuffer(), req)
+	buf := transport.GetBuffer()
+	payload, err := wire.MarshalAppend(buf, req)
 	if err != nil {
+		transport.PutBuffer(buf)
 		return nil, fmt.Errorf("rmi: encode call %s: %w", method, err)
 	}
 	p.observeSince(p.encNs, encStart)
