@@ -82,6 +82,10 @@ var figures = []figSpec{
 		return bench.RunRebalance(c.wan, []int{4, 16, 64})
 	},
 		"live re-sharding: scale-out 3 -> 4 servers, batched vs per-object migration, WAN (internal/cluster)"},
+	{"replication", func(c config) (*bench.Table, error) {
+		return bench.RunReplication(c.wan, []int{1, 2, 3})
+	},
+		"replicated flush latency: acked-at-quorum writes vs replication degree R, WAN (internal/cluster)"},
 	{"throughput", func(c config) (*bench.Table, error) {
 		return bench.RunThroughput(c.instant, []int{1, 4, 16}, 1200)
 	},

@@ -58,6 +58,10 @@ func NewClusterEnv(profile netsim.Profile, k int) (*ClusterEnv, error) {
 			env.Close()
 			return nil, err
 		}
+		if _, err := cluster.StartReplica(server, reg, node, exec); err != nil {
+			env.Close()
+			return nil, err
+		}
 		ref, err := server.Export(&NoopService{}, "bench.Noop")
 		if err != nil {
 			env.Close()

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/netsim"
+	"repro/internal/rmi"
+)
+
+// replicationServers is the cluster size the replication workload runs on:
+// large enough that R=3 owner lists are distinct members and the follower
+// fan-out is real network traffic, small enough that the placement
+// rebalance stays cheap.
+const replicationServers = 4
+
+// replicationNames is how many movable counters the workload binds; each
+// measured flush touches all of them, so every wave ships to the union of
+// their follower sets.
+const replicationNames = 4
+
+// replicationEnv is one prepared replicated deployment: a K-server cluster
+// with a replication-R directory, movable counters bound and their
+// followers seeded by the placement rebalance.
+type replicationEnv struct {
+	env   *ClusterEnv
+	dir   *cluster.Directory
+	names []string
+}
+
+func (re *replicationEnv) Close() { re.env.Close() }
+
+// newReplicationEnv builds the scenario for replication degree r.
+func newReplicationEnv(profile netsim.Profile, r int) (*replicationEnv, error) {
+	env, err := NewClusterEnv(profile, replicationServers)
+	if err != nil {
+		return nil, err
+	}
+	re := &replicationEnv{env: env}
+	eps := make([]string, len(env.Servers))
+	byEndpoint := make(map[string]*rmi.Peer, len(env.Servers))
+	for i, srv := range env.Servers {
+		eps[i] = srv.Endpoint()
+		byEndpoint[srv.Endpoint()] = srv
+	}
+	re.dir = cluster.NewDirectory(env.Client, eps, cluster.WithReplication(r))
+
+	ctx := context.Background()
+	for i := 0; i < replicationNames; i++ {
+		name := fmt.Sprintf("counter-%d", i)
+		home, err := re.dir.Home(name)
+		if err != nil {
+			re.Close()
+			return nil, err
+		}
+		ref, err := byEndpoint[home].Export(&MovableCounter{n: int64(100 * i)}, MovableCounterIface)
+		if err != nil {
+			re.Close()
+			return nil, err
+		}
+		if err := re.dir.Bind(ctx, name, ref); err != nil {
+			re.Close()
+			return nil, err
+		}
+		re.names = append(re.names, name)
+	}
+	// The idempotent member re-add seeds every bound name's followers
+	// (replica placement piggybacks on the rebalance flow); without it the
+	// first measured flush would pay lazy shadow construction.
+	if _, err := cluster.NewRebalancer(re.dir).AddServer(ctx, eps[0]); err != nil {
+		re.Close()
+		return nil, err
+	}
+	return re, nil
+}
+
+// flushOnce records one epoch-aware batch over every bound counter — two
+// chained Incr calls per root — and flushes it, returning only after the
+// wave is acked at the configured quorum.
+func (re *replicationEnv) flushOnce(quorum int) error {
+	ctx := context.Background()
+	opts := []cluster.Option{cluster.WithDirectory(re.dir)}
+	if quorum > 0 {
+		opts = append(opts, cluster.WithQuorum(quorum))
+	}
+	b := cluster.New(re.env.Client, opts...)
+	futs := make([]*cluster.Future, 0, len(re.names))
+	for _, name := range re.names {
+		p, err := b.RootNamed(ctx, name)
+		if err != nil {
+			return err
+		}
+		p.Call("Incr", int64(1))
+		futs = append(futs, p.Call("Incr", int64(1)))
+	}
+	if err := b.Flush(ctx); err != nil {
+		return err
+	}
+	for _, f := range futs {
+		if err := f.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunReplication measures the acked-flush latency of replicated writes over
+// replication degrees rs: every flush executes on each root's primary and
+// ships the wave to the roots' followers, acking only at write quorum. The
+// W=all column waits for every follower (the durability default); the
+// W=majority column acks at floor(R/2)+1 holders, showing what the quorum
+// knob buys back once R is large enough that majority < all (at R<=2 the
+// two columns coincide by construction). R=1 is the unreplicated baseline:
+// no followers, no quorum wait.
+func RunReplication(cfg Config, rs []int) (*Table, error) {
+	table := &Table{
+		Fig:     "Fig. C4",
+		Title:   fmt.Sprintf("Replicated flush latency (%d roots over %d servers)", replicationNames, replicationServers),
+		XLabel:  "replication degree R",
+		Profile: cfg.Profile.Name,
+		Columns: []string{"W=all", "W=majority"},
+	}
+	for _, r := range rs {
+		env, err := newReplicationEnv(cfg.Profile, r)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{X: r}
+		for _, w := range []int{0, r/2 + 1} {
+			op := func() error { return env.flushOnce(w) }
+			before := env.env.Client.CallCount()
+			if err := op(); err != nil {
+				env.Close()
+				return nil, fmt.Errorf("replication r=%d w=%d: %w", r, w, err)
+			}
+			calls := env.env.Client.CallCount() - before
+			stats, err := Measure(cfg.Warmup, cfg.Reps, op)
+			if err != nil {
+				env.Close()
+				return nil, fmt.Errorf("replication r=%d w=%d: %w", r, w, err)
+			}
+			row.Cells = append(row.Cells, Cell{S: stats, Calls: calls})
+		}
+		table.Rows = append(table.Rows, row)
+		env.Close()
+	}
+	return table, nil
+}

@@ -27,6 +27,14 @@
 //  7. Cached-read freshness: a lease-cached readonly result never serves a
 //     value older than its lease epoch allows — reads include every durably
 //     applied prior write, replay real counter states, and never regress.
+//  8. No acked flush is ever lost: the cluster runs replicated (R=2 by
+//     default) and the schedule kills servers with STATE LOSS — often
+//     mid-flush, racing the primary's death against the wave — yet every
+//     token whose flush reported unconditional success is present in the
+//     final authoritative logs. There is no state-loss exemption: the acked
+//     write must survive through its follower's replica and the epoch-bump
+//     failover. Only the documented in-flight migration window exempts a
+//     flush (the same exemption invariant 3 applies), never the kill.
 //
 // Everything a run injects derives from one int64 seed: the workload
 // program and the fault schedule are pure functions of it (pinned by
@@ -72,6 +80,12 @@ type Config struct {
 	Spares int
 	// Names is how many counters are bound through the directory.
 	Names int
+	// Replication is the per-shard owner-list size R routed by the
+	// directory (default 2: primary + one follower). 1 turns replication
+	// off — the un-replicated ablation; state-loss kills are then not
+	// scheduled, because without replicas an acked flush dies with its
+	// primary by design.
+	Replication int
 	// Steps is the workload length in ops.
 	Steps int
 	// Faults enables the fault schedule; false runs the same workload on a
@@ -93,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Names == 0 {
 		c.Names = 8
+	}
+	if c.Replication == 0 {
+		c.Replication = 2
 	}
 	if c.Steps == 0 {
 		c.Steps = 25
@@ -148,11 +165,15 @@ type Result struct {
 	// CachedReads counts executed cached-read ops; CacheHits is how many
 	// were served from a lease without a wire fetch.
 	CachedReads, CacheHits int
+	// Kills counts state-loss server kills the run executed; Failovers is
+	// how many FailoverServer passes completed (boundary attempts that
+	// failed under active faults are retried until quiesce succeeds).
+	Kills, Failovers int
 }
 
 func (r *Result) summary() string {
-	return fmt.Sprintf("seed=%d flushes=%d (failed %d) rebalances=%d (failed %d) faults=%d staleRetries=%d cachedReads=%d (hits %d)",
-		r.Seed, r.Flushes, r.FailedFlushes, r.Rebalances, r.FailedRebalances, r.FaultEvents, r.StaleRetries, r.CachedReads, r.CacheHits)
+	return fmt.Sprintf("seed=%d flushes=%d (failed %d) rebalances=%d (failed %d) faults=%d staleRetries=%d cachedReads=%d (hits %d) kills=%d failovers=%d",
+		r.Seed, r.Flushes, r.FailedFlushes, r.Rebalances, r.FailedRebalances, r.FaultEvents, r.StaleRetries, r.CachedReads, r.CacheHits, r.Kills, r.Failovers)
 }
 
 // newNetwork builds the seeded simulated network for cfg: instant base

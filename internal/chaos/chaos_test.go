@@ -250,7 +250,7 @@ func TestStateLossRestartRebindsCleanly(t *testing.T) {
 	}
 
 	// The process dies: listener slot freed, exports and registry gone.
-	tc.StopServer("server-0")
+	tc.CrashServer("server-0")
 	if _, err := dir.Lookup(ctx, names[0]); err == nil {
 		t.Fatal("lookup of a name on the dead server succeeded")
 	}

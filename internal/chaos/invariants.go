@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"slices"
 
@@ -150,8 +151,12 @@ func (r *runner) checkFailureIsolation(logs map[string][]int64) {
 				// unless the token somehow executed, which at-most-once
 				// would only miss if the dep error was response loss. A
 				// dep-failed call is settled client-side before sending, so
-				// presence here is a real leak.
-				if applied[c.Token] {
+				// presence here is a real leak. Exception: a replication
+				// quorum miss — the wave DID execute on its primary (the
+				// error reports lost durability, not a lost write), so the
+				// dependent's effect being present is the correct outcome.
+				var qe *cluster.QuorumError
+				if applied[c.Token] && !errors.As(f.outcomes[c.Dep], &qe) {
 					r.violate("failure isolation: flush %d call %d (token %d) executed despite a failed dependency",
 						fi, i, c.Token)
 				}
@@ -164,6 +169,12 @@ func (r *runner) checkFailureIsolation(logs map[string][]int64) {
 				}
 			}
 			if !f.migrationConcurrent {
+				// Invariant 8 — no acked flush is ever lost. This check has
+				// NO state-loss exemption: the schedule kills primaries
+				// mid-flush and the acked tokens must still be here, carried
+				// through the follower's replica log and the epoch-bump
+				// promotion. Only the documented in-flight migration window
+				// (above) exempts a flush.
 				for i, c := range f.calls {
 					if !applied[c.Token] {
 						r.violate("durability: flush %d succeeded with no concurrent migration, but call %d (token %d on %s) left no effect",
@@ -183,11 +194,20 @@ func (r *runner) checkFailureIsolation(logs map[string][]int64) {
 //  1. freshness / read-your-writes: the value includes every token durably
 //     applied to the name before the read was issued — a lease minted
 //     before one of those writes could not have survived its invalidation;
-//  2. the value is a real counter state: some prefix sum of the name's
-//     final applied-delta log (a hit replays history, never invents it);
+//  2. the value is a real counter state: some sum the counter could have
+//     held at some instant. The name's tokens apply in issue order, so a
+//     real state is a prefix of that order — but with one twist under
+//     state-loss kills: a token whose flush never acked can execute, be
+//     observed by a read, and then die with its primary (durability only
+//     covers acked flushes). Such tokens are absent from the final log yet
+//     were real when read. The reachable-state set is therefore built by
+//     walking the issue order, treating tokens present in the final log as
+//     mandatory and tokens absent from it as optional branches;
 //  3. per name, values never regress across reads — the counter only grows,
 //     so serving an older lease after a newer fetch would show time moving
-//     backward.
+//     backward. A regression from a value that is NOT a prefix sum of the
+//     final durable log is exempt: that value contained a since-lost
+//     unacked token, and the loss (not a stale lease) explains the drop.
 //
 // Reads that erred or overlapped a rebalance / open migration window are
 // exempt: there the counter state itself may regress (a stale-ring write
@@ -195,15 +215,35 @@ func (r *runner) checkFailureIsolation(logs map[string][]int64) {
 // documents — and any lease minted inside a window dies with the epoch bump
 // that closes it, so it can never leak into a non-exempt read.
 func (r *runner) checkCachedReads(logs map[string][]int64) {
-	prefixes := make(map[string]map[int64]bool, len(logs))
+	reachable := make(map[string]map[int64]bool, len(logs))
+	durable := make(map[string]map[int64]bool, len(logs))
 	for name, log := range logs {
+		inLog := make(map[int64]bool, len(log))
 		set := map[int64]bool{0: true}
 		var sum int64
 		for _, d := range log {
+			inLog[d] = true
 			sum += d
 			set[sum] = true
 		}
-		prefixes[name] = set
+		durable[name] = set
+		// Walk the issue order: states branch at optional (never-applied or
+		// applied-then-lost) tokens. The branch count is bounded by the few
+		// failed flushes a schedule produces, not the token count.
+		states := map[int64]bool{0: true}
+		all := map[int64]bool{0: true}
+		for _, tok := range r.issued[name] {
+			next := make(map[int64]bool, 2*len(states))
+			for s := range states {
+				if !inLog[tok] {
+					next[s] = true
+				}
+				next[s+tok] = true
+				all[s+tok] = true
+			}
+			states = next
+		}
+		reachable[name] = all
 	}
 	lastVal := make(map[string]int64)
 	for _, rr := range r.reads {
@@ -214,11 +254,11 @@ func (r *runner) checkCachedReads(logs map[string][]int64) {
 			r.violate("cached read: op %d read %s = %d, but %d was durably applied before the read — the lease predates an invalidating write",
 				rr.op+1, rr.name, rr.val, rr.required)
 		}
-		if set, ok := prefixes[rr.name]; ok && !set[rr.val] {
-			r.violate("cached read: op %d read %s = %d, which is no prefix sum of its applied log — the value was never a real counter state",
+		if set, ok := reachable[rr.name]; ok && !set[rr.val] {
+			r.violate("cached read: op %d read %s = %d, which is no reachable state of its issue log — the value was never a real counter state",
 				rr.op+1, rr.name, rr.val)
 		}
-		if prev, ok := lastVal[rr.name]; ok && rr.val < prev {
+		if prev, ok := lastVal[rr.name]; ok && rr.val < prev && durable[rr.name][prev] {
 			r.violate("cached read: op %d read %s = %d after an earlier read saw %d — a stale lease outlived its epoch",
 				rr.op+1, rr.name, rr.val, prev)
 		}
@@ -361,7 +401,9 @@ func (r *runner) checkCounters(ctx context.Context) {
 			got, r.modelStaleRetries)
 	}
 
-	var executed int64
+	// Work done by killed servers left tc.Servers with them; their tally was
+	// saved at kill time and still backs the acked calls the client saw.
+	executed := r.lostExecuted
 	for _, s := range r.tc.Servers {
 		local := s.Stats.Snapshot().Counter("core.calls_executed")
 		executed += local

@@ -24,6 +24,14 @@ const (
 	// EvKillConns resets every connection touching A once, at Step — the
 	// connection-drop fault; the endpoint stays up, clients redial.
 	EvKillConns
+	// EvKill kills endpoint A with STATE LOSS at Step (one-shot): the
+	// process is gone, every object it hosted with it. The runner fails the
+	// member over at the next step boundary (epoch-bump promotion of its
+	// replicas) and the endpoint stays dead until quiesce restarts it as a
+	// fresh empty process. This is the fault class behind the "no acked
+	// flush is ever lost" invariant: it is applied via the runner, not
+	// netsim, because it tears down the server, not just its links.
+	EvKill
 )
 
 func (k EventKind) String() string {
@@ -36,6 +44,8 @@ func (k EventKind) String() string {
 		return "link"
 	case EvKillConns:
 		return "killconns"
+	case EvKill:
+		return "kill"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -76,11 +86,15 @@ func (e Event) trace() string {
 			e.Step, e.A, e.B, e.Extra, e.Jitter, e.Drop, e.Until, mid)
 	case EvKillConns:
 		return fmt.Sprintf("step=%d killconns %s%s", e.Step, e.A, mid)
+	case EvKill:
+		return fmt.Sprintf("step=%d kill %s (state loss)%s", e.Step, e.A, mid)
 	}
 	return fmt.Sprintf("step=%d unknown", e.Step)
 }
 
-// apply injects the event's onset into the network.
+// apply injects the event's onset into the network. EvKill is NOT applied
+// here: it tears down the server process, which only the runner can do
+// (runner.kill), not the network.
 func (e Event) apply(n *netsim.Network) {
 	switch e.Kind {
 	case EvPartition:
@@ -118,7 +132,11 @@ func (s *Schedule) trace() []string {
 // genSchedule derives the fault schedule from the seed. It draws one
 // potential event per workload step; crash intervals never overlap (at most
 // one server down at a time, so the workload retains a quorum of reachable
-// members and every failure is attributable).
+// members and every failure is attributable). When the cluster is
+// replicated, the crash band also draws at most one state-loss kill
+// (EvKill) per schedule — often mid-op, racing a flush in flight against
+// the death of the primary it targets — so primary-crash failover is part
+// of the default regime, not an opt-in.
 func genSchedule(cfg Config) *Schedule {
 	s := &Schedule{}
 	if !cfg.Faults {
@@ -130,6 +148,7 @@ func genSchedule(cfg Config) *Schedule {
 	endpoints := cfg.allEndpoints()
 	hosts := cfg.hosts()
 	crashedUntil := 0
+	killed := false
 	for step := 1; step <= cfg.Steps; step++ {
 		if rng.Float64() > 0.40 {
 			continue
@@ -150,6 +169,21 @@ func genSchedule(cfg Config) *Schedule {
 		case p < 0.55:
 			if step < crashedUntil {
 				continue // one crash at a time
+			}
+			if cfg.Replication > 1 && !killed && rng.Float64() < 0.4 {
+				// State-loss kill of an initial member (spares come and go
+				// with membership ops; members are where the acked state
+				// lives). One per schedule: the endpoint stays dead until
+				// quiesce, and a second concurrent kill could drop a shard's
+				// every owner, which no R=2 system survives.
+				e.Kind = EvKill
+				e.A = cfg.endpoints()[rng.Intn(cfg.Servers)]
+				e.Mid = rng.Float64() < 0.5
+				e.MidDelay = midDelay(rng, e.Mid)
+				e.Until = step
+				killed = true
+				crashedUntil = until
+				break
 			}
 			e.Kind = EvCrash
 			e.A = endpoints[rng.Intn(len(endpoints))]

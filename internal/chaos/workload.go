@@ -268,6 +268,20 @@ type runner struct {
 	rebFailed  int
 	midWG      sync.WaitGroup // mid-step fault injections in flight
 
+	// State-loss kill tracking (EvKill). killed holds every endpoint killed
+	// and not yet restarted; needFailover the killed members whose
+	// FailoverServer has not yet succeeded (attempted at each boundary,
+	// required to succeed by quiesce). lostExecuted accumulates the
+	// core.calls_executed tally of killed servers at kill time: their
+	// registries leave tc.Servers with them, and the counter-consistency
+	// ledger must still account for the work they did.
+	killMu       sync.Mutex
+	killed       map[string]bool
+	needFailover map[string]bool
+	killCount    int
+	failovers    int
+	lostExecuted int64
+
 	// The in-flight migration window (DESIGN.md): open while a partially
 	// failed rebalance may have left names live at two homes. A failed
 	// AddServer opens it cluster-wide (its leftovers sit mis-homed on any
@@ -300,17 +314,28 @@ func runSim(tb testing.TB, cfg Config, prog *program, sched *Schedule) *Result {
 	for _, ep := range cfg.allEndpoints() {
 		tc.StartServer(ep)
 	}
-	dir := cluster.NewDirectory(tc.Client, cfg.endpoints())
+	dir := cluster.NewDirectory(tc.Client, cfg.endpoints(), cluster.WithReplication(cfg.Replication))
 	r := &runner{
 		tb: tb, cfg: cfg, prog: prog, sched: sched,
 		tc: tc, dir: dir, reb: cluster.NewRebalancer(dir),
-		cache:   cluster.NewCache(tc.Client, dir, rcache.WithTTL(5*time.Minute)),
-		issued:  make(map[string][]int64),
-		durable: make(map[string]int64),
+		cache:        cluster.NewCache(tc.Client, dir, rcache.WithTTL(5*time.Minute)),
+		issued:       make(map[string][]int64),
+		durable:      make(map[string]int64),
+		killed:       make(map[string]bool),
+		needFailover: make(map[string]bool),
 	}
 	ctx := context.Background()
 	for _, name := range prog.names {
 		tc.BindCounter(dir, name, 0)
+	}
+	if cfg.Replication > 1 {
+		// Seed every bound name's followers before the first op (replica
+		// placement piggybacks on the idempotent rebalance flow): acked
+		// flushes must be recoverable from the very first kill. The network
+		// is still fault-free here, so a failure is a harness defect.
+		if _, err := r.reb.AddServer(ctx, cfg.endpoints()[0]); err != nil {
+			r.violate("bootstrap replica placement failed on a healthy network: %v", err)
+		}
 	}
 
 	for i, o := range prog.ops {
@@ -332,6 +357,8 @@ func runSim(tb testing.TB, cfg Config, prog *program, sched *Schedule) *Result {
 		FaultEvents:      len(sched.Events),
 		CachedReads:      len(r.reads),
 		CacheHits:        int(tc.ClientStats.Snapshot().Counter("cache.hits")),
+		Kills:            r.killCount,
+		Failovers:        r.failovers,
 	}
 	for _, f := range r.flushes {
 		res.Flushes++
@@ -361,9 +388,14 @@ func runSim(tb testing.TB, cfg Config, prog *program, sched *Schedule) *Result {
 // incrementally by mid()).
 func (r *runner) scheduleBoundary(step int) {
 	r.midWG.Wait()
+	// A killed member is failed over at the first boundary after its death:
+	// the runner plays the operator (or failure detector) that production
+	// would have. Attempts under active faults may fail and are retried at
+	// every later boundary; quiesce requires the final attempt to succeed.
+	r.attemptFailovers()
 	var fs netsim.FaultSet
 	for _, e := range r.sched.Events {
-		if e.Kind == EvKillConns || !(e.Step < step || (e.Step == step && !e.Mid)) || step >= e.Until {
+		if e.Kind == EvKillConns || e.Kind == EvKill || !(e.Step < step || (e.Step == step && !e.Mid)) || step >= e.Until {
 			continue
 		}
 		switch e.Kind {
@@ -380,8 +412,75 @@ func (r *runner) scheduleBoundary(step int) {
 	}
 	r.tc.Network.SetFaultSet(fs)
 	for _, e := range r.sched.Events {
-		if e.Kind == EvKillConns && e.Step == step && !e.Mid {
-			e.apply(r.tc.Network)
+		if (e.Kind == EvKillConns || e.Kind == EvKill) && e.Step == step && !e.Mid {
+			r.fire(e)
+		}
+	}
+}
+
+// fire executes one event's onset now, on whichever goroutine calls it:
+// kills go through the runner (they tear down a server), everything else
+// through the network.
+func (r *runner) fire(e Event) {
+	if e.Kind == EvKill {
+		r.kill(e.A)
+		return
+	}
+	e.apply(r.tc.Network)
+}
+
+// kill executes a state-loss kill: the server's process is torn down with
+// no handoff (clustertest.CrashServer), its executed-calls tally is saved
+// for the counter ledger, and a failover is owed — even when the endpoint
+// is no longer (or not yet again) a ring member: a RemoveServer that failed
+// mid-migration can strand state on an already-broadcast-out endpoint, and
+// FailoverServer's non-member path recovers it from the survivors' replicas
+// (and converges trivially when there is nothing to recover). Idempotent
+// for an endpoint already dead.
+func (r *runner) kill(endpoint string) {
+	r.killMu.Lock()
+	defer r.killMu.Unlock()
+	s := r.tc.Server(endpoint)
+	if s == nil {
+		return // already dead (or never restarted); nothing left to kill
+	}
+	if ring := r.dir.Ring(); ring.Contains(endpoint) && ring.Size() == 1 {
+		// The workload shrank the membership to this one server: there are
+		// no replicas left to fail over to, so a state-loss kill here is
+		// outside the durability model (invariant 8 presumes R>1 survivors).
+		return
+	}
+	r.tc.CrashServer(endpoint)
+	// Snapshot AFTER the teardown: connections are dead, so nothing acked
+	// from here on can have executed there uncounted (a post-close execute
+	// that sneaks into the tally only overstates executed, which the
+	// acked ≤ executed check tolerates by design).
+	r.lostExecuted += s.Stats.Snapshot().Counter("core.calls_executed")
+	r.killed[endpoint] = true
+	r.needFailover[endpoint] = true
+	r.killCount++
+}
+
+// attemptFailovers runs FailoverServer for every killed member still owed
+// one. Main goroutine only (boundaries and quiesce, after midWG joined), so
+// no failover ever races a mid-op kill.
+func (r *runner) attemptFailovers() {
+	r.killMu.Lock()
+	pending := make([]string, 0, len(r.needFailover))
+	for ep := range r.needFailover {
+		pending = append(pending, ep)
+	}
+	r.killMu.Unlock()
+	sort.Strings(pending)
+	for _, ep := range pending {
+		fctx, cancel := context.WithTimeout(context.Background(), r.cfg.FlushTimeout)
+		_, err := r.reb.FailoverServer(fctx, ep)
+		cancel()
+		if err == nil {
+			r.killMu.Lock()
+			delete(r.needFailover, ep)
+			r.failovers++
+			r.killMu.Unlock()
 		}
 	}
 }
@@ -398,7 +497,7 @@ func (r *runner) mid(step int) {
 			go func() {
 				defer r.midWG.Done()
 				time.Sleep(ev.MidDelay)
-				ev.apply(r.tc.Network)
+				r.fire(ev)
 			}()
 		}
 	}
@@ -617,6 +716,25 @@ func (r *runner) quiesce(ctx context.Context) {
 	var lastErr error
 	for attempt := 0; attempt < 6; attempt++ {
 		lastErr = nil
+		// Settle the kills first, in order: any killed member still owed a
+		// failover gets it (on the healed network this must succeed), THEN
+		// every killed endpoint restarts as a fresh empty process — restart
+		// before failover would race an empty impostor against the
+		// election, and a dead, unrestarted endpoint would leave the
+		// reconcile below unable to read its (empty) manifest.
+		r.attemptFailovers()
+		r.killMu.Lock()
+		if len(r.needFailover) == 0 {
+			for ep := range r.killed {
+				if r.tc.Server(ep) == nil {
+					r.tc.StartServer(ep)
+				}
+				delete(r.killed, ep)
+			}
+		} else {
+			lastErr = fmt.Errorf("failover still pending for %d killed members", len(r.needFailover))
+		}
+		r.killMu.Unlock()
 		qctx, cancel := context.WithTimeout(ctx, r.cfg.FlushTimeout)
 		if err := r.dir.Refresh(qctx); err != nil {
 			lastErr = err

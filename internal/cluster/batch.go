@@ -79,12 +79,18 @@ type Batch struct {
 	// failures stay per-group instead (see Flush).
 	failure error
 
+	// quorum is the write quorum W (WithQuorum): how many replicas,
+	// counting the primary, must hold a wave before it acks. 0 means all.
+	quorum int
+
 	// Metrics, wired from the peer's stats registry (nil and therefore
 	// no-ops when the peer is uninstrumented).
-	reg        *stats.Registry
-	flushWaves *stats.Counter   // cluster.flush_waves
-	stageNs    *stats.Histogram // cluster.stage_ns
-	wrongHome  *stats.Counter   // cluster.wrong_home_retries
+	reg         *stats.Registry
+	flushWaves  *stats.Counter   // cluster.flush_waves
+	stageNs     *stats.Histogram // cluster.stage_ns
+	wrongHome   *stats.Counter   // cluster.wrong_home_retries
+	replLag     *stats.Histogram // cluster.replication_lag
+	quorumWaits *stats.Counter   // cluster.quorum_waits
 }
 
 // Option configures a cluster Batch.
@@ -141,6 +147,18 @@ func NewCache(peer *rmi.Peer, dir *Directory, opts ...rcache.Option) *rcache.Cac
 	return rcache.New(peer.Stats(), append(base, opts...)...)
 }
 
+// WithQuorum sets the write quorum W for replicated flushes: a wave acks
+// once W replicas — the primary plus W-1 followers — hold it, instead of
+// waiting for every follower (the default, W=0 meaning "all"). W is capped
+// per key at that key's replica count, so WithQuorum(2) on a ring with R=3
+// is a majority quorum and on R=1 degenerates to primary-only. Lowering W
+// trades durability for latency: a wave acked at W<R is only guaranteed to
+// survive failover while at least one of its W holders does (see DESIGN.md,
+// "Replication & failover").
+func WithQuorum(w int) Option {
+	return func(b *Batch) { b.quorum = w }
+}
+
 // WithParallelRoots forwards core.WithParallelRoots to every per-server
 // sub-batch: a destination whose sub-batch the server proves root-partition
 // independent (the plan shows no inter-root dependency within the stage)
@@ -166,6 +184,8 @@ func New(peer *rmi.Peer, opts ...Option) *Batch {
 		b.flushWaves = r.Counter("cluster.flush_waves")
 		b.stageNs = r.Histogram("cluster.stage_ns")
 		b.wrongHome = r.Counter("cluster.wrong_home_retries")
+		b.replLag = r.Histogram("cluster.replication_lag")
+		b.quorumWaits = r.Counter("cluster.quorum_waits")
 	}
 	return b
 }
@@ -424,6 +444,12 @@ type FlushError struct {
 	Retries int
 	// Failures lists each failed destination, in failure order.
 	Failures []ServerError
+	// Quorum is set when a failure is a replication quorum miss: the wave
+	// executed on its primary but too few followers acknowledged the
+	// shipped record before the flush gave up. It carries how many replicas
+	// acked vs how many the quorum required (worst miss when several
+	// destinations missed). nil when no failure was quorum-related.
+	Quorum *QuorumError
 }
 
 // ServerError is one destination's flush failure.
@@ -451,6 +477,28 @@ func (e *FlushError) Unwrap() []error {
 	}
 	return out
 }
+
+// QuorumError reports a replicated wave that executed on its primary but
+// was acknowledged by too few replicas: Acked replicas (counting the
+// primary) hold the record, the quorum required Required. The wave's calls
+// fail — the client must not treat the flush as durable — but the flush
+// never retries it: the primary already applied the wave, so a re-send
+// could double-apply. Err joins the individual follower failures.
+type QuorumError struct {
+	// Name is the root name whose follower set missed quorum (the worst
+	// miss, when the wave spans several named roots).
+	Name     string
+	Acked    int
+	Required int
+	Err      error
+}
+
+func (e *QuorumError) Error() string {
+	return fmt.Sprintf("cluster: replication quorum not met for %q: %d of %d replicas acked: %v",
+		e.Name, e.Acked, e.Required, e.Err)
+}
+
+func (e *QuorumError) Unwrap() error { return e.Err }
 
 // Proxy is a cluster batch object: the recording stub for one remote object
 // on one destination server. It mirrors core.Proxy minus cursors.

@@ -67,6 +67,17 @@ func (d *Directory) Home(name string) (string, error) {
 	return ep, nil
 }
 
+// Owners returns name's ordered owner list (primary first, then followers,
+// see Ring.Owners) and the ring epoch it was read at. The staged executor
+// consults it per flush wave to decide where to ship the wave's replication
+// record.
+func (d *Directory) Owners(name string) ([]string, uint64) {
+	return d.ring.Owners(name)
+}
+
+// Replication returns the ring's replication factor R (1 = no replication).
+func (d *Directory) Replication() int { return d.ring.Replication() }
+
 // Bind binds name to ref in the registry of name's home server.
 func (d *Directory) Bind(ctx context.Context, name string, ref wire.Ref) error {
 	ep, err := d.Home(name)

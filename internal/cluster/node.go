@@ -126,6 +126,14 @@ func StartNode(p *rmi.Peer, reg *registry.Service, members []string) (*Node, err
 	return n, nil
 }
 
+// Epoch returns the node's current ring epoch. The replication service uses
+// it as the fence rejecting stale-owner-list ships.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
 // RingState returns this node's view of the cluster membership.
 func (n *Node) RingState() *RingSnapshot {
 	n.mu.Lock()

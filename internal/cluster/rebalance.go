@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -49,11 +50,17 @@ type RebalanceOption func(*Rebalancer)
 // the tombstones at the source).
 type MigrationStage string
 
-// The three trips of a migration flow.
+// The three trips of a migration flow, plus the two replication flows: a
+// promote trip turns a follower's shadows authoritative during failover
+// (src is the dead primary, dst the promoting survivor), and a place trip
+// (re)installs one primary's snapshots at one follower after a membership
+// change (src is the primary, dst the follower).
 const (
 	StageSnapshot MigrationStage = "snapshot"
 	StageArrive   MigrationStage = "arrive"
 	StageDepart   MigrationStage = "depart"
+	StagePromote  MigrationStage = "promote"
+	StagePlace    MigrationStage = "place"
 )
 
 // MigrationProbe observes a migration flow immediately before each of its
@@ -81,6 +88,15 @@ func (r *Rebalancer) probeStage(stage MigrationStage, src, dst string, moves []m
 	names := make([]string, len(moves))
 	for i, m := range moves {
 		names[i] = m.name
+	}
+	return r.probe(stage, src, dst, names)
+}
+
+// probeNames is probeStage for flows that carry bare names (promotion and
+// replica placement).
+func (r *Rebalancer) probeNames(stage MigrationStage, src, dst string, names []string) error {
+	if r.probe == nil {
+		return nil
 	}
 	return r.probe(stage, src, dst, names)
 }
@@ -114,6 +130,9 @@ type RebalanceStats struct {
 	Moved int
 	// Pairs is how many (source, destination) migration flows ran.
 	Pairs int
+	// Promoted is how many names were recovered from follower shadows:
+	// failover elections (FailoverServer) and orphan rescues (AddServer).
+	Promoted int
 }
 
 // move is one name leaving its old home, with the reference it was bound to.
@@ -157,14 +176,36 @@ func (r *Rebalancer) AddServer(ctx context.Context, endpoint string) (*Rebalance
 	target := ring
 	epoch := ring.Epoch()
 	if !joined {
-		target = NewRing(append(ring.Endpoints(), endpoint), WithVirtualNodes(ring.vnodes))
+		target = NewRing(append(ring.Endpoints(), endpoint),
+			WithVirtualNodes(ring.vnodes), WithReplication(ring.Replication()))
 		epoch++
 	}
 	members := target.Endpoints()
+	// Seed the target ring's follower sets BEFORE the membership broadcast
+	// flips routing: a membership change can reassign a key's follower slot,
+	// and until the new follower holds a seeded shadow the key's primary is
+	// a single point of state loss — exactly in the window where the change
+	// itself may die. Non-moving names are still serving at their current
+	// primaries here, so their new followers install cleanly; moving names
+	// are seeded by their migration flow (placeMoves). Stamped with the
+	// CURRENT epoch: an aborted change must not leave future-stamped shadows
+	// that could outrank a live follower in a later election.
+	if err := r.placeReplicas(ctx, ring.Endpoints(), target, ring.Epoch()); err != nil {
+		return nil, err
+	}
 	// Broadcast before migrating: the tombstones the migration leaves behind
 	// point stale callers at the nodes for a fresh ring, so the nodes must
 	// know the new membership by the time the first tombstone exists.
 	if err := r.broadcast(ctx, members, members, epoch); err != nil {
+		return nil, err
+	}
+	// Names may survive only as replica shadows — their primary was killed
+	// while every seeded follower was outside the ring (a failover election
+	// consults ring survivors only), and this very call may be re-admitting
+	// the holder. Re-bind them at their best shadow before planning, so the
+	// migration below drains them to their ring homes like any other name.
+	rescued, err := r.rescueOrphans(ctx, members, epoch)
+	if err != nil {
 		return nil, err
 	}
 	// Scan every member (not just the pre-change set): on a retry, the plan
@@ -173,13 +214,16 @@ func (r *Rebalancer) AddServer(ctx context.Context, endpoint string) (*Rebalance
 	if err != nil {
 		return nil, err
 	}
-	if err := r.migrate(ctx, plan, epoch); err != nil {
+	if err := r.migrate(ctx, plan, target, epoch); err != nil {
+		return nil, err
+	}
+	if err := r.placeReplicas(ctx, members, target, epoch); err != nil {
 		return nil, err
 	}
 	if !joined {
 		ring.Add(endpoint)
 	}
-	return &RebalanceStats{Epoch: epoch, Moved: moved, Pairs: len(plan)}, nil
+	return &RebalanceStats{Epoch: epoch, Moved: moved, Pairs: len(plan), Promoted: rescued}, nil
 }
 
 // RemoveServer shrinks the cluster: every name homed on the endpoint is
@@ -212,15 +256,26 @@ func (r *Rebalancer) RemoveServer(ctx context.Context, endpoint string) (*Rebala
 			return nil, fmt.Errorf("cluster: remove %s: cannot confirm the server is drained: %w", endpoint, err)
 		}
 		if len(plan) == 0 {
+			// Still re-run replica placement: a prior run may have migrated
+			// everything and died before seeding the followers.
+			if err := r.placeReplicas(ctx, ring.Endpoints(), ring, epoch); err != nil {
+				return nil, err
+			}
 			return &RebalanceStats{Epoch: epoch}, nil
 		}
-		if err := r.migrate(ctx, plan, epoch); err != nil {
+		if err := r.migrate(ctx, plan, ring, epoch); err != nil {
+			return nil, err
+		}
+		if err := r.placeReplicas(ctx, ring.Endpoints(), ring, epoch); err != nil {
 			return nil, err
 		}
 		return &RebalanceStats{Epoch: epoch, Moved: moved, Pairs: len(plan)}, nil
 	}
 	if ring.Size() == 1 {
 		return nil, errors.New("cluster: cannot remove the last server")
+	}
+	if err := r.guardOrphanedReplicas(ctx, endpoint, ring); err != nil {
+		return nil, err
 	}
 	// Route against the shrunken ring before mutating the live one, so the
 	// directory keeps serving lookups for not-yet-moved names during the
@@ -231,8 +286,14 @@ func (r *Rebalancer) RemoveServer(ctx context.Context, endpoint string) (*Rebala
 			survivors = append(survivors, ep)
 		}
 	}
-	target := NewRing(survivors, WithVirtualNodes(ring.vnodes))
+	target := NewRing(survivors, WithVirtualNodes(ring.vnodes), WithReplication(ring.Replication()))
 	epoch := ring.Epoch() + 1
+	// Seed the survivor ring's follower sets before the broadcast flips
+	// routing, at the current epoch — see AddServer for why this must come
+	// first and must not carry the next epoch.
+	if err := r.placeReplicas(ctx, ring.Endpoints(), target, ring.Epoch()); err != nil {
+		return nil, err
+	}
 	if err := r.broadcast(ctx, append(survivors, endpoint), survivors, epoch); err != nil {
 		return nil, err
 	}
@@ -240,11 +301,144 @@ func (r *Rebalancer) RemoveServer(ctx context.Context, endpoint string) (*Rebala
 	if err != nil {
 		return nil, err
 	}
-	if err := r.migrate(ctx, plan, epoch); err != nil {
+	if err := r.migrate(ctx, plan, target, epoch); err != nil {
+		return nil, err
+	}
+	if err := r.placeReplicas(ctx, survivors, target, epoch); err != nil {
 		return nil, err
 	}
 	ring.Remove(endpoint)
 	return &RebalanceStats{Epoch: epoch, Moved: moved, Pairs: len(plan)}, nil
+}
+
+// OrphanedShardError refuses a planned removal that would discard the last
+// in-ring replicas of a dead shard. The removal is unsafe, not merely
+// inconvenient: the departing member holds shadow copies of names whose
+// primary already left the ring without failing over, and once the member
+// is out the failover election (which consults ring survivors only) can no
+// longer see those copies — an acked flush would be lost. Fail over the
+// dead primary first, then retry the removal.
+type OrphanedShardError struct {
+	Endpoint string   // the member whose removal was refused
+	Primary  string   // the dead shard whose replicas it holds
+	Names    []string // shadowed names with no live binding in the ring
+}
+
+func (e *OrphanedShardError) Error() string {
+	return fmt.Sprintf("cluster: cannot remove %s: it holds the only in-ring replicas of dead shard %s (%v); fail over %s first",
+		e.Endpoint, e.Primary, e.Names, e.Primary)
+}
+
+func init() {
+	wire.MustRegisterError("cluster.OrphanedShard", &OrphanedShardError{})
+}
+
+// guardOrphanedReplicas aborts the removal of endpoint while it shadows a
+// shard whose primary is gone from the ring and whose names are not bound
+// on any member — un-failed-over state this member may be the last in-ring
+// holder of (see OrphanedShardError). Names that ARE bound somewhere are
+// stale leftovers of an already-recovered shard and never block removal,
+// so a guard trip always clears once the owed failover promotes and
+// re-homes the shard's names.
+func (r *Rebalancer) guardOrphanedReplicas(ctx context.Context, endpoint string, ring *Ring) error {
+	shards, err := r.replicaShards(ctx, endpoint)
+	if err != nil {
+		return fmt.Errorf("cluster: remove %s: list replica shards: %w", endpoint, err)
+	}
+	var orphaned []string
+	for _, p := range shards {
+		if p != endpoint && !ring.Contains(p) {
+			orphaned = append(orphaned, p)
+		}
+	}
+	if len(orphaned) == 0 {
+		return nil
+	}
+	names := make(map[string]string) // shadowed name -> its dead primary
+	for _, p := range orphaned {
+		si, err := r.shardInfoAt(ctx, endpoint, p)
+		if err != nil {
+			return fmt.Errorf("cluster: remove %s: inspect shard %s: %w", endpoint, p, err)
+		}
+		for _, ni := range si.Names {
+			names[ni.Name] = p
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	// A binding anywhere in the ring — including on the departing member
+	// itself, whose bound names this removal migrates off — means the name
+	// is alive and the shadow is a stale leftover.
+	members := ring.Endpoints()
+	manifests := make([][]Binding, len(members))
+	if err := eachEndpoint(members, func(i int, ep string) error {
+		var ferr error
+		manifests[i], ferr = fetchManifest(ctx, r.dir.peer, ep)
+		return ferr
+	}); err != nil {
+		return fmt.Errorf("cluster: remove %s: check orphaned shards: %w", endpoint, err)
+	}
+	for _, m := range manifests {
+		for _, b := range m {
+			delete(names, b.Name)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	oerr := &OrphanedShardError{Endpoint: endpoint}
+	for _, p := range names {
+		if oerr.Primary == "" || p < oerr.Primary {
+			oerr.Primary = p
+		}
+	}
+	for name, p := range names {
+		if p == oerr.Primary {
+			oerr.Names = append(oerr.Names, name)
+		}
+	}
+	sort.Strings(oerr.Names)
+	return oerr
+}
+
+// replicaShards lists the non-empty replica shards held at endpoint, by
+// their primary endpoints.
+func (r *Rebalancer) replicaShards(ctx context.Context, endpoint string) ([]string, error) {
+	res, err := r.dir.peer.Call(ctx, ReplicaRef(endpoint), "Shards")
+	if err != nil {
+		return nil, err
+	}
+	var shards []string
+	if len(res) == 1 {
+		// The wire layer decodes a []string result as []any of strings.
+		switch v := res[0].(type) {
+		case []string:
+			shards = v
+		case []any:
+			for _, e := range v {
+				if s, ok := e.(string); ok {
+					shards = append(shards, s)
+				}
+			}
+		}
+	}
+	return shards, nil
+}
+
+// shardInfoAt reads endpoint's view of primary's shard. Never nil on a nil
+// error.
+func (r *Rebalancer) shardInfoAt(ctx context.Context, endpoint, primary string) (*ShardInfo, error) {
+	res, err := r.dir.peer.Call(ctx, ReplicaRef(endpoint), "ShardInfo", primary)
+	if err != nil {
+		return nil, err
+	}
+	if len(res) == 1 {
+		if si, ok := res[0].(*ShardInfo); ok && si != nil {
+			return si, nil
+		}
+	}
+	return &ShardInfo{Primary: primary}, nil
 }
 
 // plan reads each source server's name table (one Manifest round trip per
@@ -300,8 +494,10 @@ func fetchManifest(ctx context.Context, peer *rmi.Peer, endpoint string) ([]Bind
 }
 
 // migrate runs every (source, destination) flow of the plan, flows in
-// parallel.
-func (r *Rebalancer) migrate(ctx context.Context, plan map[pairKey][]move, epoch uint64) error {
+// parallel. routing is the target ring the plan was computed against: when
+// it replicates, each flow seeds its names' new followers before the source
+// is tombstoned (see migratePair).
+func (r *Rebalancer) migrate(ctx context.Context, plan map[pairKey][]move, routing *Ring, epoch uint64) error {
 	if len(plan) == 0 {
 		return nil
 	}
@@ -322,9 +518,9 @@ func (r *Rebalancer) migrate(ctx context.Context, plan map[pairKey][]move, epoch
 			defer wg.Done()
 			var err error
 			if r.perObject {
-				err = r.migratePairPerObject(ctx, pair.src, pair.dst, moves, epoch)
+				err = r.migratePairPerObject(ctx, pair.src, pair.dst, moves, routing, epoch)
 			} else {
-				err = r.migratePair(ctx, pair.src, pair.dst, moves, epoch)
+				err = r.migratePair(ctx, pair.src, pair.dst, moves, routing, epoch)
 			}
 			r.migRemaining.Add(-int64(len(moves)))
 			if err != nil {
@@ -348,14 +544,20 @@ func (r *Rebalancer) migrate(ctx context.Context, plan map[pairKey][]move, epoch
 //     object — records every Snapshot;
 //  2. a batch on the destination node records an Arrive per name, splicing
 //     in the snapshot values (idempotent: an already-adopted copy is kept);
-//  3. a batch on the source node records a Depart per name, installing the
+//  3. when the ring replicates, the same snapshots are installed at each
+//     name's new followers (placeMoves) — the destination's shard must have
+//     seeded replicas BEFORE the source copy is destroyed, or a state-loss
+//     kill of the destination in the window before the rebalance's final
+//     placement pass would hold the only copy of every moved name;
+//  4. a batch on the source node records a Depart per name, installing the
 //     wrong-home forwards and export tombstones.
 //
-// K objects move in three round trips, not 3K. Until step 3 lands both
-// homes hold the name — stale-ring writes in that window land on the old
-// copy and are superseded by the tombstone — whereas tombstoning first
-// would destroy the only copy of the state if the arrive trip failed.
-func (r *Rebalancer) migratePair(ctx context.Context, src, dst string, moves []move, epoch uint64) error {
+// K objects move in three round trips (plus one per follower), not 3K.
+// Until the depart lands both homes hold the name — stale-ring writes in
+// that window land on the old copy and are superseded by the tombstone —
+// whereas tombstoning first would destroy the only copy of the state if the
+// arrive trip failed.
+func (r *Rebalancer) migratePair(ctx context.Context, src, dst string, moves []move, routing *Ring, epoch uint64) error {
 	peer := r.dir.peer
 
 	if err := r.probeStage(StageSnapshot, src, dst, moves); err != nil {
@@ -413,6 +615,10 @@ func (r *Rebalancer) migratePair(ctx context.Context, src, dst string, moves []m
 		}
 	}
 
+	if err := r.placeMoves(ctx, dst, moves, movable, states, routing, epoch); err != nil {
+		return err
+	}
+
 	if err := r.probeStage(StageDepart, src, dst, moves); err != nil {
 		return err
 	}
@@ -434,9 +640,9 @@ func (r *Rebalancer) migratePair(ctx context.Context, src, dst string, moves []m
 }
 
 // migratePairPerObject is the unbatched ablation: every moving object pays
-// its own snapshot, arrive, and depart round trips, sequentially, in the
-// same copy-then-tombstone order as the batched flow.
-func (r *Rebalancer) migratePairPerObject(ctx context.Context, src, dst string, moves []move, epoch uint64) error {
+// its own snapshot, arrive, follower-install, and depart round trips,
+// sequentially, in the same copy-then-tombstone order as the batched flow.
+func (r *Rebalancer) migratePairPerObject(ctx context.Context, src, dst string, moves []move, routing *Ring, epoch uint64) error {
 	peer := r.dir.peer
 	for _, m := range moves {
 		one := []move{m}
@@ -463,6 +669,18 @@ func (r *Rebalancer) migratePairPerObject(ctx context.Context, src, dst string, 
 		}
 		if _, err := peer.Call(ctx, NodeRef(dst), "Arrive", m.name, m.ref.Iface, movable, state, m.ref); err != nil {
 			return fmt.Errorf("arrive %q: %w", m.name, err)
+		}
+		if movable && routing.Replication() > 1 {
+			if owners, _ := routing.Owners(m.name); len(owners) >= 2 && owners[0] == dst {
+				for _, f := range owners[1:] {
+					if err := r.probeNames(StagePlace, dst, f, []string{m.name}); err != nil {
+						return err
+					}
+					if _, err := peer.Call(ctx, ReplicaRef(f), "Install", m.name, m.ref.Iface, state, dst, epoch); err != nil {
+						return fmt.Errorf("install %q at %s: %w", m.name, f, err)
+					}
+				}
+			}
 		}
 		if err := r.probeStage(StageDepart, src, dst, one); err != nil {
 			return err

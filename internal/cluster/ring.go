@@ -52,13 +52,14 @@ const DefaultVirtualNodes = 128
 //
 // Ring is safe for concurrent use.
 type Ring struct {
-	mu       sync.RWMutex
-	vnodes   int
-	epoch    uint64
-	points   []uint64          // sorted hash points
-	owners   map[uint64]string // point -> endpoint
-	members  map[string]bool
-	endpoint []string // sorted member list, kept for Endpoints
+	mu          sync.RWMutex
+	vnodes      int
+	replication int
+	epoch       uint64
+	points      []uint64          // sorted hash points
+	owners      map[uint64]string // point -> endpoint
+	members     map[string]bool
+	endpoint    []string // sorted member list, kept for Endpoints
 }
 
 // RingOption configures a Ring.
@@ -74,11 +75,22 @@ func WithVirtualNodes(n int) RingOption {
 	}
 }
 
+// WithReplication sets the replication degree R: Owners returns the primary
+// plus up to R-1 distinct followers per key (default 1, no replication).
+func WithReplication(r int) RingOption {
+	return func(rg *Ring) {
+		if r > 0 {
+			rg.replication = r
+		}
+	}
+}
+
 // NewRing creates a ring containing the given endpoints, at epoch 0.
 func NewRing(endpoints []string, opts ...RingOption) *Ring {
 	r := &Ring{
-		vnodes:  DefaultVirtualNodes,
-		members: make(map[string]bool),
+		vnodes:      DefaultVirtualNodes,
+		replication: 1,
+		members:     make(map[string]bool),
 	}
 	for _, o := range opts {
 		o(r)
@@ -191,6 +203,61 @@ func (r *Ring) Route(key string) string {
 		i = 0 // wrap around
 	}
 	return r.owners[r.points[i]]
+}
+
+// Replication returns the configured replication degree R (≥1).
+func (r *Ring) Replication() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.replication
+}
+
+// VirtualNodes returns the configured points per endpoint.
+func (r *Ring) VirtualNodes() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.vnodes
+}
+
+// Owners returns the ordered owner list for key — the primary (identical to
+// Route) followed by up to R-1 distinct followers, collected by walking the
+// ring clockwise from the key's hash point — and the ring epoch the list was
+// read at (atomically, so a concurrent Reset cannot pair a new owner list
+// with an old epoch). Fewer than R members yields one entry per member. An
+// empty ring yields nil.
+func (r *Ring) Owners(key string) ([]string, uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil, r.epoch
+	}
+	want := r.replication
+	if n := len(r.members); want > n {
+		want = n
+	}
+	out := make([]string, 0, want)
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	for scanned := 0; scanned < len(r.points) && len(out) < want; scanned++ {
+		if i == len(r.points) {
+			i = 0 // wrap around
+		}
+		ep := r.owners[r.points[i]]
+		if !contains(out, ep) {
+			out = append(out, ep)
+		}
+		i++
+	}
+	return out, r.epoch
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
 }
 
 // Contains reports whether endpoint is a current member.

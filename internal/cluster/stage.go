@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/rmi"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -34,7 +36,28 @@ type destState struct {
 	// failed poisons the destination: every call of its later stages
 	// settles locally with this error.
 	failed error
+	// repl is the destination's replication pipeline, armed by open when
+	// the batch is epoch-aware over a replicated ring and every root is a
+	// named movable; nil otherwise.
+	repl *replState
 }
+
+// replState is one replicated destination's shipping identity: the chain id
+// linking its waves through one shadow session on each follower, the root
+// names/interfaces in payload order, and the payload of the wave just
+// executed (captured by the core batch's OnShip hook, consumed by
+// Batch.replicate on the wave goroutine).
+type replState struct {
+	chain   string
+	names   []string
+	ifaces  []string
+	seq     int
+	payload any
+}
+
+// chainSeq disambiguates replication chains minted by one client process;
+// combined with the peer's DGC client id the chain is globally unique.
+var chainSeq atomic.Uint64
 
 // open creates the destination's multi-root core.Batch and rewires the
 // group's root proxies onto it. Caller holds b.mu.
@@ -57,7 +80,173 @@ func (ds *destState) open(b *Batch) error {
 		ds.group.rootProxies[ref].core = cp
 	}
 	ds.cb = cb
+	b.armReplication(ds)
 	return nil
+}
+
+// armReplication decides whether ds's waves replicate and, if so, wires the
+// payload capture. Replication applies only when the batch is epoch-aware
+// (WithDirectory) over a replicated ring (R > 1) and every root of the
+// destination is addressed by cluster-wide name (RootNamed) with a
+// registered movable factory — an anonymous or system root has no shard
+// identity to replicate under, so its destination flushes unreplicated.
+// Caller holds b.mu.
+func (b *Batch) armReplication(ds *destState) {
+	if b.dir == nil || b.dir.Replication() <= 1 {
+		return
+	}
+	names := make([]string, len(ds.group.roots))
+	ifaces := make([]string, len(ds.group.roots))
+	for i, ref := range ds.group.roots {
+		p := ds.group.rootProxies[ref]
+		if p.key == "" {
+			return
+		}
+		if _, ok := movableFactory(ref.Iface); !ok {
+			return
+		}
+		names[i] = p.key
+		ifaces[i] = ref.Iface
+	}
+	rs := &replState{
+		chain:  fmt.Sprintf("%s#%d", b.peer.ClientID(), chainSeq.Add(1)),
+		names:  names,
+		ifaces: ifaces,
+	}
+	ds.repl = rs
+	ds.cb.OnShip(func(req any, _ bool) { rs.payload = req })
+}
+
+// replicate ships the wave that just executed on ds's primary to every
+// follower of its roots' shards and blocks until the write quorum holds it.
+// It runs on the wave goroutine, after the primary flush succeeded and
+// before the stage barrier, so the ack a caller observes — Flush returning,
+// futures settling — implies the wave survives the primary's death.
+//
+// The shipped record is fenced by the ring epoch read together with the
+// owner lists: a follower whose node adopted a newer ring rejects it
+// (StaleShipError), failing the flush rather than letting a stale owner
+// list smuggle a write into a re-placed shard. A returned *QuorumError
+// fails the destination WITHOUT the stale-route retry: the primary already
+// applied the wave, so a re-send could double-apply.
+func (b *Batch) replicate(ctx context.Context, ds *destState) error {
+	rs := ds.repl
+	if rs == nil || rs.payload == nil {
+		return nil // unreplicated destination, or a wave with no wire work
+	}
+	payload := rs.payload
+	rs.payload = nil
+	primary := ds.group.endpoint
+
+	owners := make([][]string, len(rs.names))
+	var epoch uint64
+	followers := make(map[string]bool)
+	for i, name := range rs.names {
+		owners[i], epoch = b.dir.Owners(name)
+		for _, ep := range owners[i] {
+			if ep != primary {
+				followers[ep] = true
+			}
+		}
+	}
+	if len(followers) == 0 {
+		return nil
+	}
+	rec := &ReplRecord{
+		ID:      fmt.Sprintf("%s/%d", rs.chain, rs.seq),
+		Chain:   rs.chain,
+		Primary: primary,
+		Epoch:   epoch,
+		Names:   rs.names,
+		Ifaces:  rs.ifaces,
+		Payload: payload,
+	}
+	rs.seq++
+	b.quorumWaits.Inc()
+	var start time.Time
+	if b.reg != nil {
+		start = b.reg.Now()
+	}
+	type shipAck struct {
+		ep  string
+		err error
+	}
+	// Buffered to the fan-out so stragglers past the quorum ack never block.
+	results := make(chan shipAck, len(followers))
+	for ep := range followers {
+		go func(ep string) {
+			_, err := b.peer.Call(ctx, ReplicaRef(ep), "Append", rec)
+			results <- shipAck{ep: ep, err: err}
+		}(ep)
+	}
+	// Quorum is judged per NAME over that name's own owner list — the wave
+	// spans every root of the destination, and each root's shard must hold
+	// it. The wait returns as soon as every name is at quorum: under
+	// WithQuorum(W<R) the slowest followers keep replicating in the
+	// background while the flush acks.
+	required := make([]int, len(rs.names))
+	acked := make([]int, len(rs.names))
+	unsatisfied := 0
+	for i := range rs.names {
+		required[i] = len(owners[i])
+		if b.quorum > 0 && b.quorum < required[i] {
+			required[i] = b.quorum
+		}
+		acked[i] = 1 // the primary holds the wave: its flush succeeded
+		if acked[i] < required[i] {
+			unsatisfied++
+		}
+	}
+	acks := make(map[string]error, len(followers))
+	for n := 0; n < len(followers) && unsatisfied > 0; n++ {
+		a := <-results
+		acks[a.ep] = a.err
+		if a.err != nil {
+			continue
+		}
+		for i := range rs.names {
+			if acked[i] >= required[i] {
+				continue
+			}
+			for _, ep := range owners[i] {
+				if ep == a.ep {
+					acked[i]++
+					if acked[i] >= required[i] {
+						unsatisfied--
+					}
+					break
+				}
+			}
+		}
+	}
+	if b.reg != nil {
+		b.replLag.Observe(b.reg.Now().Sub(start).Nanoseconds())
+	}
+	if unsatisfied == 0 {
+		return nil
+	}
+	// Every follower answered and some name still missed its quorum:
+	// report the worst miss.
+	var worst *QuorumError
+	for i, name := range rs.names {
+		if acked[i] >= required[i] {
+			continue
+		}
+		var ferrs []error
+		for _, ep := range owners[i] {
+			if ep == primary {
+				continue
+			}
+			if err, ok := acks[ep]; ok && err != nil {
+				ferrs = append(ferrs, fmt.Errorf("%s: %w", ep, err))
+			}
+		}
+		qe := &QuorumError{Name: name, Acked: acked[i], Required: required[i], Err: errors.Join(ferrs...)}
+		if worst == nil || qe.Required-qe.Acked > worst.Required-worst.Acked {
+			worst = qe
+		}
+	}
+	return worst
 }
 
 // execute runs the stage schedule. Per stage: translate each destination's
@@ -83,6 +272,10 @@ func (b *Batch) execute(ctx context.Context, stages [][]*subBatch) error {
 		ds.failed = err
 		if flushErr == nil {
 			flushErr = &FlushError{Servers: len(dests)}
+		}
+		var qe *QuorumError
+		if errors.As(err, &qe) && flushErr.Quorum == nil {
+			flushErr.Quorum = qe
 		}
 		flushErr.Failures = append(flushErr.Failures, ServerError{
 			Endpoint: ds.group.endpoint,
@@ -141,7 +334,9 @@ func (b *Batch) execute(ctx context.Context, stages [][]*subBatch) error {
 			go func(i int, ds *destState) {
 				defer wg.Done()
 				if keep[ds] {
-					errs[i] = ds.cb.FlushAndContinue(ctx)
+					if errs[i] = ds.cb.FlushAndContinue(ctx); errs[i] == nil {
+						errs[i] = b.replicate(ctx, ds)
+					}
 					return
 				}
 				fctx := ctx
@@ -153,7 +348,9 @@ func (b *Batch) execute(ctx context.Context, stages [][]*subBatch) error {
 					// leaks until its TTL.
 					fctx = context.WithoutCancel(ctx)
 				}
-				errs[i] = ds.cb.Flush(fctx)
+				if errs[i] = ds.cb.Flush(fctx); errs[i] == nil {
+					errs[i] = b.replicate(ctx, ds)
+				}
 			}(i, ds)
 		}
 		wg.Wait()
@@ -172,6 +369,16 @@ func (b *Batch) execute(ctx context.Context, stages [][]*subBatch) error {
 					continue
 				}
 				reportFailure(ds, s, errs[i])
+				// A quorum miss needs explicit local settlement: the wave
+				// DID execute on the primary, so this stage's core futures
+				// hold values — but the flush must not surface them as if
+				// the wave were durable.
+				var qe *QuorumError
+				if errors.As(errs[i], &qe) {
+					if sb := stageSub(subs, ds); sb != nil {
+						settleSub(sb, errs[i])
+					}
+				}
 				// A failed destination drops out of the pipeline here, so no
 				// later flush will release the chained session an earlier
 				// wave may have opened; reap it best-effort in the
@@ -376,18 +583,33 @@ func stageSub(subs []*subBatch, ds *destState) *subBatch {
 //
 // The retry re-resolves the destination's named roots (Proxy.key, set by
 // RootNamed) and replays this stage's calls against fresh core batches at
-// the new homes, so it is only sound when nothing server-side is lost with
-// the old session: the batch must be epoch-aware (WithDirectory), the
-// failure must be a wrong-home rejection, this must be the destination's
-// last stage, and no earlier wave may have left a chained session open
-// (earlier results live only in that session and cannot follow the object
-// to its new home). One retry per flush.
+// the new homes, so it is only sound when (a) nothing server-side is lost
+// with the old session — the batch must be epoch-aware (WithDirectory),
+// this must be the destination's last stage, and no earlier wave may have
+// left a chained session open (earlier results live only in that session
+// and cannot follow the object to its new home) — and (b) the wave is
+// known NOT to have executed. Two failure classes qualify: a wrong-home
+// rejection (the server refused the wave before running it) and a dial
+// failure (transport.DialError: the request never left the client — the
+// shape a crashed primary produces after failover re-homed its shards). A
+// mid-call connection loss does NOT qualify: the server may have executed
+// the wave before the response was lost. Neither does a quorum miss: the
+// primary applied the wave, a re-send could double-apply. One retry per
+// flush.
 func (b *Batch) canRetryStale(ds *destState, stage int, err error) bool {
 	if b.dir == nil || b.retried || ds.sessionOpen || stage != ds.lastStage {
 		return false
 	}
+	var qe *QuorumError
+	if errors.As(err, &qe) {
+		return false
+	}
 	var wrong *rmi.WrongHomeError
-	return errors.As(err, &wrong)
+	if errors.As(err, &wrong) {
+		return true
+	}
+	var dial *transport.DialError
+	return errors.As(err, &dial)
 }
 
 // retryStale performs the stale-route retry: refresh the shard map once,
@@ -567,7 +789,12 @@ func (b *Batch) retryOne(ctx context.Context, stage int, r *staleRetry, reportFa
 		wg.Add(1)
 		go func(i int, rd retryDest) {
 			defer wg.Done()
-			errs[i] = rd.ds.cb.Flush(ctx)
+			// A retried wave replicates like any other: its destinations
+			// were re-opened against the refreshed ring, so the record
+			// ships to the new homes' followers under the new epoch.
+			if errs[i] = rd.ds.cb.Flush(ctx); errs[i] == nil {
+				errs[i] = b.replicate(ctx, rd.ds)
+			}
 		}(i, rd)
 	}
 	wg.Wait()

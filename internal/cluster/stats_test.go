@@ -125,6 +125,80 @@ func TestFlushErrorWithoutRetryReportsZero(t *testing.T) {
 	}
 }
 
+// TestFlushErrorCarriesQuorum mirrors the Retries tests for the replication
+// quorum: when the primary applies a wave but its follower cannot be
+// reached, the flush fails with FlushError.Quorum reporting how many
+// replicas acked vs required, the futures rethrow rather than surfacing the
+// non-durable values, and NO stale retry is spent (a re-send could
+// double-apply the wave the primary already ran).
+func TestFlushErrorCarriesQuorum(t *testing.T) {
+	ec := clustertest.New(t, 2)
+	ctx := context.Background()
+	dir := cluster.NewDirectory(ec.Client, []string{"server-0", "server-1"}, cluster.WithReplication(2))
+	name := "obj-0"
+	owners, _ := dir.Owners(name)
+	primary, follower := owners[0], owners[1]
+	ec.BindCounter(dir, name, 10)
+
+	// The client can reach the primary but not the follower: the wave
+	// executes, the ship is refused.
+	ec.Network.Partition(clustertest.ClientHost, follower)
+	defer ec.Network.HealAll()
+
+	b := cluster.New(ec.Client, cluster.WithDirectory(dir))
+	p, err := b.RootNamed(ctx, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Call("Add", int64(5))
+
+	err = b.Flush(ctx)
+	var fe *cluster.FlushError
+	if !errors.As(err, &fe) {
+		t.Fatalf("flush error = %T %v, want *FlushError", err, err)
+	}
+	if fe.Quorum == nil {
+		t.Fatal("FlushError.Quorum = nil, want the quorum miss")
+	}
+	if fe.Quorum.Acked != 1 || fe.Quorum.Required != 2 {
+		t.Errorf("quorum = %d/%d acked, want 1/2", fe.Quorum.Acked, fe.Quorum.Required)
+	}
+	if fe.Quorum.Name != name {
+		t.Errorf("quorum miss names %q, want %q", fe.Quorum.Name, name)
+	}
+	if fe.Retries != 0 || b.StaleRetried() {
+		t.Errorf("quorum miss spent the stale retry (Retries=%d, StaleRetried=%v); it must not", fe.Retries, b.StaleRetried())
+	}
+	var qe *cluster.QuorumError
+	if !errors.As(err, &qe) {
+		t.Error("errors.As cannot reach the *QuorumError through the flush error")
+	}
+	if _, err := cluster.Typed[int64](f).Get(); err == nil {
+		t.Error("future of a non-durable wave settled with a value, want the quorum error")
+	}
+	if got := ec.ClientStats.Snapshot().Counter("cluster.quorum_waits"); got != 1 {
+		t.Errorf("cluster.quorum_waits = %d, want 1", got)
+	}
+
+	// The primary DID apply the wave — the error reports lost durability,
+	// not a lost write. A healed read observes it.
+	ec.Network.HealAll()
+	ref, err := dir.Lookup(ctx, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Endpoint != primary {
+		t.Fatalf("%s resolves to %s, want primary %s", name, ref.Endpoint, primary)
+	}
+	res, err := ec.Client.Call(ctx, ref, "Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res[0].(int64); got != 15 {
+		t.Errorf("primary state = %d, want 15 (the wave applied before the quorum miss)", got)
+	}
+}
+
 // TestStaleLookupRetrySurfacesCount: the directory's transparent
 // lookup-retry now moves cluster.lookup_retries and cluster.dir_refreshes.
 func TestStaleLookupRetrySurfacesCount(t *testing.T) {

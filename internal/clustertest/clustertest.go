@@ -33,14 +33,16 @@ const ClientHost = "client"
 // to keep logs quiet.
 func SilentLogf(string, ...any) {}
 
-// Server bundles one serving member: its peer, BRMI executor, registry and
-// cluster node services, and the pre-exported Counter workload object.
+// Server bundles one serving member: its peer, BRMI executor, registry,
+// cluster node and replica services, and the pre-exported Counter workload
+// object.
 type Server struct {
 	Endpoint string
 	Peer     *rmi.Peer
 	Exec     *core.Executor
 	Reg      *registry.Service
 	Node     *cluster.Node
+	Replica  *cluster.Replica
 	Stats    *stats.Registry
 	Counter  *Counter
 	Ref      wire.Ref
@@ -121,6 +123,10 @@ func (c *Cluster) StartServer(endpoint string) *Server {
 	if err != nil {
 		c.tb.Fatal(err)
 	}
+	replica, err := cluster.StartReplica(srv, reg, node, exec)
+	if err != nil {
+		c.tb.Fatal(err)
+	}
 	if _, err := statsnode.Start(srv); err != nil {
 		c.tb.Fatal(err)
 	}
@@ -129,7 +135,7 @@ func (c *Cluster) StartServer(endpoint string) *Server {
 	if err != nil {
 		c.tb.Fatal(err)
 	}
-	s := &Server{Endpoint: endpoint, Peer: srv, Exec: exec, Reg: reg, Node: node, Stats: sreg, Counter: ctr, Ref: ref}
+	s := &Server{Endpoint: endpoint, Peer: srv, Exec: exec, Reg: reg, Node: node, Replica: replica, Stats: sreg, Counter: ctr, Ref: ref}
 	c.Servers = append(c.Servers, s)
 	return s
 }
@@ -149,9 +155,13 @@ func (c *Cluster) Close() {
 	_ = c.Client.Close()
 }
 
-// StopServer closes the member at endpoint and removes it from c.Servers,
-// freeing the listener slot — the harness's crash-with-state-loss: a later
-// StartServer(endpoint) comes back empty.
+// StopServer CLEANLY stops the member at endpoint and removes it from
+// c.Servers, freeing the listener slot: the executor stops first, then the
+// peer closes in an orderly way. It models a planned shutdown — callers are
+// expected to have drained the member (Rebalancer.RemoveServer) first, so
+// nothing of value lives there anymore. For the unplanned, state-losing
+// variant — the one the chaos harness's kill events and the failover tests
+// exercise — use CrashServer.
 func (c *Cluster) StopServer(endpoint string) {
 	c.tb.Helper()
 	for i, s := range c.Servers {
@@ -163,6 +173,27 @@ func (c *Cluster) StopServer(endpoint string) {
 		}
 	}
 	c.tb.Fatalf("clustertest: StopServer(%q): no such member", endpoint)
+}
+
+// CrashServer kills the member at endpoint with STATE LOSS: its in-flight
+// connections are reset, the peer is torn down with no orderly handoff, and
+// every object it hosted is gone. The listener slot is freed, so a later
+// StartServer(endpoint) comes back empty — the crashed-and-replaced shape
+// failover recovers from (follower promotion resurrects the lost shards
+// from their replicas; without replication the state is simply lost). Dials
+// to the endpoint are refused until then.
+func (c *Cluster) CrashServer(endpoint string) {
+	c.tb.Helper()
+	for i, s := range c.Servers {
+		if s.Endpoint == endpoint {
+			c.Network.KillConns(endpoint)
+			_ = s.Peer.Close()
+			s.Exec.Stop()
+			c.Servers = append(c.Servers[:i], c.Servers[i+1:]...)
+			return
+		}
+	}
+	c.tb.Fatalf("clustertest: CrashServer(%q): no such member", endpoint)
 }
 
 // Server returns the member serving endpoint, or nil.

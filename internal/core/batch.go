@@ -52,6 +52,8 @@ type Batch struct {
 	failure error
 	// lastOwner tracks cursor-run contiguity (§4.1).
 	lastOwner *Cursor
+	// onShip observes each successfully executed flush payload (see OnShip).
+	onShip func(req any, keep bool)
 }
 
 // callRecord links a recorded call to the client object awaiting its result.
@@ -121,6 +123,19 @@ func New(peer *rmi.Peer, root wire.Ref, opts ...Option) *Batch {
 		o(b)
 	}
 	return b
+}
+
+// OnShip registers fn to observe the wire payload of every flush the server
+// executed successfully, after results are distributed. The payload is the
+// already-serialized batch command (wire-registered, deterministic to
+// replay); the cluster layer forwards it verbatim to shard followers, which
+// is what makes a batch the replication log entry. fn runs with the batch
+// lock held and must not call back into the batch; the payload must be
+// treated as immutable.
+func (b *Batch) OnShip(fn func(req any, keep bool)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onShip = fn
 }
 
 // Root returns the proxy for the batch's root object.
@@ -521,6 +536,9 @@ func (b *Batch) flush(ctx context.Context, keep bool) error {
 	b.sentPol = true
 	b.session = resp.Session
 	b.distribute(base, records, resp)
+	if b.onShip != nil && len(req.Calls) > 0 {
+		b.onShip(req, keep)
+	}
 	if !keep {
 		b.closed = true
 	}

@@ -60,6 +60,11 @@ type session struct {
 	failures map[int64]error
 	nextBase int64
 	expires  time.Time
+	// shadow marks a replica replay session: execution is identical, but the
+	// calls are excluded from core.calls_executed so the cluster-wide count
+	// keeps matching client acks (replayed calls were already counted at the
+	// primary).
+	shadow bool
 }
 
 func (s *session) bindObject(seq int64, v any) {
@@ -164,10 +169,41 @@ func (e *Executor) sweepLoop() {
 // order, applies the exception policy, and returns per-call results
 // (paper Fig. 2).
 func (e *Executor) InvokeBatch(ctx context.Context, req *batchRequest) (*batchResponse, error) {
+	return e.invokeBatch(ctx, req, false)
+}
+
+// ReplayShadow replays a shipped flush payload (as observed by
+// Batch.OnShip and forwarded over the wire) against substitute root
+// objects: root and extras are local export ids standing in for the
+// payload's original roots, and session chains consecutive waves of the
+// same batch exactly like the primary's KeepSession chain. The replay runs
+// through the normal batch machinery — per-call order, dependency
+// propagation, and exception policy are identical to the primary execution,
+// which is what makes a deterministic batch command applicable to replica
+// shadow state. It returns the (possibly retained) session id and the
+// number of calls replayed.
+func (e *Executor) ReplayShadow(ctx context.Context, shipped any, root uint64, extras []uint64, session uint64) (uint64, int, error) {
+	orig, ok := shipped.(*batchRequest)
+	if !ok {
+		return 0, 0, fmt.Errorf("brmi: shadow replay payload is %T, not a batch request", shipped)
+	}
+	req := *orig
+	req.Root = root
+	req.Roots = extras
+	req.Session = session
+	resp, err := e.invokeBatch(ctx, &req, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Session, len(req.Calls), nil
+}
+
+func (e *Executor) invokeBatch(ctx context.Context, req *batchRequest, shadow bool) (*batchResponse, error) {
 	sess, sessID, err := e.resolveSession(req)
 	if err != nil {
 		return nil, err
 	}
+	sess.shadow = sess.shadow || shadow
 
 	e.batchCalls.Observe(int64(len(req.Calls)))
 	var waveStart time.Time
@@ -306,6 +342,7 @@ func (e *Executor) runBatchParallel(ctx context.Context, sess *session, calls []
 			extras:   sess.extras,
 			policy:   sess.policy,
 			nextBase: serverSeqBase + int64(gi+1)*groupSeqSpan,
+			shadow:   sess.shadow,
 		}
 		shadows[gi] = shadow
 		gcalls := make([]invocationData, len(idxs))
@@ -512,8 +549,11 @@ func (e *Executor) runCall(ctx context.Context, sess *session, st *execState, ca
 
 	// Executed means "reached method execution": dependency-skipped and
 	// abort-skipped calls are excluded, matching the client-side acked
-	// count (the chaos harness cross-checks the two).
-	e.executed.Inc()
+	// count (the chaos harness cross-checks the two). Shadow replays are
+	// excluded too — their calls were counted at the primary.
+	if !sess.shadow {
+		e.executed.Inc()
+	}
 	out, err := e.execWithPolicy(ctx, sess, st, target, call.Method, args, occ, &res)
 	if err != nil {
 		res.Err = err
@@ -664,7 +704,9 @@ func (e *Executor) runCursor(ctx context.Context, sess *session, st *execState, 
 		args[i] = v
 	}
 
-	e.executed.Inc()
+	if !sess.shadow {
+		e.executed.Inc()
+	}
 	out, err := e.execWithPolicy(ctx, sess, st, target, call.Method, args, occ, res)
 	if st.restart {
 		return

@@ -66,6 +66,7 @@ const (
 	BatchObjID    uint64 = 2 // BRMI batch executor (internal/core)
 	NodeObjID     uint64 = 3 // cluster membership/migration service (internal/cluster)
 	StatsObjID    uint64 = 4 // metrics scrape service (internal/statsnode)
+	ReplicaObjID  uint64 = 5 // shard replication service (internal/cluster)
 
 	// FirstUserObjID is the first identifier handed to application exports.
 	FirstUserObjID uint64 = 16
@@ -78,6 +79,7 @@ const (
 	BatchIface    = "rmi.BatchService"
 	NodeIface     = "cluster.Node"
 	StatsIface    = "stats.Node"
+	ReplicaIface  = "cluster.Replica"
 )
 
 // SystemRef builds the well-known reference of a system service at endpoint.

@@ -88,7 +88,11 @@ func TestScrapeClusterCoversAllLayers(t *testing.T) {
 		}
 		// Cluster: the node service publishes its ring epoch and migration
 		// counters even before any membership change.
-		for _, name := range []string{"cluster.ring_epoch", "cluster.arrivals", "cluster.departs"} {
+		// The replication service's counters must be present even on a
+		// cluster that never replicated or failed over — brmitop's REPL
+		// column reads them unconditionally.
+		for _, name := range []string{"cluster.ring_epoch", "cluster.arrivals", "cluster.departs",
+			"cluster.replica_appends", "cluster.promotions"} {
 			if !hasName(s, name) {
 				t.Errorf("%s: snapshot missing %s", ep, name)
 			}
@@ -176,6 +180,9 @@ func TestViewRows(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[0], "SERVER") {
 		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "REPL") {
+		t.Errorf("header missing REPL column:\n%s", out)
 	}
 	for _, s := range c.Servers {
 		if !strings.Contains(out, s.Endpoint) {

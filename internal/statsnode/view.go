@@ -43,6 +43,10 @@ type Row struct {
 	// from this member since it started.
 	MigRemaining, MigMoved int64
 	Arrivals, Departs      int64
+	// ReplAppends and Promotions describe the replication side: records this
+	// member appended to follower shard logs, and shadows it turned
+	// authoritative during failovers.
+	ReplAppends, Promotions int64
 	// Epoch is the server's ring epoch; Stale marks it behind the
 	// cluster-wide maximum (epoch skew).
 	Epoch int64
@@ -83,6 +87,8 @@ func BuildRows(cur, prev map[string]*stats.Snapshot, elapsed time.Duration) []Ro
 			MigMoved:     s.Counter("cluster.migration_moved"),
 			Arrivals:     s.Counter("cluster.arrivals"),
 			Departs:      s.Counter("cluster.departs"),
+			ReplAppends:  s.Counter("cluster.replica_appends"),
+			Promotions:   s.Counter("cluster.promotions"),
 			Epoch:        s.Gauge("cluster.ring_epoch"),
 		}
 		gets := s.Gauge("wire.enc_state_gets") + s.Gauge("wire.dec_state_gets")
@@ -135,11 +141,13 @@ func dur(d time.Duration) string {
 // RenderTable writes the ops table. Columns: server, cumulative executed
 // calls, QPS over the last interval, executor wave p50/p99, transport
 // buffer-pool hit rate, wire codec-state reuse rate, readonly lease-cache
-// hit rate ("-" where no cache runs), migration state, and ring epoch
+// hit rate ("-" where no cache runs), migration state, replication state
+// (appended follower-log records, "+N promoted" after a failover recovered
+// shadows here), and ring epoch
 // ("!" marks a server behind the cluster-wide maximum — epoch skew, i.e.
 // a ring broadcast it has not adopted yet).
 func RenderTable(w io.Writer, rows []Row) {
-	const header = "SERVER\tCALLS\tQPS\tWAVE p50\tWAVE p99\tPOOL\tCODEC\tCACHE\tMIGRATION\tEPOCH"
+	const header = "SERVER\tCALLS\tQPS\tWAVE p50\tWAVE p99\tPOOL\tCODEC\tCACHE\tMIGRATION\tREPL\tEPOCH"
 	lines := make([][]string, 0, len(rows)+1)
 	lines = append(lines, strings.Split(header, "\t"))
 	for _, r := range rows {
@@ -151,6 +159,13 @@ func RenderTable(w io.Writer, rows []Row) {
 			mig = fmt.Sprintf("%d moved", r.MigMoved)
 		case r.Arrivals > 0 || r.Departs > 0:
 			mig = fmt.Sprintf("+%d/-%d", r.Arrivals, r.Departs)
+		}
+		repl := "-"
+		switch {
+		case r.Promotions > 0:
+			repl = fmt.Sprintf("%d +%d promoted", r.ReplAppends, r.Promotions)
+		case r.ReplAppends > 0:
+			repl = fmt.Sprintf("%d", r.ReplAppends)
 		}
 		epoch := fmt.Sprintf("%d", r.Epoch)
 		if r.Stale {
@@ -170,6 +185,7 @@ func RenderTable(w io.Writer, rows []Row) {
 			pct(r.CodecReuse),
 			pct(r.CacheHit),
 			mig,
+			repl,
 			epoch,
 		})
 	}

@@ -201,7 +201,7 @@ func (c *Client) conn(ctx context.Context) (*clientConn, error) {
 	}
 	conn, err := c.network.Dial(ctx, c.endpoint)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", c.endpoint, err)
+		return nil, &DialError{Endpoint: c.endpoint, Err: err}
 	}
 	c.gen++
 	c.st.Dials.Inc()

@@ -18,6 +18,23 @@ import (
 	"net"
 )
 
+// DialError reports a failure to ESTABLISH a connection: the request was
+// never written to the wire, so the remote call is known not to have
+// executed. Callers with idempotence concerns (e.g. the cluster layer's
+// stale-route retry) rely on that distinction — a mid-call connection loss
+// is NOT a DialError, because the server may have executed the request
+// before the response was lost.
+type DialError struct {
+	Endpoint string
+	Err      error
+}
+
+func (e *DialError) Error() string {
+	return fmt.Sprintf("transport: dial %s: %v", e.Endpoint, e.Err)
+}
+
+func (e *DialError) Unwrap() error { return e.Err }
+
 // Network provides connections between named endpoints. Implementations:
 // TCPNetwork (host:port endpoints) and netsim.Network (in-memory simulated
 // links). Implementations must be safe for concurrent use.
