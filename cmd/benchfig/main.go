@@ -94,6 +94,10 @@ var figures = []figSpec{
 		return bench.RunCache(c.wan, bench.CacheReadObjects, []int{0, 25, 50, 75, 90, 100})
 	},
 		"readonly lease cache: batched cached reads at swept hit rates vs the uncached PR4 path, WAN"},
+	{"getbatch", func(c config) (*bench.Table, error) {
+		return bench.RunGetBatch(c.wan, []int{1, 4, 16, 64})
+	},
+		"streaming get-batch: N ordered bulk reads over 4 servers vs per-call round trips, WAN (internal/cluster)"},
 }
 
 func main() {

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/netsim"
+	"repro/internal/rmi"
+	"repro/internal/wire"
+)
+
+// The Get-Batch workload: N named objects read back in one streaming
+// cluster.GetBatch (one request per destination server, entries delivered
+// in request order while later ones are in flight) against the obvious
+// baseline, N individual read round trips. The per-object column divides
+// the streaming total by N — the series the streaming transport is FOR:
+// per-object cost falls as the batch grows, because the round trip and the
+// per-destination request overhead amortize over the whole batch.
+
+// getbatchServers is the cluster size the workload fans out over.
+const getbatchServers = 4
+
+// getbatchEnv is one prepared deployment: counters bound through a
+// directory, plus the per-name refs the per-call baseline reads directly.
+type getbatchEnv struct {
+	env   *ClusterEnv
+	dir   *cluster.Directory
+	names []string
+	refs  []wire.Ref
+}
+
+func (ge *getbatchEnv) Close() { ge.env.Close() }
+
+func newGetbatchEnv(profile netsim.Profile, n int) (*getbatchEnv, error) {
+	env, err := NewClusterEnv(profile, getbatchServers)
+	if err != nil {
+		return nil, err
+	}
+	ge := &getbatchEnv{env: env}
+	eps := make([]string, len(env.Servers))
+	byEndpoint := make(map[string]*rmi.Peer, len(env.Servers))
+	for i, srv := range env.Servers {
+		eps[i] = srv.Endpoint()
+		byEndpoint[srv.Endpoint()] = srv
+	}
+	ge.dir = cluster.NewDirectory(env.Client, eps)
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("gb-%d", i)
+		home, err := ge.dir.Home(name)
+		if err != nil {
+			ge.Close()
+			return nil, err
+		}
+		ref, err := byEndpoint[home].Export(&MovableCounter{n: int64(100 + i)}, MovableCounterIface)
+		if err != nil {
+			ge.Close()
+			return nil, err
+		}
+		if err := ge.dir.Bind(ctx, name, ref); err != nil {
+			ge.Close()
+			return nil, err
+		}
+		ge.names = append(ge.names, name)
+		ge.refs = append(ge.refs, ref)
+	}
+	return ge, nil
+}
+
+// perCallOnce reads every counter as its own round trip — the un-batched
+// baseline a client without GetBatch pays.
+func (ge *getbatchEnv) perCallOnce() error {
+	ctx := context.Background()
+	for i, ref := range ge.refs {
+		results, err := ge.env.Client.Call(ctx, ref, "Get")
+		if err != nil {
+			return err
+		}
+		if len(results) != 1 || results[0].(int64) != int64(100+i) {
+			return fmt.Errorf("per-call read %d = %v, want %d", i, results, 100+i)
+		}
+	}
+	return nil
+}
+
+// getbatchOnce reads every counter through one streaming cluster GetBatch
+// and drains the ordered stream.
+func (ge *getbatchEnv) getbatchOnce() error {
+	ctx := context.Background()
+	s, err := cluster.GetBatch(ctx, ge.env.Client, ge.dir, ge.names, cluster.WithGetMethod("Get"))
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	for i := 0; ; i++ {
+		e, err := s.Next()
+		if err == io.EOF {
+			if i != len(ge.names) {
+				return fmt.Errorf("getbatch delivered %d entries, want %d", i, len(ge.names))
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if e.Err != nil {
+			return fmt.Errorf("getbatch entry %d: %w", i, e.Err)
+		}
+		if v, ok := e.Value.(int64); !ok || v != int64(100+i) {
+			return fmt.Errorf("getbatch entry %d = %v, want %d", i, e.Value, 100+i)
+		}
+	}
+}
+
+// perObject scales a measured total down to its per-object share.
+func perObject(s Stats, n int) Stats {
+	if n <= 0 {
+		return s
+	}
+	d := time.Duration(n)
+	return Stats{
+		N:    s.N,
+		Mean: s.Mean / d,
+		Std:  s.Std / d,
+		Min:  s.Min / d,
+		P50:  s.P50 / d,
+		P95:  s.P95 / d,
+		Max:  s.Max / d,
+	}
+}
+
+// RunGetBatch measures bulk reads of N objects over the cluster for each
+// batch size: N individual round trips ("per-call"), one streaming
+// cluster.GetBatch ("getbatch", one request per destination), and the
+// streaming total divided by N ("getbatch/obj") — the falling per-object
+// series that shows the batch amortizing its round trips.
+func RunGetBatch(cfg Config, sizes []int) (*Table, error) {
+	table := &Table{
+		Fig:     "Fig. C5",
+		Title:   fmt.Sprintf("Streaming Get-Batch: N ordered reads over %d servers", getbatchServers),
+		XLabel:  "objects read N",
+		Profile: cfg.Profile.Name,
+		Columns: []string{"per-call", "getbatch", "getbatch/obj"},
+	}
+	for _, n := range sizes {
+		env, err := newGetbatchEnv(cfg.Profile, n)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{X: n}
+		var batchStats Stats
+		for _, variant := range []struct {
+			op func() error
+		}{
+			{env.perCallOnce},
+			{env.getbatchOnce},
+		} {
+			before := env.env.Client.CallCount()
+			if err := variant.op(); err != nil {
+				env.Close()
+				return nil, fmt.Errorf("getbatch n=%d: %w", n, err)
+			}
+			calls := env.env.Client.CallCount() - before
+			stats, err := Measure(cfg.Warmup, cfg.Reps, variant.op)
+			if err != nil {
+				env.Close()
+				return nil, fmt.Errorf("getbatch n=%d: %w", n, err)
+			}
+			batchStats = stats
+			row.Cells = append(row.Cells, Cell{S: stats, Calls: calls})
+		}
+		row.Cells = append(row.Cells, Cell{S: perObject(batchStats, n), Calls: row.Cells[1].Calls})
+		table.Rows = append(table.Rows, row)
+		env.Close()
+	}
+	return table, nil
+}

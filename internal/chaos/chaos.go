@@ -35,6 +35,12 @@
 //     write must survive through its follower's replica and the epoch-bump
 //     failover. Only the documented in-flight migration window exempts a
 //     flush (the same exemption invariant 3 applies), never the kill.
+//  9. Stream-prefix delivery: every streaming GetBatch delivers a
+//     strictly-ordered prefix of its request — entry indices 0, 1, 2, …
+//     with no gap and no duplicate. Per-name failures count as delivered
+//     entries, so a killed or partitioned destination may truncate the
+//     stream but never reorder it, and a redial never replays a chunk into
+//     a duplicate entry.
 //
 // Everything a run injects derives from one int64 seed: the workload
 // program and the fault schedule are pure functions of it (pinned by
@@ -169,11 +175,14 @@ type Result struct {
 	// how many FailoverServer passes completed (boundary attempts that
 	// failed under active faults are retried until quiesce succeeds).
 	Kills, Failovers int
+	// Streams counts executed getbatch ops; StreamEntries is how many
+	// ordered entries their streams delivered in total.
+	Streams, StreamEntries int
 }
 
 func (r *Result) summary() string {
-	return fmt.Sprintf("seed=%d flushes=%d (failed %d) rebalances=%d (failed %d) faults=%d staleRetries=%d cachedReads=%d (hits %d) kills=%d failovers=%d",
-		r.Seed, r.Flushes, r.FailedFlushes, r.Rebalances, r.FailedRebalances, r.FaultEvents, r.StaleRetries, r.CachedReads, r.CacheHits, r.Kills, r.Failovers)
+	return fmt.Sprintf("seed=%d flushes=%d (failed %d) rebalances=%d (failed %d) faults=%d staleRetries=%d cachedReads=%d (hits %d) kills=%d failovers=%d streams=%d (entries %d)",
+		r.Seed, r.Flushes, r.FailedFlushes, r.Rebalances, r.FailedRebalances, r.FaultEvents, r.StaleRetries, r.CachedReads, r.CacheHits, r.Kills, r.Failovers, r.Streams, r.StreamEntries)
 }
 
 // newNetwork builds the seeded simulated network for cfg: instant base

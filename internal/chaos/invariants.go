@@ -24,6 +24,7 @@ func (r *runner) checkInvariants(ctx context.Context) {
 	r.checkAtMostOnce(logs)
 	r.checkFailureIsolation(logs)
 	r.checkCachedReads(logs)
+	r.checkStreamPrefix()
 	r.checkConvergence(ctx, logs)
 	r.checkEpochs(ctx)
 	// Counters last: checkEpochs runs a final cluster flush, and its calls
@@ -263,6 +264,36 @@ func (r *runner) checkCachedReads(logs map[string][]int64) {
 				rr.op+1, rr.name, rr.val, prev)
 		}
 		lastVal[rr.name] = rr.val
+	}
+}
+
+// checkStreamPrefix: invariant 9 — every getbatch op delivered a
+// strictly-ordered prefix of its request: entry indices 0, 1, 2, … with no
+// gap and no duplicate. Per-name failures are delivered entries (the
+// assembler turns a dead destination into error entries at the failed
+// positions), so faults may truncate the stream — Next erroring out before
+// io.EOF — but whatever arrived first must be the exact request order. A
+// violation here indicts the assembler or the chunked transport beneath
+// it: a reordered frame, a dropped chunk acked as delivered, a duplicate
+// surviving a redial.
+func (r *runner) checkStreamPrefix() {
+	for _, sr := range r.streams {
+		if len(sr.indices) > len(sr.names) {
+			r.violate("stream prefix: op %d delivered %d entries for a %d-name request",
+				sr.op+1, len(sr.indices), len(sr.names))
+			continue
+		}
+		for pos, idx := range sr.indices {
+			if idx != pos {
+				kind := "gap"
+				if idx < pos {
+					kind = "duplicate"
+				}
+				r.violate("stream prefix: op %d delivered index %d at position %d (%s; delivered %v of %d names)",
+					sr.op+1, idx, pos, kind, sr.indices, len(sr.names))
+				break
+			}
+		}
 	}
 }
 

@@ -3,8 +3,10 @@ package chaos
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -45,6 +47,14 @@ const (
 	// zero-round-trip cache hit. The cached-read invariant checks that no
 	// hit ever serves a value older than its lease epoch allows.
 	opCachedRead
+	// opGetBatch issues one streaming cluster.GetBatch over a seeded name
+	// subset (replica-spread reads on), racing the chunked streams against
+	// whatever kills, partitions, and rebalances the schedule lands on the
+	// destinations. The stream-prefix invariant checks the delivery: a
+	// strictly-ordered prefix of the request, no gaps, no duplicates —
+	// per-name failures count as delivered entries, a dead destination may
+	// only truncate, never reorder.
+	opGetBatch
 )
 
 // op is one workload step.
@@ -54,7 +64,8 @@ type op struct {
 	Endpoint string     // opAddServer / opRemoveServer, and opStaleFlush's change
 	Add      bool       // opStaleFlush: direction of the change
 	Async    bool       // rebalances: run concurrently with subsequent steps
-	Name     string     // opLookup
+	Name     string     // opLookup / opCachedRead
+	Names    []string   // opGetBatch: the request, in order (repeats legal)
 }
 
 func (o op) trace() string {
@@ -87,6 +98,8 @@ func (o op) trace() string {
 		return fmt.Sprintf("lookup %s", o.Name)
 	case opCachedRead:
 		return fmt.Sprintf("cachedread %s", o.Name)
+	case opGetBatch:
+		return fmt.Sprintf("getbatch [%s]", strings.Join(o.Names, " "))
 	}
 	return "unknown"
 }
@@ -167,17 +180,29 @@ func genProgram(cfg Config) *program {
 		return "", false, false
 	}
 
+	// genBatchNames draws one getbatch request: a few names in seeded
+	// order, repeats legal (reading the same object twice in one batch is
+	// a valid request the assembler must still deliver positionally).
+	genBatchNames := func() []string {
+		k := 2 + rng.Intn(len(p.names))
+		out := make([]string, k)
+		for i := range out {
+			out[i] = p.names[rng.Intn(len(p.names))]
+		}
+		return out
+	}
+
 	for step := 0; step < cfg.Steps; step++ {
 		switch q := rng.Float64(); {
-		case q < 0.52:
+		case q < 0.48:
 			p.ops = append(p.ops, op{Kind: opFlush, Calls: genCalls()})
-		case q < 0.62:
+		case q < 0.58:
 			if ep, add, ok := membershipChange(); ok {
 				p.ops = append(p.ops, op{Kind: opStaleFlush, Calls: genCalls(), Endpoint: ep, Add: add})
 			} else {
 				p.ops = append(p.ops, op{Kind: opFlush, Calls: genCalls()})
 			}
-		case q < 0.78:
+		case q < 0.74:
 			if ep, add, ok := membershipChange(); ok {
 				kind := opRemoveServer
 				if add {
@@ -187,10 +212,12 @@ func genProgram(cfg Config) *program {
 			} else {
 				p.ops = append(p.ops, op{Kind: opFlush, Calls: genCalls()})
 			}
-		case q < 0.88:
+		case q < 0.84:
 			p.ops = append(p.ops, op{Kind: opLookup, Name: p.names[rng.Intn(len(p.names))]})
-		default:
+		case q < 0.92:
 			p.ops = append(p.ops, op{Kind: opCachedRead, Name: p.names[rng.Intn(len(p.names))]})
+		default:
+			p.ops = append(p.ops, op{Kind: opGetBatch, Names: genBatchNames()})
 		}
 	}
 	return p
@@ -237,6 +264,17 @@ type readRecord struct {
 	required int64
 }
 
+// streamRecord is the ledger entry of one getbatch op: the request and the
+// e.Index sequence exactly as the stream delivered it. The stream-prefix
+// invariant re-reads this sequence; per-name failures are entries too, so a
+// faulted run's record still carries every delivered position.
+type streamRecord struct {
+	op      int
+	names   []string
+	indices []int
+	err     error // terminal Next error other than io.EOF (or a setup failure)
+}
+
 // runner executes one program under one schedule.
 type runner struct {
 	tb    testing.TB
@@ -251,6 +289,7 @@ type runner struct {
 
 	flushes []*flushRecord
 	reads   []*readRecord
+	streams []*streamRecord
 	issued  map[string][]int64 // per name, tokens in issue order
 	// durable is, per name, the running sum of tokens applied by flushes
 	// whose success is unconditional (clean flush, clean outcome, no
@@ -359,6 +398,10 @@ func runSim(tb testing.TB, cfg Config, prog *program, sched *Schedule) *Result {
 		CacheHits:        int(tc.ClientStats.Snapshot().Counter("cache.hits")),
 		Kills:            r.killCount,
 		Failovers:        r.failovers,
+		Streams:          len(r.streams),
+	}
+	for _, sr := range r.streams {
+		res.StreamEntries += len(sr.indices)
 	}
 	for _, f := range r.flushes {
 		res.Flushes++
@@ -530,6 +573,38 @@ func (r *runner) exec(ctx context.Context, o op, idx int) {
 		cancel()
 	case opCachedRead:
 		r.cachedRead(ctx, o, idx)
+	case opGetBatch:
+		r.getBatch(ctx, o, idx)
+	}
+}
+
+// getBatch issues one streaming bulk read over o.Names (replica spread on)
+// and ledgers the delivery sequence for the stream-prefix invariant. Under
+// faults anything may fail — a dead destination surfaces as per-entry
+// errors or a truncated stream, both legal — but whatever IS delivered
+// must be the ordered prefix the record captures.
+func (r *runner) getBatch(ctx context.Context, o op, idx int) {
+	sr := &streamRecord{op: idx, names: o.Names}
+	r.streams = append(r.streams, sr)
+	gctx, cancel := context.WithTimeout(ctx, r.cfg.FlushTimeout)
+	defer cancel()
+	s, err := cluster.GetBatch(gctx, r.tc.Client, r.dir, o.Names,
+		cluster.WithGetMethod("Get"), cluster.WithReadReplicas())
+	if err != nil {
+		sr.err = err
+		return
+	}
+	defer s.Close()
+	for {
+		e, err := s.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			sr.err = err
+			return
+		}
+		sr.indices = append(sr.indices, e.Index)
 	}
 }
 

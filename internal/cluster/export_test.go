@@ -1,0 +1,12 @@
+package cluster
+
+import "time"
+
+// SetShipTimeoutForTest shrinks the replication-ship deadline so the
+// goroutine-leak tests can watch a wedged straggler expire in test time.
+// The returned func restores the previous value.
+func SetShipTimeoutForTest(d time.Duration) (restore func()) {
+	old := shipTimeout
+	shipTimeout = d
+	return func() { shipTimeout = old }
+}

@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rmi"
+	"repro/internal/stats"
+)
+
+// Streaming bulk reads across the cluster (the Get-Batch workload).
+//
+// GetBatch turns N named reads into ONE stream request per destination
+// server: names resolve through the directory, group by home endpoint, and
+// each group ships as a single core.GetBatch stream executed in parallel
+// with the others. The returned Stream is the client-side assembler: it
+// merges the per-destination streams back into exact request order,
+// delivering entry i while later entries are still in flight. With
+// replicated shards (WithReadReplicas) the planner spreads reads over each
+// name's owner list, reading follower shadows where a seeded replica
+// exists and falling back to the primary where not.
+
+// StreamEntry is one delivered result of a cluster GetBatch: the request
+// position, the name read, and its value or per-name failure. A failed
+// destination fails its own entries; other destinations keep streaming.
+type StreamEntry struct {
+	Index int
+	Name  string
+	Value any
+	Err   error
+}
+
+// GetBatchOption configures a cluster GetBatch.
+type GetBatchOption func(*getBatchOpts)
+
+type getBatchOpts struct {
+	method       string
+	readReplicas bool
+}
+
+// WithGetMethod reads each object through the named no-argument accessor
+// instead of its Movable snapshot.
+func WithGetMethod(method string) GetBatchOption {
+	return func(o *getBatchOpts) { o.method = method }
+}
+
+// WithReadReplicas spreads the read set across each name's owner list
+// (primary + followers, see Directory.Owners): follower shadows kept fresh
+// by the replication log serve their share of the batch, multiplying read
+// bandwidth. Shadow reads are slightly stale by the records still in
+// flight to that follower; callers needing read-your-writes leave this
+// off.
+func WithReadReplicas() GetBatchOption {
+	return func(o *getBatchOpts) { o.readReplicas = true }
+}
+
+// destBatch is the per-destination slice of the request: parallel objIDs
+// and global indexes, in request order.
+type destBatch struct {
+	endpoint string
+	objIDs   []uint64
+	indexes  []int64
+}
+
+// Stream delivers a cluster GetBatch strictly in request order. Entries
+// arriving out of global order (a fast destination running ahead) buffer
+// until the gap fills; cluster.getbatch_buffer gauges that backlog.
+type Stream struct {
+	cancel context.CancelFunc
+	depth  *stats.Gauge
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	cond   *sync.Cond // signaled on deliver and Close
+	buf    map[int]*StreamEntry
+	next   int
+	total  int
+	closed bool
+}
+
+// GetBatch issues one ordered bulk read of names across the cluster. The
+// caller must drain the stream to io.EOF or Close it. Resolution failures
+// (unknown name, no route) surface as that entry's Err, not as a global
+// failure.
+func GetBatch(ctx context.Context, p *rmi.Peer, d *Directory, names []string, opts ...GetBatchOption) (*Stream, error) {
+	var o getBatchOpts
+	for _, op := range opts {
+		op(&o)
+	}
+
+	// Resolve every name to the endpoint+objID it will be read at. Lookups
+	// are independent network calls, so they fan out in parallel — a
+	// sequential resolve pass would cost N round trips and swamp the single
+	// streamed request the whole design exists to get down to.
+	endpoints := make([]string, len(names))
+	objIDs := make([]uint64, len(names))
+	resolveErrs := make([]error, len(names))
+	var rwg sync.WaitGroup
+	for i, name := range names {
+		rwg.Add(1)
+		go func(i int, name string) {
+			defer rwg.Done()
+			ref, err := d.Lookup(ctx, name)
+			if err != nil {
+				resolveErrs[i] = err
+				return
+			}
+			endpoints[i], objIDs[i] = ref.Endpoint, ref.ObjID
+		}(i, name)
+	}
+	rwg.Wait()
+	if o.readReplicas && d.Replication() > 1 {
+		spreadOverReplicas(ctx, p, d, names, endpoints, objIDs, resolveErrs)
+	}
+
+	// Group into per-destination sub-batches, preserving request order.
+	byDest := make(map[string]*destBatch)
+	var dests []*destBatch
+	for i := range names {
+		if resolveErrs[i] != nil {
+			continue
+		}
+		db := byDest[endpoints[i]]
+		if db == nil {
+			db = &destBatch{endpoint: endpoints[i]}
+			byDest[endpoints[i]] = db
+			dests = append(dests, db)
+		}
+		db.objIDs = append(db.objIDs, objIDs[i])
+		db.indexes = append(db.indexes, int64(i))
+	}
+
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Stream{
+		cancel: cancel,
+		buf:    make(map[int]*StreamEntry),
+		total:  len(names),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if reg := p.Stats(); reg != nil {
+		s.depth = reg.Gauge("cluster.getbatch_buffer")
+	}
+	for i, err := range resolveErrs {
+		if err != nil {
+			s.deliver(&StreamEntry{Index: i, Name: names[i], Err: err})
+		}
+	}
+	for _, db := range dests {
+		s.wg.Add(1)
+		go func(db *destBatch) {
+			defer s.wg.Done()
+			s.runDest(sctx, p, db, names, o.method)
+		}(db)
+	}
+	return s, nil
+}
+
+// spreadOverReplicas rewrites a slice of the read set onto follower
+// shadows: each name picks an owner by its request position, and followers
+// report (one ShadowIDs call per follower/primary pair) which of their
+// assigned names have a seeded, live shadow. Names without one — and any
+// follower that cannot be asked — stay on the primary. Best-effort by
+// design: failure here costs spreading, never correctness.
+func spreadOverReplicas(ctx context.Context, p *rmi.Peer, d *Directory, names []string, endpoints []string, objIDs []uint64, resolveErrs []error) {
+	type replicaGroup struct {
+		primary string
+		names   []string
+		pos     []int
+	}
+	groups := make(map[string]*replicaGroup) // key: follower + "\x00" + primary
+	epoch := d.Epoch()
+	for i, name := range names {
+		if resolveErrs[i] != nil {
+			continue
+		}
+		owners, _ := d.Owners(name)
+		if len(owners) < 2 || owners[0] != endpoints[i] {
+			// Not replicated, or the lookup resolved off-ring (mid-
+			// migration); don't second-guess it.
+			continue
+		}
+		pick := owners[i%len(owners)]
+		if pick == endpoints[i] {
+			continue
+		}
+		key := pick + "\x00" + owners[0]
+		g := groups[key]
+		if g == nil {
+			g = &replicaGroup{primary: owners[0]}
+			groups[key] = g
+		}
+		g.names = append(g.names, name)
+		g.pos = append(g.pos, i)
+	}
+	for key, g := range groups {
+		follower := key[:len(key)-len(g.primary)-1]
+		results, err := p.Call(ctx, ReplicaRef(follower), "ShadowIDs", g.primary, g.names, epoch)
+		if err != nil || len(results) == 0 {
+			continue
+		}
+		ids, ok := results[0].([]any)
+		if !ok || len(ids) != len(g.names) {
+			continue
+		}
+		for j, pos := range g.pos {
+			if id, ok := ids[j].(uint64); ok && id != 0 {
+				endpoints[pos], objIDs[pos] = follower, id
+			}
+		}
+	}
+}
+
+// runDest drains one destination's sub-stream into the assembler. The
+// per-server stream is ordered, so entries pair with the sub-batch's
+// indexes positionally; a destination failing mid-stream fails exactly its
+// undelivered remainder.
+func (s *Stream) runDest(ctx context.Context, p *rmi.Peer, db *destBatch, names []string, method string) {
+	failFrom := func(cursor int, err error) {
+		for _, gi := range db.indexes[cursor:] {
+			s.deliver(&StreamEntry{Index: int(gi), Name: names[gi], Err: err})
+		}
+	}
+	gs, err := core.GetBatch(ctx, p, db.endpoint, db.objIDs, db.indexes, method)
+	if err != nil {
+		failFrom(0, err)
+		return
+	}
+	defer gs.Close()
+	cursor := 0
+	for cursor < len(db.indexes) {
+		entry, err := gs.Next()
+		if err != nil {
+			if err == io.EOF {
+				err = fmt.Errorf("cluster: getbatch: %s ended after %d of %d entries", db.endpoint, cursor, len(db.indexes))
+			}
+			failFrom(cursor, err)
+			return
+		}
+		want := db.indexes[cursor]
+		if entry.Index != want {
+			failFrom(cursor, fmt.Errorf("cluster: getbatch: %s delivered index %d, want %d", db.endpoint, entry.Index, want))
+			return
+		}
+		s.deliver(&StreamEntry{Index: int(want), Name: names[want], Value: entry.Value, Err: entry.Err})
+		cursor++
+	}
+}
+
+// deliver hands one entry to the assembler.
+func (s *Stream) deliver(e *StreamEntry) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.buf[e.Index] = e
+	s.depth.Set(int64(len(s.buf)))
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Next returns the next entry in request order, blocking while its
+// destination is still streaming; io.EOF after the last. Per-name failures
+// arrive as the entry's Err, never as Next's.
+func (s *Stream) Next() (*StreamEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil, rmi.ErrClosed
+		}
+		if s.next >= s.total {
+			return nil, io.EOF
+		}
+		if e, ok := s.buf[s.next]; ok {
+			delete(s.buf, s.next)
+			s.next++
+			s.depth.Set(int64(len(s.buf)))
+			return e, nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// Close abandons the stream, canceling every in-flight destination.
+// Safe to call repeatedly and after EOF.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.buf = make(map[int]*StreamEntry)
+	s.depth.Set(0)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,263 @@
+package cluster_test
+
+// End-to-end tests for the streaming cluster GetBatch: one stream request
+// per destination server, strict request-order delivery at the assembler,
+// per-name error isolation, and the replica-spread read path.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/clustertest"
+	"repro/internal/rmi"
+)
+
+// TestGetBatchOrderedOnePerDestination is the acceptance-criteria test: a
+// 64-object GetBatch over a 4-server cluster completes as exactly ONE
+// core.getbatch request per destination, and the client sees every entry in
+// exact request order with the right value.
+func TestGetBatchOrderedOnePerDestination(t *testing.T) {
+	ec := clustertest.New(t, 4)
+	ctx := context.Background()
+	dir := cluster.NewDirectory(ec.Client, ec.Endpoints())
+
+	const n = 64
+	names := make([]string, n)
+	seeds := make(map[string]int64, n)
+	homes := make(map[string]int) // names per member
+	for i := range names {
+		names[i] = fmt.Sprintf("obj-%02d", i)
+		seeds[names[i]] = 1000 + int64(i)
+		ec.BindCounter(dir, names[i], seeds[names[i]])
+		home, err := dir.Home(names[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		homes[home]++
+	}
+	if len(homes) < 2 {
+		t.Fatalf("all %d names landed on one member; hash gone degenerate", n)
+	}
+
+	s, err := cluster.GetBatch(ctx, ec.Client, dir, names, cluster.WithGetMethod("Get"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; ; i++ {
+		e, err := s.Next()
+		if err == io.EOF {
+			if i != n {
+				t.Fatalf("stream ended after %d entries, want %d", i, n)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next() entry %d: %v", i, err)
+		}
+		if e.Index != i || e.Name != names[i] {
+			t.Fatalf("entry %d = {Index: %d, Name: %q}, want {%d, %q}: delivery out of request order", i, e.Index, e.Name, i, names[i])
+		}
+		if e.Err != nil {
+			t.Fatalf("entry %d (%s): %v", i, e.Name, e.Err)
+		}
+		if v, ok := e.Value.(int64); !ok || v != seeds[e.Name] {
+			t.Fatalf("entry %d (%s) = %v (%T), want %d", i, e.Name, e.Value, e.Value, seeds[e.Name])
+		}
+	}
+
+	// ONE stream request per destination: each member holding names served
+	// exactly one batch, and its entry count matches its share.
+	for _, srv := range ec.Servers {
+		snap := srv.Stats.Snapshot()
+		wantBatches := int64(0)
+		if homes[srv.Endpoint] > 0 {
+			wantBatches = 1
+		}
+		if got := snap.Counter("core.getbatch_batches"); got != wantBatches {
+			t.Errorf("%s served %d getbatch batches, want %d", srv.Endpoint, got, wantBatches)
+		}
+		if got := snap.Counter("core.getbatch_entries"); got != int64(homes[srv.Endpoint]) {
+			t.Errorf("%s streamed %d entries, want %d", srv.Endpoint, got, homes[srv.Endpoint])
+		}
+	}
+}
+
+// TestGetBatchSnapshotDefault reads through the Movable snapshot path (no
+// accessor method): values arrive as the object's migration snapshot.
+func TestGetBatchSnapshotDefault(t *testing.T) {
+	ec := clustertest.New(t, 2)
+	ctx := context.Background()
+	dir := cluster.NewDirectory(ec.Client, ec.Endpoints())
+	names := []string{"snap-a", "snap-b", "snap-c"}
+	for i, name := range names {
+		ec.BindCounter(dir, name, int64(10*(i+1)))
+	}
+
+	s, err := cluster.GetBatch(ctx, ec.Client, dir, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < len(names); i++ {
+		e, err := s.Next()
+		if err != nil {
+			t.Fatalf("Next() entry %d: %v", i, err)
+		}
+		if e.Err != nil {
+			t.Fatalf("entry %d (%s): %v", i, e.Name, e.Err)
+		}
+		st, ok := e.Value.(*clustertest.CounterState)
+		if !ok {
+			t.Fatalf("entry %d value = %T, want *CounterState", i, e.Value)
+		}
+		if st.N != int64(10*(i+1)) {
+			t.Fatalf("entry %d snapshot N = %d, want %d", i, st.N, 10*(i+1))
+		}
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("after last entry: %v, want io.EOF", err)
+	}
+}
+
+// TestGetBatchUnknownNameFailsOnlyThatEntry: a name the directory cannot
+// resolve surfaces as that entry's Err; every other entry still delivers.
+func TestGetBatchUnknownNameFailsOnlyThatEntry(t *testing.T) {
+	ec := clustertest.New(t, 2)
+	ctx := context.Background()
+	dir := cluster.NewDirectory(ec.Client, ec.Endpoints())
+	ec.BindCounter(dir, "known-a", 1)
+	ec.BindCounter(dir, "known-b", 2)
+	names := []string{"known-a", "ghost", "known-b"}
+
+	s, err := cluster.GetBatch(ctx, ec.Client, dir, names, cluster.WithGetMethod("Get"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var got [3]*cluster.StreamEntry
+	for i := range got {
+		e, err := s.Next()
+		if err != nil {
+			t.Fatalf("Next() entry %d: %v", i, err)
+		}
+		got[e.Index] = e
+	}
+	if got[0].Err != nil || got[0].Value.(int64) != 1 {
+		t.Errorf("known-a = %v, %v; want 1", got[0].Value, got[0].Err)
+	}
+	if got[1].Err == nil {
+		t.Errorf("ghost resolved to %v; want a lookup error", got[1].Value)
+	}
+	if got[2].Err != nil || got[2].Value.(int64) != 2 {
+		t.Errorf("known-b = %v, %v; want 2", got[2].Value, got[2].Err)
+	}
+}
+
+// TestGetBatchCloseUnblocks: Close on a part-drained stream cancels the
+// in-flight destinations and later Next calls fail fast.
+func TestGetBatchCloseUnblocks(t *testing.T) {
+	ec := clustertest.New(t, 2)
+	ctx := context.Background()
+	dir := cluster.NewDirectory(ec.Client, ec.Endpoints())
+	names := make([]string, 16)
+	for i := range names {
+		names[i] = fmt.Sprintf("c-%d", i)
+		ec.BindCounter(dir, names[i], int64(i))
+	}
+	s, err := cluster.GetBatch(ctx, ec.Client, dir, names, cluster.WithGetMethod("Get"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(); err != nil {
+		t.Fatalf("first Next: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Next()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, rmi.ErrClosed) {
+			t.Fatalf("Next after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next after Close blocked")
+	}
+}
+
+// TestGetBatchReadReplicas: with every name homed on one primary and a
+// replicated directory, WithReadReplicas moves part of the batch onto the
+// seeded follower shadows — the follower executes entries it would never
+// see otherwise, and every value is still correct.
+func TestGetBatchReadReplicas(t *testing.T) {
+	ec := clustertest.New(t, 3)
+	ctx := context.Background()
+	dir := cluster.NewDirectory(ec.Client, ec.Endpoints(), cluster.WithReplication(2))
+
+	// Collect names that all share one primary, so any entry executed
+	// elsewhere is unambiguously a follower shadow read.
+	primary := ec.Endpoints()[0]
+	var names []string
+	seeds := make(map[string]int64)
+	for i := 0; len(names) < 8; i++ {
+		name := fmt.Sprintf("rr-%d", i)
+		if home, err := dir.Home(name); err != nil {
+			t.Fatal(err)
+		} else if home != primary {
+			continue
+		}
+		seeds[name] = 500 + int64(i)
+		ec.BindCounter(dir, name, seeds[name])
+		names = append(names, name)
+		if i > 100000 {
+			t.Fatal("no names homed on primary")
+		}
+	}
+	// Seed follower shadows: replica placement rides the rebalance flow.
+	if _, err := cluster.NewRebalancer(dir).AddServer(ctx, primary); err != nil {
+		t.Fatalf("placement rebalance: %v", err)
+	}
+
+	s, err := cluster.GetBatch(ctx, ec.Client, dir, names,
+		cluster.WithGetMethod("Get"), cluster.WithReadReplicas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < len(names); i++ {
+		e, err := s.Next()
+		if err != nil {
+			t.Fatalf("Next() entry %d: %v", i, err)
+		}
+		if e.Index != i || e.Err != nil {
+			t.Fatalf("entry %d = {Index: %d, Err: %v}, want in-order success", i, e.Index, e.Err)
+		}
+		if v, ok := e.Value.(int64); !ok || v != seeds[e.Name] {
+			t.Fatalf("entry %d (%s) = %v, want %d", i, e.Name, e.Value, seeds[e.Name])
+		}
+	}
+
+	var followerEntries int64
+	for _, srv := range ec.Servers {
+		if srv.Endpoint == primary {
+			continue
+		}
+		followerEntries += srv.Stats.Snapshot().Counter("core.getbatch_entries")
+	}
+	if followerEntries == 0 {
+		t.Error("no entry executed on a follower; replica spread did nothing")
+	}
+	if got := ec.Server(primary).Stats.Snapshot().Counter("core.getbatch_entries"); got == int64(len(names)) {
+		t.Error("primary executed the whole batch; replica spread did nothing")
+	}
+}

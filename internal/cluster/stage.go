@@ -23,6 +23,12 @@ import (
 // inputs: exported refs of remote results are pulled from the response and
 // forwarded by reference; future values are spliced in by value.
 
+// shipTimeout bounds one replication ship (the Append call carrying a wave
+// to a follower). Ships past the quorum ack keep running after replicate
+// returns, so they must have a deadline of their own — the flush's ctx may
+// never cancel. Variable so tests can shrink it.
+var shipTimeout = 30 * time.Second
+
 // destState is one destination's execution state across stages.
 type destState struct {
 	group *group
@@ -172,10 +178,22 @@ func (b *Batch) replicate(ctx context.Context, ds *destState) error {
 		err error
 	}
 	// Buffered to the fan-out so stragglers past the quorum ack never block.
+	// Each ship is bounded by shipTimeout: once quorum acks, replicate
+	// returns and the stragglers run on detached — a straggler stuck on a
+	// wedged destination's connection (killed mid-ship, partitioned with the
+	// frames in flight) would otherwise block in Call for as long as the
+	// flush's ctx lives, and every quorum-early flush past that follower
+	// leaks a goroutine.
 	results := make(chan shipAck, len(followers))
+	// Read the timeout once at spawn: a detached straggler outlives
+	// replicate, and the package var is only synchronized up to the flush's
+	// return.
+	timeout := shipTimeout
 	for ep := range followers {
 		go func(ep string) {
-			_, err := b.peer.Call(ctx, ReplicaRef(ep), "Append", rec)
+			sctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			_, err := b.peer.Call(sctx, ReplicaRef(ep), "Append", rec)
 			results <- shipAck{ep: ep, err: err}
 		}(ep)
 	}

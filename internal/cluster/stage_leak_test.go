@@ -1,0 +1,97 @@
+package cluster_test
+
+// Goroutine-leak regression for the replication ship fan-out: a quorum-
+// early flush returns while stragglers are still shipping, and a straggler
+// stuck on a wedged destination connection must expire on shipTimeout
+// instead of outliving the flush forever.
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/clustertest"
+	"repro/internal/netsim"
+)
+
+// assertGoroutinesReturn polls until the process goroutine count falls back
+// to (near) baseline, dumping all stacks on timeout. The small slack
+// absorbs runtime/test-framework churn; a leaked ship goroutine per flush
+// blows well past it.
+func assertGoroutinesReturn(t *testing.T, baseline int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	n := 0
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Fatalf("goroutine count stuck at %d (baseline %d); leaked stacks:\n%s", n, baseline, buf)
+}
+
+// TestShipStragglerDoesNotLeak: under WithQuorum(1) a replicated flush acks
+// off the primary alone, and the follower ship runs on past replicate's
+// return. With the follower's response path wedged (huge injected latency —
+// the connection is alive, the Append answer just never arrives), the ship
+// goroutine must exit when shipTimeout expires rather than leak.
+func TestShipStragglerDoesNotLeak(t *testing.T) {
+	restore := cluster.SetShipTimeoutForTest(250 * time.Millisecond)
+	defer restore()
+
+	ec := clustertest.New(t, 3)
+	ctx := context.Background()
+	dir := cluster.NewDirectory(ec.Client, ec.Endpoints(), cluster.WithReplication(2))
+	ec.BindCounter(dir, "obj-0", 100)
+	if _, err := cluster.NewRebalancer(dir).AddServer(ctx, ec.Endpoints()[0]); err != nil {
+		t.Fatalf("placement rebalance: %v", err)
+	}
+	owners, _ := dir.Owners("obj-0")
+	follower := owners[1]
+
+	flush := func(want int64) {
+		t.Helper()
+		b := cluster.New(ec.Client, cluster.WithDirectory(dir), cluster.WithQuorum(1))
+		p, err := b.RootNamed(ctx, "obj-0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := p.Call("Add", int64(1))
+		if err := b.Flush(ctx); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		if v, err := cluster.Typed[int64](f).Get(); err != nil || v != want {
+			t.Fatalf("Add = %v, %v; want %d", v, err, want)
+		}
+	}
+
+	// First flush on a healthy network establishes every connection the
+	// ship path uses, so its readLoops land in the baseline.
+	flush(101)
+	assertGoroutinesReturn(t, runtime.NumGoroutine(), 2*time.Second)
+	baseline := runtime.NumGoroutine()
+
+	// Wedge the follower's response path and keep flushing: quorum W=1
+	// acks each wave immediately, and every straggler ship hangs on the
+	// silent connection. Eight wedged flushes put any leak far outside the
+	// poll's churn slack. The hour-late responses stay queued on the link
+	// (graceful close drains in-flight data), so teardown must reset those
+	// connections abortively — registered before clustertest's own cleanup
+	// so it runs first.
+	ec.Network.SetLinkFaults(follower, clustertest.ClientHost, netsim.LinkFaults{ExtraLatency: time.Hour})
+	t.Cleanup(func() { ec.Network.KillConns(follower) })
+	for i := int64(0); i < 8; i++ {
+		flush(102 + i)
+	}
+
+	// The fix: each ship's own deadline reaps it. Without shipTimeout the
+	// goroutines block in Call for as long as the flush ctx lives — here,
+	// forever — and this poll times out.
+	assertGoroutinesReturn(t, baseline, 5*time.Second)
+}

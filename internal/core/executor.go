@@ -39,6 +39,11 @@ type Executor struct {
 	replaySeq  *stats.Counter   // batches replayed sequentially
 	executed   *stats.Counter   // calls that reached method execution
 
+	// Streaming bulk reads (GetBatch). Separate from executed: replica
+	// accounting cross-checks calls_executed against client acks.
+	getbatchBatches *stats.Counter // GetBatch requests served
+	getbatchEntries *stats.Counter // entries streamed across all GetBatches
+
 	mu       sync.Mutex
 	sessions map[uint64]*session
 	nextID   uint64
@@ -109,10 +114,13 @@ func Install(p *rmi.Peer, opts ...ExecOption) (*Executor, error) {
 		e.replayPar = reg.Counter("core.replay_parallel")
 		e.replaySeq = reg.Counter("core.replay_sequential")
 		e.executed = reg.Counter("core.calls_executed")
+		e.getbatchBatches = reg.Counter("core.getbatch_batches")
+		e.getbatchEntries = reg.Counter("core.getbatch_entries")
 	}
 	if _, err := p.ExportSystem(rmi.BatchObjID, e, rmi.BatchIface); err != nil {
 		return nil, fmt.Errorf("brmi: install executor: %w", err)
 	}
+	p.HandleStream(GetBatchService, e.serveGetBatch)
 	e.wg.Add(1)
 	go e.sweepLoop()
 	return e, nil

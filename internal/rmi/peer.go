@@ -46,6 +46,7 @@ type Peer struct {
 	endpoint  string
 	tsrv      *transport.Server
 	closed    bool
+	streams   map[string]StreamServer // stream services, by name
 	forwards  map[uint64]forwardRecord  // migrated-away objects, by old id
 	holds     map[string]map[uint64]int // endpoint -> objID -> refcount
 	granted   map[string]time.Duration  // endpoint -> lease granted by its DGC
@@ -192,7 +193,8 @@ func (p *Peer) Serve(endpoint string) error {
 	if err != nil {
 		return fmt.Errorf("rmi: listen %s: %w", endpoint, err)
 	}
-	tsrv := transport.NewServer(p.handle, transport.WithLogf(p.opts.logf), transport.WithBufferReuse(), transport.WithStats(p.tstats))
+	tsrv := transport.NewServer(p.handle, transport.WithLogf(p.opts.logf), transport.WithBufferReuse(),
+		transport.WithStats(p.tstats), transport.WithStreamHandler(p.handleStream))
 	if err := tsrv.Serve(l); err != nil {
 		_ = l.Close()
 		return err

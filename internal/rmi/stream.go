@@ -1,0 +1,199 @@
+package rmi
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Response streaming.
+//
+// A stream call names a registered stream SERVICE instead of an exported
+// object: the serving peer dispatches to the StreamServer installed with
+// HandleStream, which emits a sequence of wire-encoded entries through an
+// EntryWriter. Entries travel inside the transport's chunked frame protocol
+// (credit-gated, interleaved with ordinary calls), so the consumer reads
+// them strictly in emission order while the producer is still running —
+// the substrate beneath core's GetBatch bulk-read path.
+
+// streamRequest is the wire envelope of a stream call: the service name
+// and the service-specific request value.
+type streamRequest struct {
+	Service string
+	Req     any
+}
+
+func encStreamRequest(x wire.Enc, r *streamRequest) error {
+	x.BeginStruct("rmi.stream.req", 2)
+	x.Str(r.Service)
+	return x.Value(r.Req)
+}
+
+func decStreamRequest(x wire.Dec, r *streamRequest, n int) error {
+	var err error
+	if n > 0 {
+		if r.Service, err = x.Str(); err != nil {
+			return err
+		}
+	}
+	if n > 1 {
+		if r.Req, err = x.Value(); err != nil {
+			return err
+		}
+	}
+	return x.SkipFields(n - 2)
+}
+
+func init() {
+	wire.MustRegisterCompiled("rmi.stream.req", true, encStreamRequest, decStreamRequest)
+}
+
+// StreamServer handles one stream call: it decodes req (already FromWire-
+// converted) and emits entries through w. A returned error reaches the
+// caller's StreamCall after the entries written so far.
+type StreamServer func(ctx context.Context, req any, w *EntryWriter) error
+
+// HandleStream installs fn as the handler for stream calls naming service.
+// Must be called before Serve; later installs replace earlier ones.
+func (p *Peer) HandleStream(service string, fn StreamServer) {
+	p.mu.Lock()
+	if p.streams == nil {
+		p.streams = make(map[string]StreamServer)
+	}
+	p.streams[service] = fn
+	p.mu.Unlock()
+}
+
+// handleStream is the transport.StreamHandler for this peer.
+func (p *Peer) handleStream(ctx context.Context, payload []byte, w *transport.StreamWriter) error {
+	msg, err := wire.Unmarshal(payload)
+	if err != nil {
+		return fmt.Errorf("decode stream request: %w", err)
+	}
+	req, ok := msg.(*streamRequest)
+	if !ok {
+		return fmt.Errorf("unexpected stream request type %T", msg)
+	}
+	p.mu.Lock()
+	fn := p.streams[req.Service]
+	p.mu.Unlock()
+	if fn == nil {
+		return fmt.Errorf("rmi: no stream service %q", req.Service)
+	}
+	return fn(ctx, p.FromWire(req.Req), &EntryWriter{p: p, w: w})
+}
+
+// EntryWriter emits one stream's entries: each WriteEntry frames a
+// length-prefixed wire message into the response stream and flushes, so the
+// entry reaches the consumer without waiting for a full chunk. Not safe for
+// concurrent use.
+type EntryWriter struct {
+	p *Peer
+	w *transport.StreamWriter
+}
+
+// WriteEntry encodes v (remote objects become refs, like call results) and
+// streams it. Blocks when the stream is out of flow-control credit;
+// surfaces transport.ErrStreamCanceled once the consumer is gone.
+func (ew *EntryWriter) WriteEntry(v any) error {
+	wv, err := ew.p.ToWire(v)
+	if err != nil {
+		return fmt.Errorf("rmi: marshal stream entry: %w", err)
+	}
+	buf := transport.GetBuffer()
+	// Reserve room for the maximal uvarint prefix, encode, then write the
+	// prefix tight against the entry.
+	const maxPrefix = binary.MaxVarintLen64
+	for len(buf) < maxPrefix {
+		buf = append(buf, 0)
+	}
+	out, err := wire.MarshalAppend(buf, wv)
+	if err != nil {
+		transport.PutBuffer(buf)
+		return fmt.Errorf("rmi: encode stream entry: %w", err)
+	}
+	entryLen := len(out) - maxPrefix
+	var pre [maxPrefix]byte
+	preLen := binary.PutUvarint(pre[:], uint64(entryLen))
+	start := maxPrefix - preLen
+	copy(out[start:], pre[:preLen])
+	if _, err := ew.w.Write(out[start:]); err != nil {
+		transport.PutBuffer(out)
+		return err
+	}
+	transport.PutBuffer(out)
+	return ew.w.Flush()
+}
+
+// StreamCall is the consumer end of a stream call: Next returns decoded
+// entries strictly in emission order while later entries are in flight.
+type StreamCall struct {
+	p  *Peer
+	r  *transport.StreamReader
+	br *bufio.Reader
+}
+
+// CallStream issues a stream call against service at endpoint. The caller
+// must drain the returned StreamCall to io.EOF or Close it.
+func (p *Peer) CallStream(ctx context.Context, endpoint, service string, req any) (*StreamCall, error) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	p.calls.Add(1)
+	wreq, err := p.ToWire(req)
+	if err != nil {
+		return nil, fmt.Errorf("rmi: marshal stream request: %w", err)
+	}
+	buf := transport.GetBuffer()
+	payload, err := wire.MarshalAppend(buf, &streamRequest{Service: service, Req: wreq})
+	if err != nil {
+		transport.PutBuffer(buf)
+		return nil, fmt.Errorf("rmi: encode stream request: %w", err)
+	}
+	r, err := p.pool.CallStream(ctx, endpoint, payload)
+	transport.PutBuffer(payload)
+	if err != nil {
+		return nil, &RemoteException{Op: "stream " + service, Endpoint: endpoint, Err: err}
+	}
+	return &StreamCall{p: p, r: r, br: bufio.NewReader(r)}, nil
+}
+
+// Next returns the next entry, or io.EOF after the last. A stream failed
+// mid-way yields its delivered entries, then the error.
+func (sc *StreamCall) Next() (any, error) {
+	n, err := binary.ReadUvarint(sc.br)
+	if err != nil {
+		return nil, err
+	}
+	buf := transport.GetBuffer()
+	if cap(buf) < int(n) {
+		transport.PutBuffer(buf)
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(sc.br, buf); err != nil {
+		transport.PutBuffer(buf)
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	msg, err := wire.Unmarshal(buf)
+	transport.PutBuffer(buf)
+	if err != nil {
+		return nil, fmt.Errorf("rmi: decode stream entry: %w", err)
+	}
+	return sc.p.FromWire(msg), nil
+}
+
+// Close abandons the stream, canceling the producer. Safe after EOF.
+func (sc *StreamCall) Close() error { return sc.r.Close() }

@@ -47,6 +47,10 @@ type Row struct {
 	// member appended to follower shard logs, and shadows it turned
 	// authoritative during failovers.
 	ReplAppends, Promotions int64
+	// StreamsOpen is the number of chunked streams live right now (response
+	// streaming and oversized calls both ride them); StreamChunks is the
+	// cumulative chunk count moved in either direction.
+	StreamsOpen, StreamChunks int64
 	// Epoch is the server's ring epoch; Stale marks it behind the
 	// cluster-wide maximum (epoch skew).
 	Epoch int64
@@ -89,6 +93,8 @@ func BuildRows(cur, prev map[string]*stats.Snapshot, elapsed time.Duration) []Ro
 			Departs:      s.Counter("cluster.departs"),
 			ReplAppends:  s.Counter("cluster.replica_appends"),
 			Promotions:   s.Counter("cluster.promotions"),
+			StreamsOpen:  s.Gauge("transport.streams_open"),
+			StreamChunks: s.Counter("transport.chunks_in") + s.Counter("transport.chunks_out"),
 			Epoch:        s.Gauge("cluster.ring_epoch"),
 		}
 		gets := s.Gauge("wire.enc_state_gets") + s.Gauge("wire.dec_state_gets")
@@ -143,11 +149,12 @@ func dur(d time.Duration) string {
 // buffer-pool hit rate, wire codec-state reuse rate, readonly lease-cache
 // hit rate ("-" where no cache runs), migration state, replication state
 // (appended follower-log records, "+N promoted" after a failover recovered
-// shadows here), and ring epoch
+// shadows here), chunked-stream activity ("-" when nothing ever streamed,
+// else "open/chunks"), and ring epoch
 // ("!" marks a server behind the cluster-wide maximum — epoch skew, i.e.
 // a ring broadcast it has not adopted yet).
 func RenderTable(w io.Writer, rows []Row) {
-	const header = "SERVER\tCALLS\tQPS\tWAVE p50\tWAVE p99\tPOOL\tCODEC\tCACHE\tMIGRATION\tREPL\tEPOCH"
+	const header = "SERVER\tCALLS\tQPS\tWAVE p50\tWAVE p99\tPOOL\tCODEC\tCACHE\tMIGRATION\tREPL\tSTREAM\tEPOCH"
 	lines := make([][]string, 0, len(rows)+1)
 	lines = append(lines, strings.Split(header, "\t"))
 	for _, r := range rows {
@@ -166,6 +173,10 @@ func RenderTable(w io.Writer, rows []Row) {
 			repl = fmt.Sprintf("%d +%d promoted", r.ReplAppends, r.Promotions)
 		case r.ReplAppends > 0:
 			repl = fmt.Sprintf("%d", r.ReplAppends)
+		}
+		stream := "-"
+		if r.StreamsOpen > 0 || r.StreamChunks > 0 {
+			stream = fmt.Sprintf("%d/%d", r.StreamsOpen, r.StreamChunks)
 		}
 		epoch := fmt.Sprintf("%d", r.Epoch)
 		if r.Stale {
@@ -186,6 +197,7 @@ func RenderTable(w io.Writer, rows []Row) {
 			pct(r.CacheHit),
 			mig,
 			repl,
+			stream,
 			epoch,
 		})
 	}

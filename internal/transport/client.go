@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -44,21 +45,27 @@ type pendingShard struct {
 // pendingCall carries one in-flight request's response channel, tagged with
 // the generation of the connection it was issued on so a dying connection
 // fails exactly the calls that rode it. Records (and their channels) are
-// pooled.
+// pooled. A stream call (CallStream) carries its reader instead; stream
+// records are never pooled.
 type pendingCall struct {
-	ch  chan response
-	gen uint64
+	ch     chan response
+	gen    uint64
+	stream *StreamReader
 }
 
 var pendingPool = sync.Pool{New: func() any {
 	return &pendingCall{ch: make(chan response, 1)}
 }}
 
-// clientConn is one dialed connection's immutable state.
+// clientConn is one dialed connection's immutable state. ct is the
+// send-side flow control for chunked messages issued on this connection;
+// asm reassembles inbound chunked responses (read loop only).
 type clientConn struct {
 	conn net.Conn
 	fw   *frameWriter
 	gen  uint64
+	ct   *creditTable
+	asm  *assembler
 }
 
 type response struct {
@@ -93,8 +100,10 @@ func (c *Client) Endpoint() string { return c.endpoint }
 // late response is discarded. The returned payload buffer is owned by the
 // caller, which may return it to the pool with PutBuffer after decoding.
 //
-// An ErrTooLarge payload fails only this call: the connection stays up and
-// concurrent calls proceed undisturbed.
+// A payload larger than one frame is chunked transparently (see
+// stream.go), so there is no send-side size ceiling; should a single-frame
+// ErrTooLarge still surface, it fails only this call — the connection
+// stays up and concurrent calls proceed undisturbed.
 func (c *Client) Call(ctx context.Context, payload []byte) ([]byte, error) {
 	cc, err := c.conn(ctx)
 	if err != nil {
@@ -109,7 +118,7 @@ func (c *Client) Call(ctx context.Context, payload []byte) ([]byte, error) {
 	sh.mu.Unlock()
 	c.st.Pending.Add(1)
 
-	if err := cc.fw.write(frameRequest, id, payload); err != nil {
+	if err := sendMessage(ctx, cc.fw, cc.ct, c.st, frameRequest, id, payload); err != nil {
 		if errors.Is(err, ErrTooLarge) {
 			// Nothing was buffered or sent; fail this call only.
 			if c.remove(id) {
@@ -155,6 +164,35 @@ func (c *Client) CallOneWay(ctx context.Context, payload []byte) error {
 	return nil
 }
 
+// CallStream sends payload as a stream request: the response arrives as an
+// ordered chunk stream delivered through the returned reader while later
+// chunks are still in flight (the server must install a stream handler,
+// see WithStreamHandler). The reader must be drained to io.EOF or closed;
+// Close cancels the sender via a zero-credit grant. Oversized request
+// payloads are chunked like Call's.
+func (c *Client) CallStream(ctx context.Context, payload []byte) (*StreamReader, error) {
+	cc, err := c.conn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	id := c.nextID.Add(1)
+	r := newStreamReader(ctx, c, cc, id)
+	pc := &pendingCall{gen: cc.gen, stream: r}
+	sh := &c.shards[id&(numShards-1)]
+	sh.mu.Lock()
+	sh.m[id] = pc
+	sh.mu.Unlock()
+	c.st.Pending.Add(1)
+
+	if err := sendMessage(ctx, cc.fw, cc.ct, c.st, frameStreamReq, id, payload); err != nil {
+		c.remove(id)
+		r.deliver(0, nil, false, err)
+		c.dropConn(cc)
+		return nil, fmt.Errorf("transport: send to %s: %w", c.endpoint, err)
+	}
+	return r, nil
+}
+
 // remove deletes a pending entry, reporting whether it was still present
 // (present means no response/failure path owns it).
 func (c *Client) remove(id uint64) bool {
@@ -186,6 +224,16 @@ func (c *Client) take(id uint64) *pendingCall {
 	return pc
 }
 
+// peek returns the pending entry for id without claiming it — chunk frames
+// address the same id many times before the stream completes.
+func (c *Client) peek(id uint64) *pendingCall {
+	sh := &c.shards[id&(numShards-1)]
+	sh.mu.Lock()
+	pc := sh.m[id]
+	sh.mu.Unlock()
+	return pc
+}
+
 // conn returns the live connection, dialing under the mutex if needed.
 func (c *Client) conn(ctx context.Context) (*clientConn, error) {
 	if cc := c.cur.Load(); cc != nil {
@@ -208,7 +256,13 @@ func (c *Client) conn(ctx context.Context) (*clientConn, error) {
 	if c.gen > 1 {
 		c.st.Redials.Inc()
 	}
-	cc := &clientConn{conn: conn, fw: newFrameWriter(conn, c.st), gen: c.gen}
+	cc := &clientConn{
+		conn: conn,
+		fw:   newFrameWriter(conn, c.st),
+		gen:  c.gen,
+		ct:   newCreditTable(),
+		asm:  newAssembler(),
+	}
 	c.cur.Store(cc)
 	c.readers.Add(1)
 	go c.readLoop(cc)
@@ -222,11 +276,36 @@ func (c *Client) readLoop(cc *clientConn) {
 	for {
 		kind, id, payload, err := readFrame(cc.conn)
 		if err != nil {
+			var of *OversizedFrameError
+			if errors.As(err, &of) {
+				// The peer sent a single frame beyond the ceiling. The
+				// payload was drained and the connection is healthy, so
+				// fail only the addressed call — the receive-side mirror of
+				// the send path's fail-one-call ErrTooLarge contract.
+				if pc := c.take(of.ID); pc != nil {
+					c.deliver(pc, response{err: fmt.Errorf("transport: response from %s: %w", c.endpoint, of)})
+				}
+				continue
+			}
 			c.failConn(cc, fmt.Errorf("transport: connection to %s lost: %w", c.endpoint, err))
 			return
 		}
 		c.st.FramesIn.Inc()
 		c.st.BytesIn.Add(uint64(frameHeaderLen + len(payload)))
+		switch kind {
+		case frameCredit:
+			if len(payload) == 4 {
+				cc.ct.grant(id, int(binary.BigEndian.Uint32(payload)))
+			}
+			PutBuffer(payload)
+			continue
+		case frameChunk:
+			if err := c.handleChunk(cc, id, payload); err != nil {
+				c.failConn(cc, fmt.Errorf("transport: connection to %s lost: %w", c.endpoint, err))
+				return
+			}
+			continue
+		}
 		pc := c.take(id)
 		if pc == nil {
 			PutBuffer(payload) // canceled call; drop late response
@@ -234,29 +313,125 @@ func (c *Client) readLoop(cc *clientConn) {
 		}
 		switch kind {
 		case frameRespOK:
-			pc.ch <- response{payload: payload}
+			c.deliver(pc, response{payload: payload})
 		case frameRespErr:
 			msg := string(payload)
 			PutBuffer(payload)
-			pc.ch <- response{err: &HandlerError{Endpoint: c.endpoint, Msg: msg}}
+			c.deliver(pc, response{err: &HandlerError{Endpoint: c.endpoint, Msg: msg}})
 		default:
 			PutBuffer(payload)
-			pc.ch <- response{err: fmt.Errorf("transport: unexpected frame kind %d from %s", kind, c.endpoint)}
+			c.deliver(pc, response{err: fmt.Errorf("transport: unexpected frame kind %d from %s", kind, c.endpoint)})
 		}
 	}
 }
 
+// handleChunk routes one frameChunk frame: stream-call chunks feed the
+// pending call's reader incrementally, chunks of an ordinary oversized
+// response reassemble into one payload. A returned error is a protocol
+// violation and connection-fatal.
+func (c *Client) handleChunk(cc *clientConn, id uint64, payload []byte) error {
+	cv, err := parseChunk(payload)
+	if err != nil {
+		PutBuffer(payload)
+		return err
+	}
+	c.st.ChunksIn.Inc()
+	c.st.StreamBytesIn.Add(uint64(len(cv.data)))
+	pc := c.peek(id)
+	if pc == nil {
+		// Abandoned call: drop the chunk but keep granting credit so the
+		// sender runs to its fin instead of blocking on a dead window.
+		cc.asm.drop(id)
+		n := len(cv.data)
+		fin := cv.fin
+		PutBuffer(payload)
+		if !fin && n > 0 {
+			_ = writeCredit(cc.fw, id, n)
+		}
+		return nil
+	}
+	if r := pc.stream; r != nil {
+		// The reader owns the data span (it grants credit as the consumer
+		// reads); the header prefix rides along unused.
+		var terminal bool
+		switch cv.inner {
+		case frameRespOK:
+			terminal = r.deliver(cv.seq, cv.data, cv.fin, nil)
+		case frameRespErr:
+			msg := string(cv.data)
+			PutBuffer(payload)
+			terminal = r.deliver(cv.seq, nil, cv.fin, &HandlerError{Endpoint: c.endpoint, Msg: msg})
+		default:
+			PutBuffer(payload)
+			terminal = r.deliver(cv.seq, nil, cv.fin, fmt.Errorf("transport: unexpected chunked frame kind %d from %s", cv.inner, c.endpoint))
+		}
+		if terminal {
+			c.remove(id)
+		}
+		return nil
+	}
+	// Ordinary call whose response outgrew one frame: reassemble, granting
+	// credit immediately — reassembly consumes as fast as the wire delivers.
+	inner, msg, done, aerr := cc.asm.add(id, cv)
+	n := len(cv.data)
+	PutBuffer(payload)
+	if aerr != nil {
+		return aerr
+	}
+	if !done {
+		if n > 0 {
+			_ = writeCredit(cc.fw, id, n)
+		}
+		return nil
+	}
+	if pc := c.take(id); pc != nil {
+		switch inner {
+		case frameRespOK:
+			c.deliver(pc, response{payload: msg})
+		case frameRespErr:
+			s := string(msg)
+			PutBuffer(msg)
+			c.deliver(pc, response{err: &HandlerError{Endpoint: c.endpoint, Msg: s}})
+		default:
+			PutBuffer(msg)
+			c.deliver(pc, response{err: fmt.Errorf("transport: unexpected chunked frame kind %d from %s", inner, c.endpoint)})
+		}
+	} else {
+		PutBuffer(msg)
+	}
+	return nil
+}
+
+// deliver completes one claimed pending call: plain calls through their
+// response channel, stream calls through their reader (a stream call
+// completed here received a non-chunk outcome — a transport error or an
+// unexpected plain response).
+func (c *Client) deliver(pc *pendingCall, resp response) {
+	if r := pc.stream; r != nil {
+		err := resp.err
+		if err == nil {
+			PutBuffer(resp.payload)
+			err = fmt.Errorf("transport: unchunked response to stream call from %s", c.endpoint)
+		}
+		r.deliver(0, nil, false, err)
+		return
+	}
+	pc.ch <- resp
+}
+
 // failConn tears down cc (if still current) and fails every pending call
-// issued on it. Calls already riding a newer connection are left alone.
+// issued on it. Calls already riding a newer connection are left alone;
+// senders blocked on stream credit are woken with the failure.
 func (c *Client) failConn(cc *clientConn, err error) {
 	c.cur.CompareAndSwap(cc, nil)
 	_ = cc.conn.Close()
+	cc.ct.fail(err)
 	c.failPending(func(pc *pendingCall) bool { return pc.gen == cc.gen }, err)
 }
 
 // failPending sweeps the shards and fails every pending call matching the
-// filter. Each call receives exactly one send: senders claim records by
-// removing them from the shard map first.
+// filter. Each call receives exactly one completion: senders claim records
+// by removing them from the shard map first.
 func (c *Client) failPending(match func(*pendingCall) bool, err error) {
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -271,7 +446,7 @@ func (c *Client) failPending(match func(*pendingCall) bool, err error) {
 		sh.mu.Unlock()
 		c.st.Pending.Add(-int64(len(failed)))
 		for _, pc := range failed {
-			pc.ch <- response{err: err}
+			c.deliver(pc, response{err: err})
 		}
 	}
 }
@@ -368,6 +543,15 @@ func (p *Pool) Call(ctx context.Context, endpoint string, payload []byte) ([]byt
 		return nil, err
 	}
 	return c.Call(ctx, payload)
+}
+
+// CallStream is shorthand for Get(endpoint).CallStream(ctx, payload).
+func (p *Pool) CallStream(ctx context.Context, endpoint string, payload []byte) (*StreamReader, error) {
+	c, err := p.Get(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	return c.CallStream(ctx, payload)
 }
 
 // Close closes every pooled client.

@@ -1,0 +1,10 @@
+package transport
+
+// SetStreamTuningForTest shrinks the chunking thresholds so tests exercise
+// the multi-frame paths without moving real MaxFrameSize payloads. The
+// returned func restores the production values; register it with t.Cleanup.
+func SetStreamTuningForTest(direct, chunk, window int) (restore func()) {
+	od, oc, ow := maxDirectPayload, maxChunkData, streamWindow
+	maxDirectPayload, maxChunkData, streamWindow = direct, chunk, window
+	return func() { maxDirectPayload, maxChunkData, streamWindow = od, oc, ow }
+}

@@ -2,7 +2,9 @@ package transport
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net"
@@ -20,6 +22,7 @@ import (
 // handler concurrency remains unbounded exactly as before.
 type Server struct {
 	handler Handler
+	stream  StreamHandler
 	logf    func(format string, args ...any)
 	reuse   bool
 	st      *Stats
@@ -43,6 +46,7 @@ type Server struct {
 
 type dispatchTask struct {
 	fw      *frameWriter
+	ct      *creditTable
 	kind    byte
 	id      uint64
 	payload []byte
@@ -67,6 +71,15 @@ func WithLogf(logf func(format string, args ...any)) ServerOption {
 // leave the option off and keep the allocate-per-message behavior.
 func WithBufferReuse() ServerOption {
 	return func(s *Server) { s.reuse = true }
+}
+
+// WithStreamHandler installs h for stream requests (Client.CallStream):
+// instead of returning one response payload, h writes the response
+// incrementally through a StreamWriter and the transport streams it to the
+// caller in credit-gated chunks. Servers without the option reject stream
+// requests with an error response.
+func WithStreamHandler(h StreamHandler) ServerOption {
+	return func(s *Server) { s.stream = h }
 }
 
 // WithStats attaches the transport metric bundle to the server's frame
@@ -130,7 +143,7 @@ func (s *Server) Serve(l net.Listener) error {
 func (s *Server) dispatchWorker() {
 	defer s.workerWG.Done()
 	for t := range s.tasks {
-		s.dispatch(t.fw, t.kind, t.id, t.payload)
+		s.dispatch(t.fw, t.ct, t.kind, t.id, t.payload)
 	}
 }
 
@@ -172,9 +185,23 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 
 	fw := newFrameWriter(conn, s.st)
+	ct := newCreditTable()
+	asm := newAssembler()
+	defer ct.fail(net.ErrClosed) // wake stream handlers blocked on credit
 	for {
 		kind, id, payload, err := readFrame(conn)
 		if err != nil {
+			var of *OversizedFrameError
+			if errors.As(err, &of) {
+				// The payload was drained; the connection is healthy. Fail
+				// only the offending request — mirror the client read loop.
+				if of.Kind == frameRequest || of.Kind == frameStreamReq {
+					if werr := fw.write(frameRespErr, of.ID, []byte(of.Error())); werr != nil {
+						s.logf("transport: server write error response: %v", werr)
+					}
+				}
+				continue
+			}
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrClosedPipe) {
 				s.logf("transport: server read: %v", err)
 			}
@@ -183,17 +210,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.st.FramesIn.Inc()
 		s.st.BytesIn.Add(uint64(frameHeaderLen + len(payload)))
 		switch kind {
-		case frameRequest, frameOneWay:
-			select {
-			case s.tasks <- dispatchTask{fw: fw, kind: kind, id: id, payload: payload}:
-			default:
-				// Every worker is busy; overflow into a fresh goroutine so
-				// slow handlers never delay concurrent requests.
-				s.workerWG.Add(1)
-				go func() {
-					defer s.workerWG.Done()
-					s.dispatch(fw, kind, id, payload)
-				}()
+		case frameRequest, frameOneWay, frameStreamReq:
+			s.submit(dispatchTask{fw: fw, ct: ct, kind: kind, id: id, payload: payload})
+		case frameCredit:
+			if len(payload) == 4 {
+				ct.grant(id, int(binary.BigEndian.Uint32(payload)))
+			}
+			PutBuffer(payload)
+		case frameChunk:
+			if err := s.handleChunk(fw, ct, asm, id, payload); err != nil {
+				s.logf("transport: server read: %v", err)
+				return
 			}
 		default:
 			s.logf("transport: server ignoring frame kind %d", kind)
@@ -201,7 +228,60 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) dispatch(fw *frameWriter, kind byte, id uint64, payload []byte) {
+// submit hands one request to an idle dispatch worker, or a fresh goroutine
+// when every worker is busy, so slow handlers never delay concurrent
+// requests.
+func (s *Server) submit(t dispatchTask) {
+	select {
+	case s.tasks <- t:
+	default:
+		s.workerWG.Add(1)
+		go func() {
+			defer s.workerWG.Done()
+			s.dispatch(t.fw, t.ct, t.kind, t.id, t.payload)
+		}()
+	}
+}
+
+// handleChunk folds one inbound chunk of an oversized request into the
+// connection's assembler, granting credit as it consumes; a completed
+// message dispatches under its inner kind. A returned error is a protocol
+// violation and connection-fatal.
+func (s *Server) handleChunk(fw *frameWriter, ct *creditTable, asm *assembler, id uint64, payload []byte) error {
+	cv, err := parseChunk(payload)
+	if err != nil {
+		PutBuffer(payload)
+		return err
+	}
+	s.st.ChunksIn.Inc()
+	s.st.StreamBytesIn.Add(uint64(len(cv.data)))
+	inner, msg, done, aerr := asm.add(id, cv)
+	n := len(cv.data)
+	PutBuffer(payload)
+	if aerr != nil {
+		return aerr
+	}
+	if !done {
+		if n > 0 {
+			_ = writeCredit(fw, id, n)
+		}
+		return nil
+	}
+	switch inner {
+	case frameRequest, frameOneWay, frameStreamReq:
+		s.submit(dispatchTask{fw: fw, ct: ct, kind: inner, id: id, payload: msg})
+		return nil
+	default:
+		PutBuffer(msg)
+		return fmt.Errorf("transport: chunked message %d has request-invalid kind %d", id, inner)
+	}
+}
+
+func (s *Server) dispatch(fw *frameWriter, ct *creditTable, kind byte, id uint64, payload []byte) {
+	if kind == frameStreamReq {
+		s.dispatchStream(fw, ct, id, payload)
+		return
+	}
 	resp, err := s.handler(s.ctx, payload)
 	if s.reuse {
 		PutBuffer(payload)
@@ -215,13 +295,38 @@ func (s *Server) dispatch(fw *frameWriter, kind byte, id uint64, payload []byte)
 		}
 		return
 	}
-	werr := fw.write(frameRespOK, id, resp)
+	// Responses larger than one frame chunk transparently (credit-gated),
+	// lifting the response-size ceiling for ordinary calls.
+	werr := sendMessage(s.ctx, fw, ct, s.st, frameRespOK, id, resp)
 	if s.reuse {
 		PutBuffer(resp)
 	}
 	if werr != nil {
 		s.logf("transport: server write response: %v", werr)
 	}
+}
+
+// dispatchStream runs the stream handler for one frameStreamReq, delivering
+// its incremental writes as a chunk stream and its final status as the
+// stream's terminator.
+func (s *Server) dispatchStream(fw *frameWriter, ct *creditTable, id uint64, payload []byte) {
+	if s.stream == nil {
+		if s.reuse {
+			PutBuffer(payload)
+		}
+		if werr := fw.write(frameRespErr, id, []byte("transport: server has no stream handler")); werr != nil {
+			s.logf("transport: server write error response: %v", werr)
+		}
+		return
+	}
+	s.st.StreamsOpen.Add(1)
+	w := newStreamWriter(s.ctx, fw, ct, s.st, id)
+	herr := s.stream(s.ctx, payload, w)
+	if s.reuse {
+		PutBuffer(payload)
+	}
+	w.finish(herr)
+	s.st.StreamsOpen.Add(-1)
 }
 
 // Close stops accepting, closes all connections, and waits for in-flight

@@ -19,6 +19,12 @@ type Stats struct {
 	Pending   *stats.Gauge     // in-flight calls in the pending table
 	Dials     *stats.Counter   // successful dials
 	Redials   *stats.Counter   // successful dials after a connection loss
+
+	StreamsOpen    *stats.Gauge   // response streams currently open (client side)
+	ChunksIn       *stats.Counter // frameChunk frames received
+	ChunksOut      *stats.Counter // frameChunk frames written
+	StreamBytesIn  *stats.Counter // chunk data bytes received
+	StreamBytesOut *stats.Counter // chunk data bytes written
 }
 
 var noStats = &Stats{}
@@ -42,6 +48,12 @@ func NewStats(r *stats.Registry) *Stats {
 		Pending:   r.Gauge("transport.pending_calls"),
 		Dials:     r.Counter("transport.dials"),
 		Redials:   r.Counter("transport.redials"),
+
+		StreamsOpen:    r.Gauge("transport.streams_open"),
+		ChunksIn:       r.Counter("transport.chunks_in"),
+		ChunksOut:      r.Counter("transport.chunks_out"),
+		StreamBytesIn:  r.Counter("transport.stream_bytes_in"),
+		StreamBytesOut: r.Counter("transport.stream_bytes_out"),
 	}
 }
 

@@ -30,9 +30,10 @@ func (d *dialCounter) Listen(endpoint string) (net.Listener, error) {
 	return d.inner.Listen(endpoint)
 }
 
-// An oversized frame must fail its own call with the typed ErrTooLarge and
-// leave the connection alone: no teardown, no redial, concurrent and
-// subsequent calls unaffected.
+// A single frame over the ceiling (CallOneWay cannot chunk — there is no
+// response path to flow-control against) must fail its own call with the
+// typed ErrTooLarge and leave the connection alone: no teardown, no redial,
+// concurrent and subsequent calls unaffected.
 func TestOversizedCallDoesNotKillConnection(t *testing.T) {
 	sim := netsim.New(netsim.Instant)
 	defer sim.Close()
@@ -52,7 +53,7 @@ func TestOversizedCallDoesNotKillConnection(t *testing.T) {
 	if _, err := c.Call(context.Background(), []byte("warm")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Call(context.Background(), make([]byte, transport.MaxFrameSize+1)); !errors.Is(err, transport.ErrTooLarge) {
+	if err := c.CallOneWay(context.Background(), make([]byte, transport.MaxFrameSize+1)); !errors.Is(err, transport.ErrTooLarge) {
 		t.Fatalf("got %v, want ErrTooLarge", err)
 	}
 	got, err := c.Call(context.Background(), []byte("still alive"))
